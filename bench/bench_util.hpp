@@ -1,0 +1,55 @@
+// Shared plumbing for the figure-regeneration benchmarks.
+//
+// Every binary runs in a reduced "quick" scale by default so the full
+// suite completes in minutes; pass --full to run at the paper's scale
+// (12 GB footprints, 10 trials). CSV copies of every table land in
+// ./results/ for replotting.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+
+namespace hpmmap::bench {
+
+struct BenchOptions {
+  bool full = false;
+  std::uint32_t trials = 3;
+  double footprint_scale = 0.15;
+  double duration_scale = 0.1;
+  std::string out_dir = "results";
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      opt.full = true;
+      opt.trials = 10; // §IV: "average and standard deviation of 10 runs"
+      opt.footprint_scale = 1.0;
+      opt.duration_scale = 1.0;
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      opt.trials = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      opt.out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--full] [--trials N] [--out-dir DIR]\n"
+                  "  --full   paper scale (12 GB footprints, 10 trials); default is a\n"
+                  "           reduced scale that preserves the figure's shape\n",
+                  argv[0]);
+      std::exit(0);
+    }
+  }
+  ::mkdir(opt.out_dir.c_str(), 0755);
+  return opt;
+}
+
+inline void print_mode(const BenchOptions& opt, const char* what) {
+  std::printf("== %s ==\n", what);
+  std::printf("mode: %s (footprint x%.2f, duration x%.2f, %u trials)\n\n",
+              opt.full ? "FULL (paper scale)" : "quick", opt.footprint_scale,
+              opt.duration_scale, opt.trials);
+}
+
+} // namespace hpmmap::bench

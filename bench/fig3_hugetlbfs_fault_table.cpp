@@ -1,0 +1,53 @@
+// Figure 3 (paper, §II): cycles needed to handle page faults under
+// HugeTLBfs for the miniMD benchmark, with and without a competing
+// kernel build.
+//
+// Paper reference values (Dell R415):
+//   No  load: Small 1,310 @ 1,350 (sd 1,683); Large 84 @ 735,384 (sd 458,239)
+//   With load: Small 1,777 @ 475,724 (sd 16,387,888); Large 75 @ 615,162
+//
+// The headline behaviours to match: Large faults are expensive but
+// load-INSENSITIVE (the pool is reserved), while Small faults explode
+// under load (the non-pool memory is starved; reclaim and swap storms).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpmmap;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_mode(opt, "Figure 3: HugeTLBfs page-fault cost breakdown (miniMD)");
+
+  harness::Table table({"Added Load", "Fault Size", "Total Faults", "Avg Cycles",
+                        "Stdev Cycles"});
+
+  for (const bool loaded : {false, true}) {
+    harness::SingleNodeRunConfig cfg;
+    cfg.app = "miniMD";
+    cfg.manager = harness::Manager::kHugetlbfs;
+    cfg.commodity = loaded ? workloads::profile_a(8) : workloads::no_competition();
+    cfg.app_cores = 8;
+    cfg.seed = 2014;
+    cfg.record_trace = true;
+    cfg.footprint_scale = opt.full ? 1.0 : 0.25;
+    cfg.duration_scale = opt.full ? 1.0 : 0.15;
+    const harness::RunResult r = harness::run_single_node(cfg);
+
+    const auto row = [&](mm::FaultKind kind, const char* label) {
+      const auto& k = r.by_kind[static_cast<std::size_t>(kind)];
+      table.add_row({loaded ? "Yes" : "No", label, harness::with_commas(k.total_faults),
+                     harness::with_commas(static_cast<std::uint64_t>(k.avg_cycles)),
+                     harness::with_commas(static_cast<std::uint64_t>(k.stdev_cycles))});
+    };
+    row(mm::FaultKind::kSmall, "Small");
+    row(mm::FaultKind::kLarge, "Large");
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv(opt.out_dir + "/fig3_hugetlbfs_fault_table.csv");
+  std::printf("\nPaper shape check: loaded Small avg hundreds of times the unloaded avg,\n"
+              "with an enormous stdev (swap storms); Large avg roughly load-insensitive.\n");
+  return 0;
+}

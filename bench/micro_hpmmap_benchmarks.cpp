@@ -1,0 +1,115 @@
+// Microbenchmarks for HPMMAP's own components (host time), plus
+// simulated-cycle comparisons of the interposed syscall paths against
+// the Linux equivalents — the §III-B "lightweight" claim in numbers.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/kitten_allocator.hpp"
+#include "core/module.hpp"
+#include "core/pid_registry.hpp"
+#include "hw/bandwidth.hpp"
+#include "hw/phys_mem.hpp"
+#include "os/node.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace hpmmap;
+
+void BM_PidRegistryHit(benchmark::State& state) {
+  core::PidRegistry reg;
+  for (Pid p = 1; p <= 64; ++p) {
+    reg.insert(p, p);
+  }
+  Pid probe = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.find(probe));
+    probe = probe % 64 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PidRegistryHit);
+
+void BM_PidRegistryMiss(benchmark::State& state) {
+  core::PidRegistry reg;
+  for (Pid p = 1; p <= 64; ++p) {
+    reg.insert(p, p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.find(9999));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PidRegistryMiss);
+
+void BM_KittenAlloc2M(benchmark::State& state) {
+  std::vector<std::vector<Range>> ranges{{Range{0, 2 * GiB}}};
+  core::KittenAllocator kitten(std::move(ranges));
+  for (auto _ : state) {
+    auto a = kitten.alloc(0, kLargePageSize);
+    benchmark::DoNotOptimize(a);
+    kitten.free(0, *a, kLargePageSize);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KittenAlloc2M);
+
+void BM_ModuleMmapMunmap(benchmark::State& state) {
+  hw::PhysicalMemory phys{4 * GiB, 2};
+  hw::BandwidthModel bw{2, 5.6};
+  mm::CostModel costs;
+  core::ModuleConfig config;
+  config.offline_bytes_per_zone = 1 * GiB;
+  core::HpmmapModule module(phys, bw, costs, Rng(1), config);
+  mm::AddressSpace as(100);
+  module.register_process(100, as);
+  for (auto _ : state) {
+    const core::SyscallResult r = module.mmap(100, 2 * MiB, kProtRW);
+    benchmark::DoNotOptimize(r);
+    module.munmap(100, r.addr, 2 * MiB);
+  }
+  module.unregister_process(100);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModuleMmapMunmap);
+
+/// Not a host-time benchmark: reports the *simulated* cycle cost of the
+/// two stacks' mmap+first-access path for one 2M chunk, as counters.
+void BM_SimulatedSyscallCycles(benchmark::State& state) {
+  double hpmmap_cycles = 0.0;
+  double linux_cycles = 0.0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    os::NodeConfig cfg;
+    cfg.machine = hw::dell_r415();
+    cfg.machine.ram_bytes = 4 * GiB;
+    cfg.aged_boot = false;
+    core::ModuleConfig mod;
+    mod.offline_bytes_per_zone = 512 * MiB;
+    cfg.hpmmap = mod;
+    os::Node node(engine, cfg);
+
+    os::Process& hpc = node.spawn("h", os::MmPolicy::kHpmmap, 0, 1.0,
+                                  mm::AddressSpace::ZonePolicy::kSingle, 0);
+    const auto m1 = node.sys_mmap(hpc, 2 * MiB, kProtRW, os::Node::Segment::kHeapData);
+    const Cycles t1 = node.touch_range(hpc, Range{m1.addr, m1.addr + 2 * MiB});
+    hpmmap_cycles += static_cast<double>(m1.cost + t1);
+
+    os::Process& lin = node.spawn("l", os::MmPolicy::kLinuxThp, 1, 1.0,
+                                  mm::AddressSpace::ZonePolicy::kSingle, 0);
+    const auto m2 = node.sys_mmap(lin, 2 * MiB, kProtRW, os::Node::Segment::kHeapData);
+    const Cycles t2 = node.touch_range(lin, Range{m2.addr, m2.addr + 2 * MiB});
+    linux_cycles += static_cast<double>(m2.cost + t2);
+
+    node.exit_process(hpc);
+    node.exit_process(lin);
+  }
+  state.counters["sim_cycles_hpmmap"] =
+      benchmark::Counter(hpmmap_cycles / static_cast<double>(state.iterations()));
+  state.counters["sim_cycles_linux_thp"] =
+      benchmark::Counter(linux_cycles / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SimulatedSyscallCycles)->Iterations(20);
+
+} // namespace

@@ -1,0 +1,169 @@
+// Microbenchmarks (google-benchmark, host time) for the Linux-side
+// memory-management substrate: these guard the simulator's own
+// performance, since every figure run executes millions of these
+// operations.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "hw/bandwidth.hpp"
+#include "hw/machine.hpp"
+#include "hw/phys_mem.hpp"
+#include "hw/tlb.hpp"
+#include "linux_mm/address_space.hpp"
+#include "linux_mm/fault.hpp"
+#include "linux_mm/memory_system.hpp"
+#include "linux_mm/page_table.hpp"
+#include "linux_mm/vma.hpp"
+
+namespace {
+
+using namespace hpmmap;
+
+void BM_BuddyAllocFree4K(benchmark::State& state) {
+  mm::BuddyAllocator buddy(Range{0, 1 * GiB}, mm::kLinuxMaxOrder);
+  for (auto _ : state) {
+    auto a = buddy.alloc(0);
+    benchmark::DoNotOptimize(a);
+    buddy.free(a->addr, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuddyAllocFree4K);
+
+void BM_BuddyAllocFree2M(benchmark::State& state) {
+  mm::BuddyAllocator buddy(Range{0, 1 * GiB}, mm::kLinuxMaxOrder);
+  for (auto _ : state) {
+    auto a = buddy.alloc(mm::kLargePageOrder);
+    benchmark::DoNotOptimize(a);
+    buddy.free(a->addr, mm::kLargePageOrder);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuddyAllocFree2M);
+
+void BM_BuddyChurnFragmented(benchmark::State& state) {
+  // Steady-state mixed-order churn over a fragmented arena — the
+  // kernel-build pattern the figure runs sustain for minutes.
+  mm::BuddyAllocator buddy(Range{0, 1 * GiB}, mm::kLinuxMaxOrder);
+  Rng rng(1);
+  std::vector<std::pair<Addr, unsigned>> held;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned order = static_cast<unsigned>(rng.uniform(5));
+    if (auto a = buddy.alloc(order)) {
+      held.push_back({a->addr, order});
+    }
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    auto& slot = held[cursor++ % held.size()];
+    buddy.free(slot.first, slot.second);
+    const unsigned order = static_cast<unsigned>(rng.uniform(5));
+    auto a = buddy.alloc(order);
+    slot = {a->addr, order};
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuddyChurnFragmented);
+
+void BM_PageTableMapUnmap4K(benchmark::State& state) {
+  mm::PageTable pt;
+  Addr va = 0x7f00'0000'0000ull;
+  for (auto _ : state) {
+    pt.map(va, 0x1000, PageSize::k4K, kProtRW);
+    pt.unmap(va, PageSize::k4K);
+    va += kSmallPageSize;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableMapUnmap4K);
+
+void BM_PageTableWalkHit(benchmark::State& state) {
+  mm::PageTable pt;
+  const Addr base = 0x7f00'0000'0000ull;
+  for (int i = 0; i < 1024; ++i) {
+    pt.map(base + static_cast<Addr>(i) * kSmallPageSize, static_cast<Addr>(i) * kSmallPageSize,
+           PageSize::k4K, kProtRW);
+  }
+  Addr va = base;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pt.walk(va));
+    va = base + (va - base + kSmallPageSize) % (1024 * kSmallPageSize);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableWalkHit);
+
+void BM_VmaFindFreeTopdown(benchmark::State& state) {
+  mm::VmaTree vmas;
+  Rng rng(2);
+  const Range window{mm::AddressLayout::kMmapBottom, mm::AddressLayout::kMmapTop};
+  for (int i = 0; i < 200; ++i) {
+    mm::Vma v;
+    const Addr begin = window.begin + align_down(rng.uniform(window.size() / 2), kSmallPageSize);
+    v.range = Range{begin, begin + (1 + rng.uniform(64)) * kSmallPageSize};
+    (void)vmas.insert(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vmas.find_free_topdown(1 * MiB, kSmallPageSize, window));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmaFindFreeTopdown);
+
+struct FaultBenchFixture {
+  hw::PhysicalMemory phys{4 * GiB, 2};
+  hw::BandwidthModel bw{2, 5.6};
+  mm::CostModel costs{};
+  mm::MemorySystem ms{phys, bw, Rng(3), costs};
+  mm::FaultHandler handler{ms, nullptr, nullptr};
+  mm::AddressSpace as{1};
+  FaultBenchFixture() {
+    mm::Vma v;
+    v.range = Range{0x5000'0000'0000ull, 0x5000'0000'0000ull + 2 * GiB};
+    v.prot = kProtRW;
+    v.kind = mm::VmaKind::kAnon;
+    (void)as.vmas().insert(v);
+  }
+};
+
+void BM_FaultHandlerSmallPath(benchmark::State& state) {
+  FaultBenchFixture f;
+  Addr va = 0x5000'0000'0000ull;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.handler.handle(f.as, va, 0));
+    va += kSmallPageSize;
+    if (va >= 0x5000'0000'0000ull + 2 * GiB) {
+      state.PauseTiming();
+      f.~FaultBenchFixture();
+      new (&f) FaultBenchFixture();
+      va = 0x5000'0000'0000ull;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultHandlerSmallPath);
+
+void BM_TlbModelEvaluation(benchmark::State& state) {
+  hw::TlbModel tlb(hw::dell_r415().tlb);
+  hw::MappingMix mix;
+  mix.bytes_4k = 512 * MiB;
+  mix.bytes_2m = 1 * GiB;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.translation_cycles_per_access(mix, 0.97));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbModelEvaluation);
+
+void BM_RngLognormal(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal_from_moments(1768.0, 993.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngLognormal);
+
+} // namespace

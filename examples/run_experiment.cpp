@@ -1,0 +1,148 @@
+// General experiment driver: run any paper configuration from the
+// command line without writing C++.
+//
+//   run_experiment --app miniFE --manager hpmmap --profile B --cores 8
+//                  --trials 5 [--nodes 4] [--scale 0.5] [--duration 0.2]
+//                  [--seed 42] [--trace]
+//
+// With --nodes > 1 the run uses the Sandia 1 GbE cluster model
+// (profiles C/D); otherwise the Dell R415 single-node model
+// (profiles A/B or "none").
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace hpmmap;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --app NAME       HPCCG | CoMD | miniMD | miniFE | LAMMPS   (default HPCCG)\n"
+      "  --manager M      thp | hugetlbfs | hpmmap                  (default hpmmap)\n"
+      "  --profile P      none | A | B (single node) | C | D (cluster) (default A)\n"
+      "  --cores N        app cores on the single node              (default 8)\n"
+      "  --nodes N        cluster nodes; >1 selects the 1GbE testbed (default 1)\n"
+      "  --trials N       repetitions with derived seeds            (default 3)\n"
+      "  --scale F        footprint scale                           (default 1.0)\n"
+      "  --duration F     iteration-count scale                     (default 0.1)\n"
+      "  --seed N         base RNG seed                             (default 42)\n"
+      "  --trace          record the fault trace and print a summary\n",
+      argv0);
+  std::exit(0);
+}
+
+harness::Manager parse_manager(const std::string& s) {
+  if (s == "thp") {
+    return harness::Manager::kThp;
+  }
+  if (s == "hugetlbfs") {
+    return harness::Manager::kHugetlbfs;
+  }
+  if (s == "hpmmap") {
+    return harness::Manager::kHpmmap;
+  }
+  std::fprintf(stderr, "unknown manager '%s'\n", s.c_str());
+  std::exit(1);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string app = "HPCCG", manager = "hpmmap", profile = "A";
+  std::uint32_t cores = 8, nodes = 1, trials = 3;
+  double scale = 1.0, duration = 0.1;
+  std::uint64_t seed = 42;
+  bool trace = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--app")) {
+      app = next();
+    } else if (!std::strcmp(argv[i], "--manager")) {
+      manager = next();
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      profile = next();
+    } else if (!std::strcmp(argv[i], "--cores")) {
+      cores = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--nodes")) {
+      nodes = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--trials")) {
+      trials = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--scale")) {
+      scale = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--duration")) {
+      duration = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  using namespace hpmmap;
+  const harness::Manager mgr = parse_manager(manager);
+
+  if (nodes > 1) {
+    harness::ScalingRunConfig cfg;
+    cfg.app = app;
+    cfg.manager = mgr;
+    cfg.commodity = profile == "D"      ? workloads::profile_d()
+                    : profile == "none" ? workloads::no_competition()
+                                        : workloads::profile_c();
+    cfg.nodes = nodes;
+    cfg.seed = seed;
+    cfg.footprint_scale = scale;
+    cfg.duration_scale = duration;
+    std::printf("%s on %u nodes (%u ranks), %s, profile %s, %u trials\n", app.c_str(), nodes,
+                nodes * cfg.ranks_per_node, name(mgr).data(), cfg.commodity.name.c_str(),
+                trials);
+    const harness::SeriesPoint p = harness::run_trials(cfg, trials);
+    std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);
+    return 0;
+  }
+
+  harness::SingleNodeRunConfig cfg;
+  cfg.app = app;
+  cfg.manager = mgr;
+  cfg.commodity = profile == "A"      ? workloads::profile_a(cores)
+                  : profile == "B"    ? workloads::profile_b(cores)
+                                      : workloads::no_competition();
+  cfg.app_cores = cores;
+  cfg.seed = seed;
+  cfg.record_trace = trace;
+  cfg.footprint_scale = scale;
+  cfg.duration_scale = duration;
+  std::printf("%s on %u cores, %s, profile %s, %u trials\n", app.c_str(), cores,
+              name(mgr).data(), cfg.commodity.name.c_str(), trials);
+
+  if (trace) {
+    const harness::RunResult r = harness::run_single_node(cfg);
+    std::printf("runtime: %.2f s\n", r.runtime_seconds);
+    harness::Table t({"Kind", "Count", "Avg cycles", "Stdev cycles"});
+    const char* labels[] = {"Small", "Large", "Merge", "Invalid"};
+    for (std::size_t k = 0; k < 4; ++k) {
+      t.add_row({labels[k], harness::with_commas(r.by_kind[k].total_faults),
+                 harness::with_commas(static_cast<std::uint64_t>(r.by_kind[k].avg_cycles)),
+                 harness::with_commas(static_cast<std::uint64_t>(r.by_kind[k].stdev_cycles))});
+    }
+    t.print();
+    std::printf("khugepaged merges: %llu\n",
+                static_cast<unsigned long long>(r.thp_merges));
+    return 0;
+  }
+  const harness::SeriesPoint p = harness::run_trials(cfg, trials);
+  std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);
+  return 0;
+}

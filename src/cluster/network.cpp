@@ -1,0 +1,34 @@
+#include "cluster/network.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace hpmmap::cluster {
+
+double p2p_seconds(const EthernetSpec& spec, std::uint64_t bytes) {
+  return spec.latency_seconds + static_cast<double>(bytes) / spec.bandwidth_bytes_per_sec;
+}
+
+workloads::CommModel ethernet_comm(const EthernetSpec& spec, double clock_hz,
+                                   std::uint32_t node_count, Rng rng) {
+  auto rng_ptr = std::make_shared<Rng>(rng);
+  return [spec, clock_hz, node_count, rng_ptr](const workloads::AppProfile& app,
+                                               std::uint64_t ranks) -> Cycles {
+    double secs = 0.0;
+    if (node_count > 1) {
+      const auto rounds = static_cast<double>(std::bit_width(node_count - 1)); // ceil(log2)
+      // Small allreduce payloads: latency dominated.
+      secs += static_cast<double>(app.allreduces_per_iter) * 2.0 * rounds *
+              p2p_seconds(spec, 8 * 1024);
+      // Halo exchange with off-node neighbours.
+      secs += p2p_seconds(spec, app.halo_bytes_per_iter);
+    }
+    // Intra-node shared-memory share.
+    secs += static_cast<double>(app.allreduces_per_iter) *
+            (3e-6 + 0.4e-6 * static_cast<double>(ranks));
+    const double jittered = rng_ptr->lognormal_from_moments(secs, spec.jitter_cv * secs);
+    return static_cast<Cycles>(jittered * clock_hz);
+  };
+}
+
+} // namespace hpmmap::cluster

@@ -1,0 +1,35 @@
+// Gigabit Ethernet interconnect model for the scaling study (§IV-C).
+//
+// The testbed's 1 GbE is slow enough that the paper limits ranks to 4
+// per node "to reduce the effects that limited network bandwidth would
+// have". Collectives are modelled with standard log-tree cost formulas;
+// per-iteration jitter reflects switch contention. The absolute numbers
+// matter less than the property that cross-node synchronization makes
+// iteration time the max over all ranks — that is what amplifies
+// single-node memory-management noise at scale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "workloads/mpi_app.hpp"
+
+namespace hpmmap::cluster {
+
+struct EthernetSpec {
+  double latency_seconds = 55e-6;            // per message, kernel TCP stack
+  double bandwidth_bytes_per_sec = 112e6;    // ~90% of line rate
+  double jitter_cv = 0.12;                   // switch/stack variance
+};
+
+/// Communication model for a job spanning `node_count` nodes:
+/// allreduce = 2 ceil(log2 nodes) rounds of (latency + msg/bw) plus the
+/// intra-node shared-memory part; halo exchange pays bytes/bw once.
+[[nodiscard]] workloads::CommModel ethernet_comm(const EthernetSpec& spec, double clock_hz,
+                                                 std::uint32_t node_count, Rng rng);
+
+/// Time to ship `bytes` point-to-point (used by tests/benches).
+[[nodiscard]] double p2p_seconds(const EthernetSpec& spec, std::uint64_t bytes);
+
+} // namespace hpmmap::cluster

@@ -1,0 +1,25 @@
+// Always-on invariant checks. The simulation is the product; a silently
+// corrupted buddy list or page table would invalidate every number the
+// benchmarks print, so invariants stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hpmmap::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "HPMMAP invariant violated: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+
+} // namespace hpmmap::detail
+
+#define HPMMAP_ASSERT(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::hpmmap::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                     \
+  } while (false)

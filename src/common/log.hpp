@@ -1,0 +1,33 @@
+// Minimal leveled logging. The simulated kernel logs like a kernel:
+// terse, prefixed, printf-formatted, and off by default except warnings.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace hpmmap {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide threshold; benchmarks keep it at kWarn so figure output
+/// stays clean, tests may lower it when debugging.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void vlog_line(LogLevel level, std::string_view subsystem, const char* fmt, std::va_list args);
+}
+
+#if defined(__GNUC__)
+#define HPMMAP_PRINTF(fmt_idx, args_idx) __attribute__((format(printf, fmt_idx, args_idx)))
+#else
+#define HPMMAP_PRINTF(fmt_idx, args_idx)
+#endif
+
+void log(LogLevel level, std::string_view subsystem, const char* fmt, ...) HPMMAP_PRINTF(3, 4);
+void log_debug(std::string_view subsystem, const char* fmt, ...) HPMMAP_PRINTF(2, 3);
+void log_info(std::string_view subsystem, const char* fmt, ...) HPMMAP_PRINTF(2, 3);
+void log_warn(std::string_view subsystem, const char* fmt, ...) HPMMAP_PRINTF(2, 3);
+void log_error(std::string_view subsystem, const char* fmt, ...) HPMMAP_PRINTF(2, 3);
+
+} // namespace hpmmap

@@ -1,0 +1,127 @@
+// Core vocabulary types: addresses, cycles, ids, page sizes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace hpmmap {
+
+/// Virtual or physical address, always byte-granular.
+using Addr = std::uint64_t;
+
+/// Simulated time, in CPU cycles of the node's reference clock.
+using Cycles = std::uint64_t;
+
+/// Process identifier within a simulated node.
+using Pid = std::uint32_t;
+
+/// NUMA zone index.
+using ZoneId = std::uint32_t;
+
+/// Physical frame number (frame = kSmallPageSize bytes).
+using Pfn = std::uint64_t;
+
+/// Page sizes a mapping can use. Values are the byte sizes so that
+/// `bytes(PageSize)` is a total function and switch statements stay honest.
+enum class PageSize : std::uint64_t {
+  k4K = kSmallPageSize,
+  k2M = kLargePageSize,
+  k1G = kHugePageSize,
+};
+
+[[nodiscard]] constexpr std::uint64_t bytes(PageSize ps) noexcept {
+  return static_cast<std::uint64_t>(ps);
+}
+
+[[nodiscard]] constexpr std::string_view name(PageSize ps) noexcept {
+  switch (ps) {
+    case PageSize::k4K: return "4K";
+    case PageSize::k2M: return "2M";
+    case PageSize::k1G: return "1G";
+  }
+  return "?";
+}
+
+/// mmap-style protection flags.
+enum class Prot : std::uint32_t {
+  kNone  = 0,
+  kRead  = 1u << 0,
+  kWrite = 1u << 1,
+  kExec  = 1u << 2,
+};
+
+[[nodiscard]] constexpr Prot operator|(Prot a, Prot b) noexcept {
+  return static_cast<Prot>(static_cast<std::uint32_t>(a) | static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] constexpr Prot operator&(Prot a, Prot b) noexcept {
+  return static_cast<Prot>(static_cast<std::uint32_t>(a) & static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] constexpr bool has(Prot flags, Prot bit) noexcept {
+  return (flags & bit) != Prot::kNone;
+}
+
+inline constexpr Prot kProtRW  = Prot::kRead | Prot::kWrite;
+inline constexpr Prot kProtRX  = Prot::kRead | Prot::kExec;
+inline constexpr Prot kProtRWX = Prot::kRead | Prot::kWrite | Prot::kExec;
+
+/// Error codes used across the simulated kernel. Mirrors the errno values
+/// the real syscalls return so tests can assert on familiar semantics.
+enum class Errno : std::int32_t {
+  kOk = 0,
+  kNoMem,    // ENOMEM
+  kInval,    // EINVAL
+  kNoEnt,    // ENOENT
+  kExist,    // EEXIST
+  kFault,    // EFAULT (access to unmapped address)
+  kAgain,    // EAGAIN
+  kBusy,     // EBUSY
+  kPerm,     // EPERM
+};
+
+[[nodiscard]] constexpr std::string_view name(Errno e) noexcept {
+  switch (e) {
+    case Errno::kOk:    return "OK";
+    case Errno::kNoMem: return "ENOMEM";
+    case Errno::kInval: return "EINVAL";
+    case Errno::kNoEnt: return "ENOENT";
+    case Errno::kExist: return "EEXIST";
+    case Errno::kFault: return "EFAULT";
+    case Errno::kAgain: return "EAGAIN";
+    case Errno::kBusy:  return "EBUSY";
+    case Errno::kPerm:  return "EPERM";
+  }
+  return "?";
+}
+
+/// Half-open byte range [begin, end). The basic currency of VMAs, zones,
+/// offlined regions and workload segments.
+struct Range {
+  Addr begin = 0;
+  Addr end = 0;
+
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return end <= begin; }
+  [[nodiscard]] constexpr bool contains(Addr a) const noexcept { return a >= begin && a < end; }
+  [[nodiscard]] constexpr bool contains(const Range& r) const noexcept {
+    return r.begin >= begin && r.end <= end;
+  }
+  [[nodiscard]] constexpr bool overlaps(const Range& r) const noexcept {
+    return begin < r.end && r.begin < end;
+  }
+  constexpr auto operator<=>(const Range&) const = default;
+};
+
+[[nodiscard]] constexpr Addr align_down(Addr a, std::uint64_t alignment) noexcept {
+  return a & ~(alignment - 1);
+}
+[[nodiscard]] constexpr Addr align_up(Addr a, std::uint64_t alignment) noexcept {
+  return (a + alignment - 1) & ~(alignment - 1);
+}
+[[nodiscard]] constexpr bool is_aligned(Addr a, std::uint64_t alignment) noexcept {
+  return (a & (alignment - 1)) == 0;
+}
+
+} // namespace hpmmap

@@ -1,0 +1,26 @@
+// Size and time unit helpers shared by every module.
+#pragma once
+
+#include <cstdint>
+
+namespace hpmmap {
+
+/// Byte-size literals. `4 * MiB` reads better than `4ull << 20`.
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/// x86-64 page sizes. The paper treats 2 MiB as the fundamental HPMMAP
+/// allocation unit, with 1 GiB "where supported by hardware" (§III-A).
+inline constexpr std::uint64_t kSmallPageSize = 4 * KiB;
+inline constexpr std::uint64_t kLargePageSize = 2 * MiB;
+inline constexpr std::uint64_t kHugePageSize  = 1 * GiB;
+
+/// Linux memory hot-remove operates on sections of at least 128 MiB
+/// (§III-A: "no less than 128MB, and generally much more").
+inline constexpr std::uint64_t kMemorySectionSize = 128 * MiB;
+
+inline constexpr std::uint64_t kSmallPagesPerLarge = kLargePageSize / kSmallPageSize; // 512
+inline constexpr std::uint64_t kLargePagesPerHuge  = kHugePageSize / kLargePageSize;  // 512
+
+} // namespace hpmmap

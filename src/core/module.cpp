@@ -1,0 +1,403 @@
+#include "core/module.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace hpmmap::core {
+namespace {
+
+std::vector<std::vector<Range>> offline_all(hw::PhysicalMemory& phys,
+                                            const ModuleConfig& config) {
+  std::vector<std::vector<Range>> per_zone;
+  per_zone.reserve(phys.zones().size());
+  for (const hw::Zone& z : phys.zones()) {
+    std::vector<Range> taken = phys.offline_bytes(z.id, config.offline_bytes_per_zone);
+    HPMMAP_ASSERT(!taken.empty() || config.offline_bytes_per_zone == 0,
+                  "memory offlining failed: zone has too little online memory");
+    per_zone.push_back(std::move(taken));
+  }
+  return per_zone;
+}
+
+} // namespace
+
+HpmmapModule::HpmmapModule(hw::PhysicalMemory& phys, hw::BandwidthModel& bw,
+                           const mm::CostModel& costs, Rng rng, ModuleConfig config)
+    : phys_(phys),
+      bw_(bw),
+      costs_(costs),
+      rng_(rng),
+      config_(config),
+      offlined_(offline_all(phys, config)),
+      kitten_(offlined_) {
+  log_info("hpmmap", "module loaded: %llu MiB offlined per zone",
+           static_cast<unsigned long long>(config.offline_bytes_per_zone / MiB));
+}
+
+HpmmapModule::~HpmmapModule() {
+  // Force-unload semantics: release any processes still registered (the
+  // Node normally unregisters them at exit, but a direct user of the
+  // module may drop it first). Offlined memory must come back whole.
+  if (!registry_.empty()) {
+    log_warn("hpmmap", "module unloading with %zu registered processes", registry_.size());
+    for (ProcessContext& ctx : contexts_) {
+      if (ctx.live) {
+        release_process(ctx);
+      }
+    }
+  }
+  HPMMAP_ASSERT(kitten_.all_free(), "module unload leaked offlined memory");
+  for (const auto& ranges : offlined_) {
+    phys_.online_ranges(ranges);
+  }
+}
+
+Errno HpmmapModule::register_process(Pid pid, mm::AddressSpace& as) {
+  if (registry_.find(pid).has_value()) {
+    return Errno::kExist;
+  }
+  // Reuse a dead context slot if one exists.
+  std::uint32_t slot = static_cast<std::uint32_t>(contexts_.size());
+  for (std::uint32_t i = 0; i < contexts_.size(); ++i) {
+    if (!contexts_[i].live) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == contexts_.size()) {
+    contexts_.emplace_back();
+  }
+  ProcessContext& ctx = contexts_[slot];
+  ctx = ProcessContext{};
+  ctx.as = &as;
+  ctx.live = true;
+  // Carve the process's window: heap at the base, mmap bump allocator
+  // above it. Address spaces are per-process so windows can be identical
+  // across processes.
+  ctx.heap_base = mm::AddressLayout::kHpmmapBase;
+  ctx.heap_break = ctx.heap_base;
+  ctx.mmap_cursor = mm::AddressLayout::kHpmmapBase + (mm::AddressLayout::kHpmmapTop -
+                                                      mm::AddressLayout::kHpmmapBase) /
+                                                         2;
+  const bool ok = registry_.insert(pid, slot);
+  HPMMAP_ASSERT(ok, "registry insert after negative find cannot fail");
+  ++stats_.registered;
+  return Errno::kOk;
+}
+
+Errno HpmmapModule::unregister_process(Pid pid) {
+  const auto hit = registry_.find(pid);
+  if (!hit.has_value()) {
+    return Errno::kNoEnt;
+  }
+  release_process(contexts_[hit->context]);
+  registry_.erase(pid);
+  return Errno::kOk;
+}
+
+void HpmmapModule::release_process(ProcessContext& ctx) {
+  // Free every HPMMAP mapping this process still holds.
+  std::vector<Range> regions;
+  ctx.vmas.for_each([&](const mm::Vma& vma) { regions.push_back(vma.range); });
+  for (const Range& r : regions) {
+    unback_region(ctx, r);
+    ctx.vmas.remove(r);
+  }
+  ctx.live = false;
+  ctx.as = nullptr;
+}
+
+HpmmapModule::ProcessContext* HpmmapModule::context_for(Pid pid, Cycles* probe_cost) {
+  const auto hit = registry_.find(pid);
+  if (!hit.has_value()) {
+    return nullptr;
+  }
+  if (probe_cost != nullptr) {
+    *probe_cost = hit->probes * costs_.hpmmap_hash_lookup;
+  }
+  return &contexts_[hit->context];
+}
+
+Errno HpmmapModule::back_region(ProcessContext& ctx, Range range, Prot prot, Cycles& cost) {
+  HPMMAP_ASSERT(is_aligned(range.begin, kLargePageSize) && is_aligned(range.end, kLargePageSize),
+                "HPMMAP regions are large-page granular");
+  struct Chunk {
+    Addr vaddr;
+    Addr phys;
+    std::uint64_t size;
+    ZoneId zone;
+  };
+  std::vector<Chunk> mapped;
+  mm::AddressSpace& as = *ctx.as;
+
+  Addr va = range.begin;
+  while (va < range.end) {
+    // Prefer 1G chunks when enabled, aligned, and fitting.
+    std::uint64_t chunk = kLargePageSize;
+    if (config_.use_1g_pages && is_aligned(va, kHugePageSize) &&
+        range.end - va >= kHugePageSize) {
+      chunk = kHugePageSize;
+    }
+    const ZoneId want = as.zone_for(va);
+    ZoneId zone = want;
+    std::optional<Addr> phys = kitten_.alloc(zone, chunk);
+    if (!phys.has_value()) {
+      // Spill across zones, then shrink 1G -> 2M, before failing.
+      for (ZoneId z = 0; z < kitten_.zone_count() && !phys.has_value(); ++z) {
+        if (z == want) {
+          continue;
+        }
+        phys = kitten_.alloc(z, chunk);
+        zone = z;
+      }
+      if (!phys.has_value() && chunk == kHugePageSize) {
+        chunk = kLargePageSize;
+        zone = want;
+        phys = kitten_.alloc(zone, chunk);
+      }
+    }
+    if (!phys.has_value()) {
+      for (const Chunk& c : mapped) { // rollback, including accounting
+        as.page_table().unmap(c.vaddr, c.size == kHugePageSize ? PageSize::k1G : PageSize::k2M);
+        kitten_.free(c.zone, c.phys, c.size);
+        stats_.bytes_mapped -= c.size;
+        if (c.size == kHugePageSize) {
+          --stats_.map_1g;
+        } else {
+          --stats_.map_2m;
+        }
+      }
+      return Errno::kNoMem;
+    }
+    const PageSize ps = chunk == kHugePageSize ? PageSize::k1G : PageSize::k2M;
+    mm::PtOpStats pt_stats;
+    const Errno err = as.page_table().map(va, *phys, ps, prot, &pt_stats);
+    HPMMAP_ASSERT(err == Errno::kOk, "HPMMAP window collision in the page table");
+    mapped.push_back(Chunk{va, *phys, chunk, zone});
+
+    // On-request backing zeroes the chunk now, at the current channel
+    // contention; lightweight tables skip rmap/LRU entirely.
+    cost += costs_.hpmmap_alloc_base + costs_.hpmmap_pte_install +
+            pt_stats.tables_allocated * costs_.pt_alloc_table;
+    if (config_.on_request) {
+      const double rate = bw_.effective_rate(zone, costs_.zero_bytes_per_cycle);
+      cost += mm::stream_cycles(chunk, rate);
+    }
+    if (ps == PageSize::k1G) {
+      ++stats_.map_1g;
+    } else {
+      ++stats_.map_2m;
+    }
+    stats_.bytes_mapped += chunk;
+    va += chunk;
+  }
+  return Errno::kOk;
+}
+
+Cycles HpmmapModule::unback_region(ProcessContext& ctx, Range range) {
+  Cycles cost = 0;
+  mm::AddressSpace& as = *ctx.as;
+  Addr va = range.begin;
+  while (va < range.end) {
+    const auto t = as.page_table().walk(va);
+    if (!t.has_value()) {
+      va += kLargePageSize; // demand-mode region never touched
+      continue;
+    }
+    const std::uint64_t chunk = bytes(t->size);
+    const Addr phys = align_down(t->phys, chunk);
+    as.page_table().unmap(va, t->size);
+    kitten_.free(phys_.zone_of(phys), phys, chunk);
+    stats_.bytes_mapped -= chunk;
+    cost += costs_.hpmmap_pte_install + costs_.tlb_flush_page;
+    va += chunk;
+  }
+  return cost;
+}
+
+SyscallResult HpmmapModule::mmap(Pid pid, std::uint64_t len, Prot prot) {
+  ++stats_.syscalls_interposed;
+  SyscallResult result;
+  result.cost = costs_.syscall_entry;
+  Cycles probe = 0;
+  ProcessContext* ctx = context_for(pid, &probe);
+  result.cost += probe;
+  if (ctx == nullptr) {
+    result.err = Errno::kNoEnt;
+    return result;
+  }
+  if (len == 0) {
+    result.err = Errno::kInval;
+    return result;
+  }
+  const std::uint64_t aligned = align_up(len, kLargePageSize);
+  const Addr va = ctx->mmap_cursor;
+  const Range region{va, va + aligned};
+  mm::Vma vma;
+  vma.range = region;
+  vma.prot = prot;
+  vma.kind = mm::VmaKind::kAnon;
+  const Errno ins = ctx->vmas.insert(vma);
+  HPMMAP_ASSERT(ins == Errno::kOk, "bump cursor cannot collide");
+  result.cost += 350; // HPMMAP region-list insert: no rb-tree rebalance storm
+
+  if (config_.on_request) {
+    const Errno err = back_region(*ctx, region, prot, result.cost);
+    if (err != Errno::kOk) {
+      ctx->vmas.remove(region);
+      result.err = err;
+      return result;
+    }
+  }
+  ctx->mmap_cursor = region.end + kLargePageSize; // guard gap keeps VMAs unmerged
+  result.addr = va;
+  return result;
+}
+
+SyscallResult HpmmapModule::munmap(Pid pid, Addr addr, std::uint64_t len) {
+  ++stats_.syscalls_interposed;
+  SyscallResult result;
+  result.cost = costs_.syscall_entry;
+  Cycles probe = 0;
+  ProcessContext* ctx = context_for(pid, &probe);
+  result.cost += probe;
+  if (ctx == nullptr) {
+    result.err = Errno::kNoEnt;
+    return result;
+  }
+  if (!is_aligned(addr, kLargePageSize)) {
+    result.err = Errno::kInval;
+    return result;
+  }
+  const Range region{addr, addr + align_up(len, kLargePageSize)};
+  result.cost += unback_region(*ctx, region) + 350;
+  ctx->vmas.remove(region);
+  return result;
+}
+
+SyscallResult HpmmapModule::brk(Pid pid, Addr new_break) {
+  ++stats_.syscalls_interposed;
+  SyscallResult result;
+  result.cost = costs_.syscall_entry;
+  Cycles probe = 0;
+  ProcessContext* ctx = context_for(pid, &probe);
+  result.cost += probe;
+  if (ctx == nullptr) {
+    result.err = Errno::kNoEnt;
+    return result;
+  }
+  if (new_break == 0) { // query, like sbrk(0)
+    result.addr = ctx->heap_break;
+    return result;
+  }
+  if (new_break < ctx->heap_base) {
+    result.err = Errno::kInval;
+    return result;
+  }
+  const Addr old_top = align_up(ctx->heap_break, kLargePageSize);
+  const Addr new_top = align_up(new_break, kLargePageSize);
+  if (new_top > old_top) {
+    const Range grow{old_top, new_top};
+    mm::Vma vma;
+    vma.range = grow;
+    vma.prot = kProtRW;
+    vma.kind = mm::VmaKind::kHeap;
+    const Errno ins = ctx->vmas.insert(vma);
+    HPMMAP_ASSERT(ins == Errno::kOk, "heap growth collided in HPMMAP window");
+    if (config_.on_request) {
+      const Errno err = back_region(*ctx, grow, kProtRW, result.cost);
+      if (err != Errno::kOk) {
+        ctx->vmas.remove(grow);
+        result.err = err;
+        return result;
+      }
+    }
+  } else if (new_top < old_top) {
+    const Range shrink{new_top, old_top};
+    result.cost += unback_region(*ctx, shrink);
+    ctx->vmas.remove(shrink);
+  }
+  ctx->heap_break = new_break;
+  result.addr = new_break;
+  return result;
+}
+
+SyscallResult HpmmapModule::mprotect(Pid pid, Addr addr, std::uint64_t len, Prot prot) {
+  ++stats_.syscalls_interposed;
+  SyscallResult result;
+  result.cost = costs_.syscall_entry;
+  Cycles probe = 0;
+  ProcessContext* ctx = context_for(pid, &probe);
+  result.cost += probe;
+  if (ctx == nullptr) {
+    result.err = Errno::kNoEnt;
+    return result;
+  }
+  const Range region{align_down(addr, kLargePageSize), align_up(addr + len, kLargePageSize)};
+  const Errno err = ctx->vmas.protect(region, prot);
+  if (err != Errno::kOk) {
+    result.err = err;
+    return result;
+  }
+  // Update installed leaves.
+  mm::AddressSpace& as = *ctx->as;
+  for (Addr va = region.begin; va < region.end;) {
+    const auto t = as.page_table().walk(va);
+    if (t.has_value()) {
+      as.page_table().protect(align_down(va, bytes(t->size)), t->size, prot);
+      result.cost += costs_.hpmmap_pte_install;
+      va += bytes(t->size);
+    } else {
+      va += kLargePageSize;
+    }
+  }
+  result.cost += costs_.tlb_flush_full;
+  return result;
+}
+
+mm::FaultResult HpmmapModule::fault(Pid pid, Addr vaddr, Cycles now) {
+  (void)now;
+  mm::FaultResult result;
+  Cycles probe = 0;
+  ProcessContext* ctx = context_for(pid, &probe);
+  result.cost = costs_.fault_entry + probe;
+  if (ctx == nullptr) {
+    result.err = Errno::kFault;
+    result.kind = mm::FaultKind::kInvalid;
+    return result;
+  }
+  const mm::Vma* vma = ctx->vmas.find(vaddr);
+  if (vma == nullptr) {
+    result.err = Errno::kFault;
+    result.kind = mm::FaultKind::kInvalid;
+    return result;
+  }
+  if (const auto t = ctx->as->page_table().walk(vaddr); t.has_value()) {
+    // On-request backing means this is a spurious fault (TLB refill
+    // race); it must never happen for correctness-visible reasons.
+    ++stats_.spurious_faults;
+    result.kind = mm::FaultKind::kLarge;
+    result.used = t->size;
+    result.cost += costs_.hpmmap_pte_install;
+    return result;
+  }
+  HPMMAP_ASSERT(!config_.on_request,
+                "on-request HPMMAP region had an unbacked valid page — invariant broken");
+  // Demand-paging ablation: back exactly one large chunk.
+  const Addr base = align_down(vaddr, kLargePageSize);
+  const Range chunk{base, base + kLargePageSize};
+  const Errno err = back_region(*ctx, chunk, vma->prot, result.cost);
+  if (err != Errno::kOk) {
+    result.err = Errno::kNoMem;
+    result.kind = mm::FaultKind::kInvalid;
+    return result;
+  }
+  ++stats_.demand_faults;
+  result.kind = mm::FaultKind::kLarge;
+  result.used = PageSize::k2M;
+  return result;
+}
+
+} // namespace hpmmap::core

@@ -1,0 +1,136 @@
+// The HPMMAP kernel module (§III).
+//
+// Lifecycle mirrors the real module: at load it hot-removes a configured
+// amount of memory per NUMA zone from Linux and adopts it with a
+// Kitten-style allocator; a user-level launch tool registers PIDs; every
+// interposed address-space syscall (mmap, munmap, brk, mprotect — the
+// set the paper names) checks the PID hash and, on a hit, is served from
+// HPMMAP's own state:
+//
+//   - on-request allocation: virtual regions are backed *immediately*,
+//     so valid accesses never fault (§III-A);
+//   - large pages (2M default, 1G where enabled) are the fundamental
+//     allocation unit;
+//   - mappings are installed directly in the process page table, inside
+//     a region of the 48-bit space Linux never uses (§III-B), tracked by
+//     HPMMAP's own VMA list, fully independent of Linux's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/kitten_allocator.hpp"
+#include "core/pid_registry.hpp"
+#include "hw/bandwidth.hpp"
+#include "hw/phys_mem.hpp"
+#include "linux_mm/address_space.hpp"
+#include "linux_mm/cost_model.hpp"
+#include "linux_mm/fault.hpp"
+
+namespace hpmmap::core {
+
+struct ModuleConfig {
+  /// Memory hot-removed from each zone at module load (§IV: 12 of 16 GB
+  /// on the single-node testbed, split evenly across two zones).
+  std::uint64_t offline_bytes_per_zone = 6 * GiB;
+  /// Fundamental allocation unit (§III-A: 2M default, up to 1G).
+  bool use_1g_pages = false;
+  /// On-request backing (the paper's policy). False switches HPMMAP to
+  /// demand paging over large pages — the A2 ablation.
+  bool on_request = true;
+};
+
+struct ModuleStats {
+  std::uint64_t syscalls_interposed = 0;
+  std::uint64_t registered = 0;
+  std::uint64_t bytes_mapped = 0;
+  std::uint64_t map_2m = 0;
+  std::uint64_t map_1g = 0;
+  std::uint64_t demand_faults = 0; // only in the A2 ablation
+  std::uint64_t spurious_faults = 0;
+};
+
+struct SyscallResult {
+  Errno err = Errno::kOk;
+  Addr addr = 0;
+  Cycles cost = 0;
+};
+
+class HpmmapModule {
+ public:
+  /// Module load: offline memory from every zone. The caller must
+  /// (re)build its Linux MemorySystem afterwards, as the kernel would
+  /// rebuild zone freelists after hot-remove.
+  HpmmapModule(hw::PhysicalMemory& phys, hw::BandwidthModel& bw, const mm::CostModel& costs,
+               Rng rng, ModuleConfig config);
+
+  /// Module unload: every process must be unregistered; returns the
+  /// offlined memory to Linux ownership.
+  ~HpmmapModule();
+
+  HpmmapModule(const HpmmapModule&) = delete;
+  HpmmapModule& operator=(const HpmmapModule&) = delete;
+
+  // --- registration (the user-level launch tool, Figure 6) --------------
+  Errno register_process(Pid pid, mm::AddressSpace& as);
+  Errno unregister_process(Pid pid);
+  [[nodiscard]] bool handles(Pid pid) const { return registry_.find(pid).has_value(); }
+
+  // --- interposed syscalls -----------------------------------------------
+  SyscallResult mmap(Pid pid, std::uint64_t len, Prot prot);
+  SyscallResult munmap(Pid pid, Addr addr, std::uint64_t len);
+  /// brk with an absolute program break, like the real syscall.
+  SyscallResult brk(Pid pid, Addr new_break);
+  SyscallResult mprotect(Pid pid, Addr addr, std::uint64_t len, Prot prot);
+
+  /// Fault on an HPMMAP-managed address. With on-request allocation this
+  /// only happens for invalid accesses; in the demand-paging ablation it
+  /// backs one large chunk.
+  mm::FaultResult fault(Pid pid, Addr vaddr, Cycles now);
+
+  /// Does `vaddr` fall in the HPMMAP-managed window?
+  [[nodiscard]] static bool in_window(Addr vaddr) noexcept {
+    return vaddr >= mm::AddressLayout::kHpmmapBase && vaddr < mm::AddressLayout::kHpmmapTop;
+  }
+
+  [[nodiscard]] const ModuleStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const KittenAllocator& allocator() const noexcept { return kitten_; }
+  /// Mutable allocator access for diagnostics/benchmarks (the real
+  /// module exposes its pool state through debugfs similarly).
+  [[nodiscard]] KittenAllocator& allocator_mut() noexcept { return kitten_; }
+  [[nodiscard]] const ModuleConfig& config() const noexcept { return config_; }
+
+ private:
+  struct ProcessContext {
+    mm::AddressSpace* as = nullptr;
+    mm::VmaTree vmas;      // HPMMAP's own region list, independent of Linux's
+    Addr mmap_cursor = 0;  // bump pointer inside the window
+    Addr heap_base = 0;
+    Addr heap_break = 0;
+    bool live = false;
+  };
+
+  [[nodiscard]] ProcessContext* context_for(Pid pid, Cycles* probe_cost);
+  /// Back [vaddr, vaddr+len) with large pages; returns cycles or ENOMEM
+  /// (with full rollback).
+  Errno back_region(ProcessContext& ctx, Range range, Prot prot, Cycles& cost);
+  /// Remove backing and mappings for [vaddr, vaddr+len).
+  Cycles unback_region(ProcessContext& ctx, Range range);
+  void release_process(ProcessContext& ctx);
+
+  hw::PhysicalMemory& phys_;
+  hw::BandwidthModel& bw_;
+  mm::CostModel costs_;
+  Rng rng_;
+  ModuleConfig config_;
+  std::vector<std::vector<Range>> offlined_;
+  KittenAllocator kitten_;
+  PidRegistry registry_;
+  std::vector<ProcessContext> contexts_;
+  ModuleStats stats_;
+};
+
+} // namespace hpmmap::core

@@ -1,0 +1,92 @@
+#include "core/pid_registry.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace hpmmap::core {
+
+PidRegistry::PidRegistry(std::size_t initial_buckets) {
+  HPMMAP_ASSERT(initial_buckets >= 2, "registry needs at least two buckets");
+  slots_.resize(std::bit_ceil(initial_buckets));
+}
+
+std::size_t PidRegistry::hash(Pid pid, std::size_t buckets) noexcept {
+  // Fibonacci hashing; buckets is always a power of two.
+  const std::uint64_t h = static_cast<std::uint64_t>(pid) * 0x9e3779b97f4a7c15ull;
+  return static_cast<std::size_t>(h >> (64 - std::bit_width(buckets - 1)));
+}
+
+void PidRegistry::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  size_ = 0;
+  tombstones_ = 0;
+  for (const Slot& s : old) {
+    if (s.state == State::kUsed) {
+      insert(s.pid, s.context);
+    }
+  }
+}
+
+bool PidRegistry::insert(Pid pid, std::uint32_t context) {
+  if ((size_ + tombstones_ + 1) * 4 >= slots_.size() * 3) {
+    grow(); // keep load factor under 3/4 including tombstones
+  }
+  std::size_t idx = hash(pid, slots_.size());
+  std::size_t first_tombstone = slots_.size();
+  for (std::size_t probe = 0; probe < slots_.size(); ++probe) {
+    Slot& s = slots_[(idx + probe) & (slots_.size() - 1)];
+    if (s.state == State::kUsed && s.pid == pid) {
+      return false;
+    }
+    if (s.state == State::kTombstone && first_tombstone == slots_.size()) {
+      first_tombstone = (idx + probe) & (slots_.size() - 1);
+      continue;
+    }
+    if (s.state == State::kEmpty) {
+      Slot& target = first_tombstone != slots_.size() ? slots_[first_tombstone] : s;
+      if (target.state == State::kTombstone) {
+        --tombstones_;
+      }
+      target = Slot{State::kUsed, pid, context};
+      ++size_;
+      return true;
+    }
+  }
+  HPMMAP_ASSERT(false, "registry full despite load-factor guard");
+  return false;
+}
+
+std::optional<PidRegistry::Hit> PidRegistry::find(Pid pid) const {
+  const std::size_t idx = hash(pid, slots_.size());
+  for (std::size_t probe = 0; probe < slots_.size(); ++probe) {
+    const Slot& s = slots_[(idx + probe) & (slots_.size() - 1)];
+    if (s.state == State::kEmpty) {
+      return std::nullopt;
+    }
+    if (s.state == State::kUsed && s.pid == pid) {
+      return Hit{s.context, static_cast<unsigned>(probe + 1)};
+    }
+  }
+  return std::nullopt;
+}
+
+bool PidRegistry::erase(Pid pid) {
+  const std::size_t idx = hash(pid, slots_.size());
+  for (std::size_t probe = 0; probe < slots_.size(); ++probe) {
+    Slot& s = slots_[(idx + probe) & (slots_.size() - 1)];
+    if (s.state == State::kEmpty) {
+      return false;
+    }
+    if (s.state == State::kUsed && s.pid == pid) {
+      s.state = State::kTombstone;
+      --size_;
+      ++tombstones_;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace hpmmap::core

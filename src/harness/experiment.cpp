@@ -1,0 +1,261 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "cluster/network.hpp"
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "os/node.hpp"
+#include "sim/engine.hpp"
+#include "workloads/kernel_build.hpp"
+#include "workloads/mpi_app.hpp"
+
+namespace hpmmap::harness {
+namespace {
+
+os::NodeConfig node_config_for(Manager manager, const hw::MachineSpec& machine,
+                               std::uint64_t offline_per_zone, std::uint64_t seed,
+                               const std::string& node_name) {
+  os::NodeConfig cfg;
+  cfg.machine = machine;
+  cfg.seed = seed;
+  cfg.name = node_name;
+  switch (manager) {
+    case Manager::kThp:
+      cfg.thp_enabled = true;
+      break;
+    case Manager::kHugetlbfs:
+      // §IV: "THP was disabled and Linux had no large page support for
+      // the commodity workload".
+      cfg.thp_enabled = false;
+      cfg.hugetlb_pool_per_zone = offline_per_zone;
+      break;
+    case Manager::kHpmmap: {
+      // §IV: "HPMMAP managed the HPC workload while THP managed the
+      // commodity workload".
+      cfg.thp_enabled = true;
+      core::ModuleConfig mod;
+      mod.offline_bytes_per_zone = offline_per_zone;
+      cfg.hpmmap = mod;
+      break;
+    }
+  }
+  return cfg;
+}
+
+os::MmPolicy policy_for(Manager manager) {
+  switch (manager) {
+    case Manager::kThp:       return os::MmPolicy::kLinuxThp;
+    case Manager::kHugetlbfs: return os::MmPolicy::kHugetlbfs;
+    case Manager::kHpmmap:    return os::MmPolicy::kHpmmap;
+  }
+  return os::MmPolicy::kLinuxThp;
+}
+
+/// §IV pinning: half the ranks on each socket's cores; rank 0 alone
+/// takes all memory from one zone.
+std::vector<workloads::RankPlacement> placements(os::Node& node, std::uint32_t ranks) {
+  std::vector<workloads::RankPlacement> out;
+  const std::uint32_t per_socket = node.spec().cores_per_socket;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    workloads::RankPlacement p;
+    p.node = &node;
+    const bool second_socket = r >= (ranks + 1) / 2;
+    const std::uint32_t idx = second_socket ? r - (ranks + 1) / 2 : r;
+    HPMMAP_ASSERT(idx < per_socket, "more ranks than cores per socket half");
+    p.core = static_cast<std::int32_t>(second_socket ? per_socket + idx : idx);
+    p.home_zone = second_socket ? 1 : 0;
+    p.zone_policy = ranks == 1 ? mm::AddressSpace::ZonePolicy::kSingle
+                               : mm::AddressSpace::ZonePolicy::kInterleave;
+    out.push_back(p);
+  }
+  return out;
+}
+
+workloads::AppProfile scaled_profile(const std::string& app, double clock_hz,
+                                     double footprint_scale, double duration_scale) {
+  workloads::AppProfile prof = workloads::profile_by_name(app, clock_hz);
+  prof.bytes_per_rank = align_up(
+      static_cast<std::uint64_t>(static_cast<double>(prof.bytes_per_rank) * footprint_scale),
+      kLargePageSize);
+  prof.misc_bytes = align_up(
+      static_cast<std::uint64_t>(static_cast<double>(prof.misc_bytes) * footprint_scale),
+      kSmallPageSize);
+  prof.iterations = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(prof.iterations) * duration_scale));
+  return prof;
+}
+
+RunResult collect(workloads::MpiJob& job, os::Node& first_node, bool record_trace,
+                  Cycles job_start) {
+  RunResult result;
+  result.runtime_seconds = job.runtime_seconds();
+  result.faults = job.aggregate_faults();
+  result.trace_t0 = job_start;
+
+  // Per-kind distributions need per-fault samples: pull them from the
+  // rank traces when recording was on.
+  if (record_trace) {
+    RunningStats stats[4];
+    for (std::size_t r = 0; r < job.rank_count(); ++r) {
+      for (const os::FaultRecord& rec : job.rank_process(r).trace()) {
+        stats[static_cast<std::size_t>(rec.kind)].add(static_cast<double>(rec.cost));
+        result.trace.push_back(rec);
+      }
+    }
+    std::sort(result.trace.begin(), result.trace.end(),
+              [](const os::FaultRecord& a, const os::FaultRecord& b) { return a.when < b.when; });
+    for (std::size_t k = 0; k < 4; ++k) {
+      result.by_kind[k].total_faults = stats[k].count();
+      result.by_kind[k].avg_cycles = stats[k].mean();
+      result.by_kind[k].stdev_cycles = stats[k].stdev();
+    }
+  } else {
+    for (std::size_t k = 0; k < 4; ++k) {
+      result.by_kind[k].total_faults = result.faults.count[k];
+      result.by_kind[k].avg_cycles =
+          result.faults.count[k] > 0
+              ? static_cast<double>(result.faults.total_cycles[k]) /
+                    static_cast<double>(result.faults.count[k])
+              : 0.0;
+    }
+  }
+  if (first_node.thp() != nullptr) {
+    result.thp_merges = first_node.thp()->stats().merges_completed;
+  }
+  if (first_node.hpmmap_module() != nullptr) {
+    result.hpmmap_spurious_faults = first_node.hpmmap_module()->stats().spurious_faults;
+  }
+  return result;
+}
+
+} // namespace
+
+RunResult run_single_node(const SingleNodeRunConfig& config) {
+  sim::Engine engine;
+  const hw::MachineSpec machine = hw::dell_r415();
+  // §IV: 12 of 16 GB reserved/offlined, split across the two zones.
+  // Scaled-down runs (tests) reserve proportionally less so the Linux
+  // side keeps its 4 GB.
+  const std::uint64_t pool = std::min<std::uint64_t>(
+      align_up(static_cast<std::uint64_t>(static_cast<double>(6 * GiB) *
+                                          config.footprint_scale),
+               kMemorySectionSize),
+      6 * GiB);
+
+  os::Node node(engine,
+                node_config_for(config.manager, machine, pool, config.seed, "r415"));
+
+  // Commodity competition.
+  std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
+  Rng rng(config.seed);
+  for (std::uint32_t b = 0; b < config.commodity.builds; ++b) {
+    workloads::KernelBuildConfig bc;
+    bc.jobs = config.commodity.jobs_per_build;
+    builds.push_back(std::make_unique<workloads::KernelBuild>(
+        node, bc, rng.fork("build").fork(b)));
+    builds.back()->start();
+  }
+  // Let the builds reach steady state (page cache warm, fragmentation
+  // developing) before the benchmark launches.
+  const double warmup = config.commodity.builds > 0 ? 1.5 : 0.1;
+  engine.run_until(machine.cycles(warmup));
+
+  workloads::MpiJobConfig jc;
+  jc.app = scaled_profile(config.app, machine.clock_hz, config.footprint_scale,
+                          config.duration_scale);
+  jc.policy = policy_for(config.manager);
+  jc.ranks = placements(node, config.app_cores);
+  jc.record_trace = config.record_trace;
+  workloads::MpiJob job(engine, jc);
+  const Cycles job_start = engine.now();
+  job.start([&engine] { engine.stop(); });
+  engine.run();
+  HPMMAP_ASSERT(job.done(), "engine drained before the job completed");
+
+  for (auto& build : builds) {
+    build->stop();
+  }
+  return collect(job, node, config.record_trace, job_start);
+}
+
+RunResult run_scaling(const ScalingRunConfig& config) {
+  sim::Engine engine;
+  const hw::MachineSpec machine = hw::sandia_xeon_node();
+  // §IV: 20 of 24 GB offlined per node, split across the two zones.
+  const std::uint64_t pool = 10 * GiB;
+
+  std::vector<std::unique_ptr<os::Node>> nodes;
+  for (std::uint32_t n = 0; n < config.nodes; ++n) {
+    nodes.push_back(std::make_unique<os::Node>(
+        engine, node_config_for(config.manager, machine, pool,
+                                config.seed + 7919ull * n, "xeon" + std::to_string(n))));
+  }
+
+  std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
+  Rng rng(config.seed);
+  for (std::uint32_t n = 0; n < config.nodes; ++n) {
+    for (std::uint32_t b = 0; b < config.commodity.builds; ++b) {
+      workloads::KernelBuildConfig bc;
+      bc.jobs = config.commodity.jobs_per_build;
+      builds.push_back(std::make_unique<workloads::KernelBuild>(
+          *nodes[n], bc, rng.fork("build").fork(n * 16 + b)));
+      builds.back()->start();
+    }
+  }
+  const double warmup = config.commodity.builds > 0 ? 1.5 : 0.1;
+  engine.run_until(machine.cycles(warmup));
+
+  workloads::MpiJobConfig jc;
+  jc.app = scaled_profile(config.app, machine.clock_hz, config.footprint_scale,
+                          config.duration_scale);
+  // §IV-C: inputs chosen "to maximize the memory utilization" — on the
+  // 24 GB nodes, 4 ranks split the 20 GB reservation, not the single-node
+  // footprint.
+  const std::uint64_t budget_per_rank =
+      (2 * pool * 92 / 100) / config.ranks_per_node - jc.app.misc_bytes;
+  jc.app.bytes_per_rank = align_up(
+      static_cast<std::uint64_t>(static_cast<double>(budget_per_rank) *
+                                 config.footprint_scale),
+      kLargePageSize);
+  jc.policy = policy_for(config.manager);
+  for (std::uint32_t n = 0; n < config.nodes; ++n) {
+    for (const workloads::RankPlacement& p : placements(*nodes[n], config.ranks_per_node)) {
+      jc.ranks.push_back(p);
+    }
+  }
+  cluster::EthernetSpec eth;
+  jc.comm = cluster::ethernet_comm(eth, machine.clock_hz, config.nodes, rng.fork("net"));
+
+  workloads::MpiJob job(engine, jc);
+  const Cycles job_start = engine.now();
+  job.start([&engine] { engine.stop(); });
+  engine.run();
+  HPMMAP_ASSERT(job.done(), "engine drained before the job completed");
+
+  for (auto& build : builds) {
+    build->stop();
+  }
+  return collect(job, *nodes.front(), /*record_trace=*/false, job_start);
+}
+
+SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials) {
+  RunningStats stats;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    config.seed = config.seed * 2654435761ull + t + 1;
+    stats.add(run_single_node(config).runtime_seconds);
+  }
+  return SeriesPoint{stats.mean(), stats.stdev(), trials};
+}
+
+SeriesPoint run_trials(ScalingRunConfig config, std::uint32_t trials) {
+  RunningStats stats;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    config.seed = config.seed * 2654435761ull + t + 1;
+    stats.add(run_scaling(config).runtime_seconds);
+  }
+  return SeriesPoint{stats.mean(), stats.stdev(), trials};
+}
+
+} // namespace hpmmap::harness

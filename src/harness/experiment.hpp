@@ -1,0 +1,89 @@
+// Experiment harness: builds a configured machine, co-locates an HPC job
+// with a commodity profile, runs it to completion on the event engine,
+// and reports what the paper's figures report (runtime mean/stdev over
+// trials, per-kind fault statistics, fault traces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "linux_mm/fault.hpp"
+#include "os/process.hpp"
+#include "workloads/profiles.hpp"
+
+namespace hpmmap::harness {
+
+/// The three memory-manager configurations of §IV: for THP, THP manages
+/// both workloads; for HugeTLBfs, pools back the app and THP is off; for
+/// HPMMAP, the module backs the app and THP manages the commodity side.
+enum class Manager : std::uint8_t { kThp, kHugetlbfs, kHpmmap };
+
+[[nodiscard]] constexpr std::string_view name(Manager m) noexcept {
+  switch (m) {
+    case Manager::kThp:       return "Linux (THP)";
+    case Manager::kHugetlbfs: return "Linux (HugeTLBfs)";
+    case Manager::kHpmmap:    return "HPMMAP";
+  }
+  return "?";
+}
+
+struct SingleNodeRunConfig {
+  std::string app = "miniMD";
+  Manager manager = Manager::kThp;
+  workloads::CommodityProfile commodity{};
+  std::uint32_t app_cores = 8;
+  std::uint64_t seed = 1;
+  bool record_trace = false;
+  /// Scale the app footprint/iterations (quick modes for tests).
+  double footprint_scale = 1.0;
+  double duration_scale = 1.0;
+};
+
+/// Per-kind fault-cost distribution, as Figure 2/3 tabulates.
+struct FaultKindSummary {
+  std::uint64_t total_faults = 0;
+  double avg_cycles = 0.0;
+  double stdev_cycles = 0.0;
+};
+
+struct RunResult {
+  double runtime_seconds = 0.0;
+  mm::FaultStats faults;
+  FaultKindSummary by_kind[4]; // indexed by mm::FaultKind
+  std::vector<os::FaultRecord> trace; // merged, time-sorted (if recorded)
+  Cycles trace_t0 = 0;                // job start, for normalizing trace time
+  std::uint64_t thp_merges = 0;
+  std::uint64_t hpmmap_spurious_faults = 0;
+};
+
+/// Run one single-node trial (Dell R415 model).
+[[nodiscard]] RunResult run_single_node(const SingleNodeRunConfig& config);
+
+struct ScalingRunConfig {
+  std::string app = "HPCCG";
+  Manager manager = Manager::kThp; // HugeTLBfs omitted at scale (§IV-C)
+  workloads::CommodityProfile commodity{};
+  std::uint32_t nodes = 1;
+  std::uint32_t ranks_per_node = 4;
+  std::uint64_t seed = 1;
+  double footprint_scale = 1.0;
+  double duration_scale = 1.0;
+};
+
+/// Run one multi-node trial (Sandia Xeon cluster model, 1 GbE).
+[[nodiscard]] RunResult run_scaling(const ScalingRunConfig& config);
+
+/// Mean/stdev of runtime over `trials` seeds — one point of Figure 7/8.
+struct SeriesPoint {
+  double mean_seconds = 0.0;
+  double stdev_seconds = 0.0;
+  std::uint32_t trials = 0;
+};
+
+[[nodiscard]] SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials);
+[[nodiscard]] SeriesPoint run_trials(ScalingRunConfig config, std::uint32_t trials);
+
+} // namespace hpmmap::harness

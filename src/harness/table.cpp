@@ -1,0 +1,107 @@
+#include "harness/table.hpp"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace hpmmap::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HPMMAP_ASSERT(cells.size() == headers_.size(), "row width must match headers");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto fmt_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (std::size_t w : widths) {
+    sep += std::string(w + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + fmt_row(headers_) + sep;
+  for (const auto& row : rows_) {
+    out += fmt_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  const auto write_row = [&f](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        f << ',';
+      }
+      const bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        f << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') {
+            f << '"';
+          }
+          f << ch;
+        }
+        f << '"';
+      } else {
+        f << row[c];
+      }
+    }
+    f << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) {
+    write_row(row);
+  }
+  return static_cast<bool>(f);
+}
+
+std::string with_commas(std::uint64_t value) {
+  char raw[32];
+  std::snprintf(raw, sizeof raw, "%" PRIu64, value);
+  std::string s(raw);
+  std::string out;
+  const std::size_t n = s.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out += s[i];
+    const std::size_t remaining = n - i - 1;
+    if (remaining > 0 && remaining % 3 == 0) {
+      out += ',';
+    }
+  }
+  return out;
+}
+
+std::string fixed(double value, int decimals) {
+  char raw[64];
+  std::snprintf(raw, sizeof raw, "%.*f", decimals, value);
+  return std::string(raw);
+}
+
+} // namespace hpmmap::harness

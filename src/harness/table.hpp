@@ -1,0 +1,34 @@
+// ASCII table / CSV output for the figure-regeneration benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpmmap::harness {
+
+/// Fixed-width table: set headers, add rows, print. Cells are strings;
+/// numeric helpers format the way the paper's tables do.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+  /// Write rows as CSV (for replotting) to `path`; returns success.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1,768" style thousands separation (Figure 2/3 use it).
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+/// Fixed-point with n decimals.
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+} // namespace hpmmap::harness

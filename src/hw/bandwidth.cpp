@@ -1,0 +1,67 @@
+#include "hw/bandwidth.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hpmmap::hw {
+
+BandwidthModel::BandwidthModel(std::uint32_t zones, double zone_capacity_bytes_per_cycle)
+    : zone_demand_(zones, 0.0), capacity_(zone_capacity_bytes_per_cycle) {
+  HPMMAP_ASSERT(zones > 0, "need at least one zone");
+  HPMMAP_ASSERT(capacity_ > 0.0, "zone bandwidth must be positive");
+}
+
+BandwidthModel::Consumer BandwidthModel::register_consumer() { return Consumer{next_id_++}; }
+
+void BandwidthModel::set_demand(Consumer c, ZoneId zone, double bytes_per_cycle) {
+  HPMMAP_ASSERT(zone < zone_demand_.size(), "zone out of range");
+  HPMMAP_ASSERT(bytes_per_cycle >= 0.0, "demand cannot be negative");
+  for (Entry& e : entries_) {
+    if (e.consumer == c.id && e.zone == zone) {
+      zone_demand_[zone] += bytes_per_cycle - e.demand;
+      e.demand = bytes_per_cycle;
+      return;
+    }
+  }
+  entries_.push_back(Entry{c.id, zone, bytes_per_cycle});
+  zone_demand_[zone] += bytes_per_cycle;
+}
+
+void BandwidthModel::clear_demand(Consumer c) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->consumer == c.id) {
+      zone_demand_[it->zone] -= it->demand;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double BandwidthModel::contention_factor(ZoneId zone) const noexcept {
+  if (zone >= zone_demand_.size()) {
+    return 1.0;
+  }
+  const double demand = zone_demand_[zone];
+  return demand <= capacity_ ? 1.0 : demand / capacity_;
+}
+
+double BandwidthModel::effective_rate(ZoneId zone, double bytes_per_cycle) const noexcept {
+  if (zone >= zone_demand_.size()) {
+    return bytes_per_cycle;
+  }
+  const double others = zone_demand_[zone];
+  const double total = others + bytes_per_cycle;
+  if (total <= capacity_) {
+    return bytes_per_cycle;
+  }
+  // Proportional sharing of the saturated channel.
+  return capacity_ * bytes_per_cycle / total;
+}
+
+double BandwidthModel::total_demand(ZoneId zone) const noexcept {
+  return zone < zone_demand_.size() ? zone_demand_[zone] : 0.0;
+}
+
+} // namespace hpmmap::hw

@@ -1,0 +1,40 @@
+#include "hw/machine.hpp"
+
+namespace hpmmap::hw {
+
+MachineSpec dell_r415() {
+  MachineSpec spec;
+  spec.model = "Dell R415 (2x Opteron 4174, 16GB)";
+  spec.sockets = 2;
+  spec.cores_per_socket = 6;
+  spec.numa_zones = 2;
+  spec.ram_bytes = 16 * GiB;
+  spec.clock_hz = 2.3e9;
+  spec.zone_bandwidth_bytes_per_cycle = 5.6; // ~12.8 GB/s DDR3-1333 per zone
+  // K10 family: 48-entry fully-assoc L1 DTLB (4K+2M), 512-entry L2 (4K),
+  // 128-entry L2 for 2M pages; modelled with the unified-L2 approximation.
+  spec.tlb.l1_entries_4k = 48;
+  spec.tlb.l1_entries_2m = 48;
+  spec.tlb.l1_entries_1g = 0; // no 1G data TLB on this part
+  spec.tlb.l2_entries = 512;
+  return spec;
+}
+
+MachineSpec sandia_xeon_node() {
+  MachineSpec spec;
+  spec.model = "Sandia cluster node (2x Xeon X5570, 24GB, 1GbE)";
+  spec.sockets = 2;
+  spec.cores_per_socket = 4;
+  spec.numa_zones = 2;
+  spec.ram_bytes = 24 * GiB;
+  spec.clock_hz = 2.93e9;
+  spec.zone_bandwidth_bytes_per_cycle = 8.7; // ~25.6 GB/s QPI-attached DDR3
+  // Nehalem: 64-entry L1 DTLB 4K, 32-entry 2M, 512-entry unified L2.
+  spec.tlb.l1_entries_4k = 64;
+  spec.tlb.l1_entries_2m = 32;
+  spec.tlb.l1_entries_1g = 0;
+  spec.tlb.l2_entries = 512;
+  return spec;
+}
+
+} // namespace hpmmap::hw

@@ -1,0 +1,70 @@
+// Machine descriptions for the two testbeds in the paper's evaluation
+// (§IV): a Dell R415 for the single-node study and the nodes of an 8-node
+// Sandia cluster for the scaling study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace hpmmap::hw {
+
+/// TLB geometry. Reach = entries x page size; the model in tlb.hpp turns
+/// geometry + working-set size into a per-access miss probability.
+struct TlbSpec {
+  std::uint32_t l1_entries_4k = 64;
+  std::uint32_t l1_entries_2m = 32;
+  std::uint32_t l1_entries_1g = 4;
+  std::uint32_t l2_entries = 512;    // unified second-level TLB (4K/2M)
+  bool l2_holds_1g = false;
+
+  /// Page-walk latencies in cycles when the walk misses all paging
+  /// caches. At multi-GB working sets the page-table pages themselves
+  /// fall out of the data caches, so each level costs roughly a DRAM
+  /// access; shorter tables -> fewer levels -> cheaper walks (§II:
+  /// "shorter page table walks").
+  Cycles walk_cycles_4k = 160;
+  Cycles walk_cycles_2m = 90;
+  Cycles walk_cycles_1g = 45;
+};
+
+struct MachineSpec {
+  std::string model;
+  std::uint32_t sockets = 2;
+  std::uint32_t cores_per_socket = 6;
+  std::uint32_t numa_zones = 2;
+  std::uint64_t ram_bytes = 16 * GiB;
+  double clock_hz = 2.3e9;
+
+  /// Peak DRAM streaming rate per NUMA zone, in bytes per core-cycle.
+  /// Used by the bandwidth contention model, not for cycle-exact DRAM.
+  double zone_bandwidth_bytes_per_cycle = 5.6;
+
+  TlbSpec tlb;
+
+  [[nodiscard]] std::uint32_t total_cores() const noexcept {
+    return sockets * cores_per_socket;
+  }
+  [[nodiscard]] std::uint64_t ram_per_zone() const noexcept {
+    return ram_bytes / numa_zones;
+  }
+  /// Convert simulated cycles to seconds at this machine's clock.
+  [[nodiscard]] double seconds(Cycles c) const noexcept {
+    return static_cast<double>(c) / clock_hz;
+  }
+  [[nodiscard]] Cycles cycles(double secs) const noexcept {
+    return static_cast<Cycles>(secs * clock_hz);
+  }
+};
+
+/// Single-node testbed: Dell R415, 2x 6-core Opteron 4174 @ 2.3 GHz,
+/// 16 GB RAM, two NUMA zones, interleaving disabled (§IV).
+[[nodiscard]] MachineSpec dell_r415();
+
+/// Scaling testbed node: 2x 4-core Xeon X5570 @ 2.93 GHz, 24 GB RAM,
+/// two NUMA zones, 1 Gbit NIC (§IV).
+[[nodiscard]] MachineSpec sandia_xeon_node();
+
+} // namespace hpmmap::hw

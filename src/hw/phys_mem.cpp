@@ -1,0 +1,97 @@
+#include "hw/phys_mem.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hpmmap::hw {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t ram_bytes, std::uint32_t zone_count) {
+  HPMMAP_ASSERT(zone_count > 0, "at least one NUMA zone required");
+  HPMMAP_ASSERT(ram_bytes % (kMemorySectionSize * zone_count) == 0,
+                "RAM must divide evenly into 128MiB sections per zone");
+  total_bytes_ = ram_bytes;
+  const std::uint64_t per_zone = ram_bytes / zone_count;
+  Addr cursor = 0;
+  for (ZoneId z = 0; z < zone_count; ++z) {
+    Zone zone;
+    zone.id = z;
+    zone.range = Range{cursor, cursor + per_zone};
+    zone.online_bytes = per_zone;
+    zones_.push_back(zone);
+    for (Addr s = cursor; s < cursor + per_zone; s += kMemorySectionSize) {
+      sections_.push_back(Section{Range{s, s + kMemorySectionSize}, z, SectionOwner::kLinux});
+    }
+    cursor += per_zone;
+  }
+}
+
+std::vector<Range> PhysicalMemory::offline_bytes(ZoneId zone, std::uint64_t bytes) {
+  HPMMAP_ASSERT(zone < zones_.size(), "zone out of range");
+  const std::uint64_t want = align_up(bytes, kMemorySectionSize);
+  if (want > zones_[zone].online_bytes) {
+    return {};
+  }
+  // Take sections from the top of the zone downward, mirroring how the
+  // movable zone is drained on real systems. Coalesce adjacent sections
+  // into maximal ranges so the external allocator sees large contiguous
+  // blocks ("no less than 128MB, and generally much more", §III-A).
+  std::vector<Range> taken;
+  std::uint64_t remaining = want;
+  for (auto it = sections_.rbegin(); it != sections_.rend() && remaining > 0; ++it) {
+    if (it->zone != zone || it->owner != SectionOwner::kLinux) {
+      continue;
+    }
+    it->owner = SectionOwner::kOffline;
+    remaining -= kMemorySectionSize;
+    if (!taken.empty() && taken.back().begin == it->range.end) {
+      taken.back().begin = it->range.begin;
+    } else {
+      taken.push_back(it->range);
+    }
+  }
+  HPMMAP_ASSERT(remaining == 0, "accounting said enough online memory existed");
+  zones_[zone].online_bytes -= want;
+  return taken;
+}
+
+void PhysicalMemory::online_ranges(const std::vector<Range>& ranges) {
+  for (const Range& r : ranges) {
+    HPMMAP_ASSERT(is_aligned(r.begin, kMemorySectionSize) && is_aligned(r.end, kMemorySectionSize),
+                  "online range must be section-aligned");
+    for (Addr s = r.begin; s < r.end; s += kMemorySectionSize) {
+      Section& sec = section_of(s);
+      HPMMAP_ASSERT(sec.owner == SectionOwner::kOffline, "double-online of a section");
+      sec.owner = SectionOwner::kLinux;
+      zones_[sec.zone].online_bytes += kMemorySectionSize;
+    }
+  }
+}
+
+std::uint64_t PhysicalMemory::online_bytes(ZoneId zone) const {
+  HPMMAP_ASSERT(zone < zones_.size(), "zone out of range");
+  return zones_[zone].online_bytes;
+}
+
+std::uint64_t PhysicalMemory::offlined_bytes(ZoneId zone) const {
+  HPMMAP_ASSERT(zone < zones_.size(), "zone out of range");
+  return zones_[zone].range.size() - zones_[zone].online_bytes;
+}
+
+ZoneId PhysicalMemory::zone_of(Addr a) const { return section_of(a).zone; }
+
+bool PhysicalMemory::is_offline(Addr a) const {
+  return section_of(a).owner == SectionOwner::kOffline;
+}
+
+Section& PhysicalMemory::section_of(Addr a) {
+  HPMMAP_ASSERT(a < total_bytes_, "physical address out of range");
+  return sections_[a / kMemorySectionSize];
+}
+
+const Section& PhysicalMemory::section_of(Addr a) const {
+  HPMMAP_ASSERT(a < total_bytes_, "physical address out of range");
+  return sections_[a / kMemorySectionSize];
+}
+
+} // namespace hpmmap::hw

@@ -1,0 +1,75 @@
+// Physical memory topology: NUMA zones carved into hot-removable
+// 128 MiB sections.
+//
+// This is the substrate HPMMAP's offlining capability operates on
+// (§III-A): a section owned by kOffline is invisible to the Linux buddy
+// allocator but remains physically addressable, so a separate manager can
+// claim it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace hpmmap::hw {
+
+enum class SectionOwner : std::uint8_t {
+  kLinux,   // managed by the commodity buddy allocator
+  kOffline, // hot-removed; available to an external manager (HPMMAP)
+};
+
+struct Section {
+  Range range;       // physical byte range, kMemorySectionSize-aligned
+  ZoneId zone = 0;
+  SectionOwner owner = SectionOwner::kLinux;
+};
+
+/// NUMA zone: contiguous physical range plus accounting of how much of it
+/// is currently online (Linux-visible).
+struct Zone {
+  ZoneId id = 0;
+  Range range;
+  std::uint64_t online_bytes = 0;
+};
+
+class PhysicalMemory {
+ public:
+  /// Lay out `ram_bytes` evenly across `zones` NUMA zones starting at
+  /// physical address 0; every zone is a whole number of sections.
+  PhysicalMemory(std::uint64_t ram_bytes, std::uint32_t zones);
+
+  [[nodiscard]] const std::vector<Zone>& zones() const noexcept { return zones_; }
+  [[nodiscard]] const std::vector<Section>& sections() const noexcept { return sections_; }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// Hot-remove `bytes` from `zone` (rounded up to whole sections, taken
+  /// from the top of the zone like Linux's movable-zone removal).
+  /// Returns the removed ranges, or empty if the zone lacks that much
+  /// online memory.
+  [[nodiscard]] std::vector<Range> offline_bytes(ZoneId zone, std::uint64_t bytes);
+
+  /// Return previously offlined ranges to Linux ownership.
+  void online_ranges(const std::vector<Range>& ranges);
+
+  [[nodiscard]] std::uint64_t online_bytes(ZoneId zone) const;
+  [[nodiscard]] std::uint64_t offlined_bytes(ZoneId zone) const;
+
+  /// Zone that physically contains address `a`.
+  [[nodiscard]] ZoneId zone_of(Addr a) const;
+
+  /// True if `a` lies in an offlined section — used to assert the
+  /// isolation invariant (Linux never touches offlined frames).
+  [[nodiscard]] bool is_offline(Addr a) const;
+
+ private:
+  [[nodiscard]] Section& section_of(Addr a);
+  [[nodiscard]] const Section& section_of(Addr a) const;
+
+  std::vector<Zone> zones_;
+  std::vector<Section> sections_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+} // namespace hpmmap::hw

@@ -1,0 +1,86 @@
+#include "hw/tlb.hpp"
+
+#include <algorithm>
+
+namespace hpmmap::hw {
+
+double MappingMix::large_fraction() const noexcept {
+  const std::uint64_t t = total();
+  if (t == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes_2m + bytes_1g) / static_cast<double>(t);
+}
+
+double TlbModel::class_miss_rate(std::uint64_t ws_bytes, std::uint64_t reach_bytes,
+                                 double locality) const noexcept {
+  if (ws_bytes == 0) {
+    return 0.0;
+  }
+  if (reach_bytes >= ws_bytes) {
+    return 0.0;
+  }
+  // Accesses split into a hot fraction (covered by the TLB once warm) and
+  // a cold fraction that sweeps the whole working set; cold accesses miss
+  // in proportion to the uncovered share of the set.
+  const double covered = static_cast<double>(reach_bytes) / static_cast<double>(ws_bytes);
+  const double cold = 1.0 - std::clamp(locality, 0.0, 1.0);
+  return cold * (1.0 - covered);
+}
+
+double TlbModel::miss_rate(const MappingMix& mix, double locality) const noexcept {
+  const std::uint64_t total = mix.total();
+  if (total == 0) {
+    return 0.0;
+  }
+  // Second-level TLB capacity is shared between 4K and 2M translations in
+  // proportion to each class's share of the working set.
+  const double f4k = static_cast<double>(mix.bytes_4k) / static_cast<double>(total);
+  const double f2m = static_cast<double>(mix.bytes_2m) / static_cast<double>(total);
+  const double f1g = static_cast<double>(mix.bytes_1g) / static_cast<double>(total);
+
+  const auto l2_share = [&](double f) {
+    return static_cast<std::uint64_t>(f * static_cast<double>(spec_.l2_entries));
+  };
+
+  const std::uint64_t reach_4k =
+      (spec_.l1_entries_4k + l2_share(f4k)) * kSmallPageSize;
+  const std::uint64_t reach_2m =
+      (spec_.l1_entries_2m + l2_share(f2m)) * kLargePageSize;
+  const std::uint64_t reach_1g =
+      (spec_.l1_entries_1g + (spec_.l2_holds_1g ? l2_share(f1g) : 0)) * kHugePageSize;
+
+  return f4k * class_miss_rate(mix.bytes_4k, reach_4k, locality) +
+         f2m * class_miss_rate(mix.bytes_2m, reach_2m, locality) +
+         f1g * class_miss_rate(mix.bytes_1g, reach_1g, locality);
+}
+
+double TlbModel::translation_cycles_per_access(const MappingMix& mix,
+                                               double locality) const noexcept {
+  const std::uint64_t total = mix.total();
+  if (total == 0) {
+    return 0.0;
+  }
+  const double f4k = static_cast<double>(mix.bytes_4k) / static_cast<double>(total);
+  const double f2m = static_cast<double>(mix.bytes_2m) / static_cast<double>(total);
+  const double f1g = static_cast<double>(mix.bytes_1g) / static_cast<double>(total);
+
+  const auto l2_share = [&](double f) {
+    return static_cast<std::uint64_t>(f * static_cast<double>(spec_.l2_entries));
+  };
+  const std::uint64_t reach_4k = (spec_.l1_entries_4k + l2_share(f4k)) * kSmallPageSize;
+  const std::uint64_t reach_2m = (spec_.l1_entries_2m + l2_share(f2m)) * kLargePageSize;
+  const std::uint64_t reach_1g =
+      (spec_.l1_entries_1g + (spec_.l2_holds_1g ? l2_share(f1g) : 0)) * kHugePageSize;
+
+  const double cost_4k =
+      class_miss_rate(mix.bytes_4k, reach_4k, locality) * static_cast<double>(spec_.walk_cycles_4k);
+  const double cost_2m =
+      class_miss_rate(mix.bytes_2m, reach_2m, locality) * static_cast<double>(spec_.walk_cycles_2m);
+  const double cost_1g =
+      class_miss_rate(mix.bytes_1g, reach_1g, locality) * static_cast<double>(spec_.walk_cycles_1g);
+
+  return f4k * cost_4k + f2m * cost_2m + f1g * cost_1g;
+}
+
+} // namespace hpmmap::hw

@@ -1,0 +1,52 @@
+// Analytic TLB model.
+//
+// The paper's performance argument for large pages is TLB reach and page
+// walk length (§II). Simulating per-access TLB hits is out of the
+// question at the cycle volumes involved, so the model maps
+// (working-set size, page-size mix, access locality) to an expected
+// per-access address-translation cost. This is the standard
+// reach-coverage approximation used in TLB literature.
+#pragma once
+
+#include "common/types.hpp"
+#include "hw/machine.hpp"
+
+namespace hpmmap::hw {
+
+/// How a process's resident working set is mapped, as byte totals per
+/// page size. Produced by the memory managers (address-space accounting),
+/// consumed by the compute-time model.
+struct MappingMix {
+  std::uint64_t bytes_4k = 0;
+  std::uint64_t bytes_2m = 0;
+  std::uint64_t bytes_1g = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return bytes_4k + bytes_2m + bytes_1g; }
+  /// Fraction of the working set covered by >=2M mappings.
+  [[nodiscard]] double large_fraction() const noexcept;
+};
+
+class TlbModel {
+ public:
+  explicit TlbModel(const TlbSpec& spec) noexcept : spec_(spec) {}
+
+  /// Expected extra cycles per memory access spent on address
+  /// translation, for an access stream with the given locality over a
+  /// working set mapped as `mix`.
+  ///
+  /// `locality` in (0, 1]: fraction of accesses that fall in a hot subset
+  /// the size of the TLB reach regardless of working-set size (stencil
+  /// codes ~0.9+, random-access ~0.5).
+  [[nodiscard]] double translation_cycles_per_access(const MappingMix& mix,
+                                                     double locality) const noexcept;
+
+  /// Expected miss probability alone (used by tests and ablations).
+  [[nodiscard]] double miss_rate(const MappingMix& mix, double locality) const noexcept;
+
+ private:
+  [[nodiscard]] double class_miss_rate(std::uint64_t ws_bytes, std::uint64_t reach_bytes,
+                                       double locality) const noexcept;
+  TlbSpec spec_;
+};
+
+} // namespace hpmmap::hw

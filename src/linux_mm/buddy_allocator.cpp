@@ -1,0 +1,258 @@
+#include "linux_mm/buddy_allocator.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace hpmmap::mm {
+
+BuddyAllocator::BuddyAllocator(Range phys_range, unsigned max_order)
+    : range_(phys_range), max_order_(max_order) {
+  HPMMAP_ASSERT(!range_.empty(), "buddy range must be non-empty");
+  HPMMAP_ASSERT(is_aligned(range_.begin, kSmallPageSize) && is_aligned(range_.end, kSmallPageSize),
+                "buddy range must be page-aligned");
+  HPMMAP_ASSERT(max_order_ < 40, "implausible max order");
+  free_lists_.resize(max_order_ + 1);
+  // Seed the freelists greedily: the biggest aligned block that fits at
+  // the cursor, repeatedly. A section-aligned range seeds straight into
+  // max-order blocks.
+  Addr cursor = range_.begin;
+  while (cursor < range_.end) {
+    unsigned order = max_order_;
+    while (order > 0 &&
+           (!is_aligned(cursor - range_.begin, order_bytes(order)) ||
+            cursor + order_bytes(order) > range_.end)) {
+      --order;
+    }
+    HPMMAP_ASSERT(cursor + order_bytes(order) <= range_.end, "seed block overruns range");
+    free_lists_[order].insert(cursor);
+    free_bytes_ += order_bytes(order);
+    cursor += order_bytes(order);
+  }
+}
+
+unsigned BuddyAllocator::order_for_bytes(std::uint64_t size) noexcept {
+  if (size <= kSmallPageSize) {
+    return 0;
+  }
+  const std::uint64_t pages = (size + kSmallPageSize - 1) / kSmallPageSize;
+  return static_cast<unsigned>(std::bit_width(pages - 1));
+}
+
+Addr BuddyAllocator::buddy_of(Addr addr, unsigned order) const noexcept {
+  return range_.begin + ((addr - range_.begin) ^ order_bytes(order));
+}
+
+std::optional<BuddyAllocator::Allocation> BuddyAllocator::alloc(unsigned order) {
+  HPMMAP_ASSERT(order <= max_order_, "order above max_order");
+  unsigned found = order;
+  while (found <= max_order_ && free_lists_[found].empty()) {
+    ++found;
+  }
+  if (found > max_order_) {
+    ++stats_.failed_allocs;
+    return std::nullopt;
+  }
+  const Addr block = *free_lists_[found].begin();
+  free_lists_[found].erase(free_lists_[found].begin());
+  // Split down to the requested order, returning the upper halves.
+  unsigned splits = 0;
+  for (unsigned o = found; o > order; --o) {
+    const Addr upper = block + order_bytes(o - 1);
+    free_lists_[o - 1].insert(upper);
+    ++splits;
+  }
+  free_bytes_ -= order_bytes(order);
+  ++stats_.allocs;
+  stats_.split_steps += splits;
+  return Allocation{block, splits};
+}
+
+unsigned BuddyAllocator::free(Addr addr, unsigned order) {
+  HPMMAP_ASSERT(order <= max_order_, "order above max_order");
+  HPMMAP_ASSERT(range_.contains(addr), "free outside buddy range");
+  HPMMAP_ASSERT(is_aligned(addr - range_.begin, order_bytes(order)),
+                "freed block misaligned for its order");
+  free_bytes_ += order_bytes(order);
+  ++stats_.frees;
+  // Coalesce upward while the buddy is free.
+  unsigned merges = 0;
+  Addr block = addr;
+  unsigned o = order;
+  while (o < max_order_) {
+    const Addr buddy = buddy_of(block, o);
+    if (buddy + order_bytes(o) > range_.end) {
+      break;
+    }
+    auto it = free_lists_[o].find(buddy);
+    if (it == free_lists_[o].end()) {
+      break;
+    }
+    free_lists_[o].erase(it);
+    block = std::min(block, buddy);
+    ++o;
+    ++merges;
+  }
+  free_lists_[o].insert(block);
+  stats_.merge_steps += merges;
+  return merges;
+}
+
+bool BuddyAllocator::reserve_exact(Addr addr, unsigned order) {
+  HPMMAP_ASSERT(order <= max_order_, "order above max_order");
+  const Range want{addr, addr + order_bytes(order)};
+  if (!range_.contains(want.begin) || want.end > range_.end) {
+    return false;
+  }
+  // A single larger free block may contain the whole region: split it
+  // down until the wanted block is an exact free-list entry.
+  if (auto container = free_block_containing(addr);
+      container.has_value() && container->second > order &&
+      Range{container->first, container->first + order_bytes(container->second)}.contains(want)) {
+    Addr block = container->first;
+    unsigned o = container->second;
+    free_lists_[o].erase(block);
+    while (o > order) {
+      --o;
+      const Addr lower = block;
+      const Addr upper = block + order_bytes(o);
+      if (want.begin >= upper) {
+        free_lists_[o].insert(lower);
+        block = upper;
+      } else {
+        free_lists_[o].insert(upper);
+        block = lower;
+      }
+      ++stats_.split_steps;
+    }
+    HPMMAP_ASSERT(block == addr, "split descent must land on the wanted block");
+    free_bytes_ -= order_bytes(order);
+    ++stats_.allocs;
+    return true;
+  }
+  // Collect the free blocks covering `want`; they must tile it exactly.
+  struct Piece {
+    Addr addr;
+    unsigned order;
+  };
+  std::vector<Piece> cover;
+  std::uint64_t covered = 0;
+  for (unsigned o = 0; o <= max_order_; ++o) {
+    // Free blocks intersecting [want) at this order.
+    auto it = free_lists_[o].lower_bound(want.begin >= order_bytes(o)
+                                             ? want.begin - order_bytes(o) + kSmallPageSize
+                                             : 0);
+    for (; it != free_lists_[o].end() && *it < want.end; ++it) {
+      const Range blk{*it, *it + order_bytes(o)};
+      if (!blk.overlaps(want)) {
+        continue;
+      }
+      if (!want.contains(blk)) {
+        return false; // a free block straddles the boundary: cannot take exactly
+      }
+      cover.push_back(Piece{*it, o});
+      covered += blk.size();
+    }
+  }
+  if (covered != want.size()) {
+    return false; // some of the region is allocated
+  }
+  for (const Piece& p : cover) {
+    free_lists_[p.order].erase(p.addr);
+  }
+  free_bytes_ -= want.size();
+  ++stats_.allocs;
+  return true;
+}
+
+std::optional<std::pair<Addr, unsigned>> BuddyAllocator::free_block_containing(Addr addr) const {
+  if (!range_.contains(addr)) {
+    return std::nullopt;
+  }
+  for (unsigned o = 0; o <= max_order_; ++o) {
+    const Addr base = range_.begin + align_down(addr - range_.begin, order_bytes(o));
+    if (free_lists_[o].contains(base)) {
+      return std::make_pair(base, o);
+    }
+  }
+  return std::nullopt;
+}
+
+bool BuddyAllocator::take_free_block(Addr addr, unsigned order) {
+  HPMMAP_ASSERT(order <= max_order_, "order above max_order");
+  auto it = free_lists_[order].find(addr);
+  if (it == free_lists_[order].end()) {
+    return false;
+  }
+  free_lists_[order].erase(it);
+  free_bytes_ -= order_bytes(order);
+  ++stats_.allocs;
+  return true;
+}
+
+std::uint64_t BuddyAllocator::free_blocks(unsigned order) const {
+  HPMMAP_ASSERT(order <= max_order_, "order above max_order");
+  return free_lists_[order].size();
+}
+
+std::optional<unsigned> BuddyAllocator::largest_free_order() const {
+  for (unsigned o = max_order_ + 1; o-- > 0;) {
+    if (!free_lists_[o].empty()) {
+      return o;
+    }
+  }
+  return std::nullopt;
+}
+
+double BuddyAllocator::fragmentation() const {
+  if (free_bytes_ == 0) {
+    return 0.0;
+  }
+  double weighted = 0.0;
+  for (unsigned o = 0; o <= max_order_; ++o) {
+    const double share =
+        static_cast<double>(free_lists_[o].size() * order_bytes(o)) /
+        static_cast<double>(free_bytes_);
+    weighted += share * static_cast<double>(o);
+  }
+  return 1.0 - weighted / static_cast<double>(max_order_);
+}
+
+bool BuddyAllocator::can_alloc(unsigned order) const {
+  for (unsigned o = order; o <= max_order_; ++o) {
+    if (!free_lists_[o].empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BuddyAllocator::check_consistency() const {
+  std::uint64_t bytes = 0;
+  std::vector<Range> blocks;
+  for (unsigned o = 0; o <= max_order_; ++o) {
+    for (Addr a : free_lists_[o]) {
+      if (!range_.contains(a) || a + order_bytes(o) > range_.end) {
+        return false;
+      }
+      if (!is_aligned(a - range_.begin, order_bytes(o))) {
+        return false;
+      }
+      blocks.push_back(Range{a, a + order_bytes(o)});
+      bytes += order_bytes(o);
+    }
+  }
+  if (bytes != free_bytes_) {
+    return false;
+  }
+  std::sort(blocks.begin(), blocks.end());
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    if (blocks[i - 1].end > blocks[i].begin) {
+      return false; // overlap
+    }
+  }
+  return true;
+}
+
+} // namespace hpmmap::mm

@@ -1,0 +1,106 @@
+// Cycle-cost parameters for memory-management operations.
+//
+// Every cost the simulation charges is composed from these primitives;
+// nothing looks up a paper number directly. The defaults are calibrated
+// so that the *composed* costs land near the paper's Figure 2/3
+// measurements on the Dell R415 model:
+//
+//   4K demand fault, idle node:   entry + vma walk + order-0 alloc +
+//                                 4 KiB zeroing + rmap/pte  ~= 1.7k cycles
+//   2M THP fault, idle node:      + order-9 alloc (often via compaction)
+//                                 + 2 MiB zeroing            ~= 370k cycles
+//   merge-follower fault:         + wait for khugepaged's PT lock ~= 1M cycles
+//
+// Load sensitivity is not parameterized here — it emerges from the
+// reclaim path, the bandwidth model, and lock contention.
+#pragma once
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace hpmmap::mm {
+
+struct CostModel {
+  // --- Fault / syscall fixed costs -------------------------------------
+  Cycles fault_entry = 250;        // trap, exception frame, handler dispatch
+  Cycles vma_lookup = 180;         // rb-tree descent under mmap_sem (read)
+  Cycles pte_install = 140;        // PTE write + accounting + unlock
+  Cycles rmap_account = 220;       // anon_vma / memcg / LRU bookkeeping (4K)
+  Cycles rmap_account_large = 900; // compound-page bookkeeping (2M)
+  Cycles syscall_entry = 300;      // mode switch + dispatch
+  Cycles vma_mutate = 1100;        // VMA insert/split/merge under mmap_sem (write)
+
+  // --- Buddy allocator --------------------------------------------------
+  Cycles buddy_base = 160;     // freelist pop, watermark check
+  Cycles buddy_split_step = 55; // one split level
+  Cycles buddy_merge_step = 65; // one coalesce level on free
+
+  // --- Page-content costs ------------------------------------------------
+  // Streaming zero/copy rate in bytes per cycle on an idle channel; the
+  // BandwidthModel degrades it under contention. 8 B/cy ~= 18 GB/s at
+  // 2.3 GHz, matching non-temporal clears on the Opteron node.
+  double zero_bytes_per_cycle = 6.0;
+  double copy_bytes_per_cycle = 3.0; // read+write, both streams uncached
+
+  // --- Page-table structure ---------------------------------------------
+  Cycles pt_alloc_table = 450;  // allocate+zero one page-table page
+  Cycles pt_level_step = 45;    // one level of a software walk
+  Cycles tlb_flush_page = 120;  // invlpg + IPI amortized
+  Cycles tlb_flush_full = 2600; // full shootdown across cores
+
+  // --- Reclaim / compaction ----------------------------------------------
+  // Direct reclaim scans the LRU; cost is per reclaimed batch and grows
+  // heavy-tailed when clean pages run out (writeback stalls).
+  Cycles reclaim_batch_base = 45'000;  // scan + unmap a 32-page batch, clean
+  Cycles reclaim_writeback = 900'000;  // batch needing writeback/congestion wait
+  double reclaim_writeback_tail_alpha = 1.6; // Pareto tail for stalls
+  Cycles compact_attempt = 140'000;    // one order-9 compaction attempt
+  double compact_success_unloaded = 0.92;
+  double compact_success_loaded_floor = 0.25;
+
+  // --- khugepaged (THP merge) --------------------------------------------
+  // A merge unmaps up to 512 PTEs, copies 2 MiB, flushes, remaps — all
+  // while holding the target's page-table lock (§II-B).
+  Cycles merge_fixed = 650'000;         // mmap_sem writer wait + rmap walks over 512 ptes
+  Cycles merge_per_pte = 260;           // unmap one small PTE
+  std::uint64_t khugepaged_scan_period_ms = 10'000; // scan_sleep_millisecs default
+  double khugepaged_preempt_factor_loaded = 3.2; // lock held longer when preempted
+
+  // --- HugeTLBfs ----------------------------------------------------------
+  Cycles hugetlb_fault_overhead = 12'000; // reservation map + hugetlb mutex
+  double hugetlb_zero_bytes_per_cycle = 3.0; // no clearing-cache help
+
+  // --- HPMMAP -------------------------------------------------------------
+  Cycles hpmmap_hash_lookup = 90;   // PID hash probe on syscall entry
+  Cycles hpmmap_alloc_base = 210;   // Kitten buddy pop (no watermarks)
+  Cycles hpmmap_pte_install = 95;   // lightweight table, no rmap/LRU
+
+  // --- Swap -------------------------------------------------------------------
+  // A major fault on a swapped-out page reads 4K from a rotating disk:
+  // seek + rotational latency, ~8 ms on the testbed era's drives. This
+  // is the source of the enormous stdev in Figure 3's loaded small
+  // faults (reclaim evicts app pages once the page cache is spent).
+  Cycles swap_in_mean = 18'000'000;
+  double swap_in_cv = 1.2;
+
+  // --- Watermarks ----------------------------------------------------------
+  // Fractions of a zone's online memory; below `low` the fault path
+  // enters direct reclaim, below `min` allocation may fail outright.
+  double watermark_low = 0.04;
+  double watermark_min = 0.01;
+
+  // --- Noise ---------------------------------------------------------------
+  // Multiplicative lognormal jitter applied to composed fault costs:
+  // cache state, IRQ arrivals, sibling activity. cv = stdev/mean.
+  double fault_jitter_cv = 0.45;
+};
+
+/// Zeroing cost for `size` bytes at `rate` effective bytes/cycle.
+[[nodiscard]] inline Cycles stream_cycles(std::uint64_t size, double rate) noexcept {
+  if (rate <= 0.0) {
+    rate = 0.1;
+  }
+  return static_cast<Cycles>(static_cast<double>(size) / rate);
+}
+
+} // namespace hpmmap::mm

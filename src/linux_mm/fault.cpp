@@ -1,0 +1,154 @@
+#include "linux_mm/fault.hpp"
+
+#include "common/assert.hpp"
+
+namespace hpmmap::mm {
+
+FaultHandler::FaultHandler(MemorySystem& memory, ThpService* thp, HugetlbPool* hugetlb)
+    : memory_(memory), thp_(thp), hugetlb_(hugetlb) {}
+
+FaultResult FaultHandler::finish(FaultResult result, ZoneId zone) {
+  // Lognormal jitter on the service portion (not the queueing wait):
+  // cache state, IRQ arrivals, sibling interference.
+  const Cycles service = result.cost - result.lock_wait;
+  const double cv = memory_.costs().fault_jitter_cv;
+  const double jittered = memory_.rng().lognormal_from_moments(
+      static_cast<double>(service), cv * static_cast<double>(service));
+  result.cost = result.lock_wait + static_cast<Cycles>(jittered);
+  // Bandwidth contention already shaped the zeroing terms; the handler's
+  // pointer-chasing parts also degrade a little on a saturated node.
+  const double factor = 1.0 + 0.15 * (memory_.bandwidth().contention_factor(zone) - 1.0);
+  result.cost = static_cast<Cycles>(static_cast<double>(result.cost) * factor);
+  return result;
+}
+
+FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now) {
+  const CostModel& costs = memory_.costs();
+  FaultResult result;
+
+  // Queue on the page-table lock first: if khugepaged is mid-merge we
+  // wait for the full remainder of the merge (§II-B), and the fault is
+  // classified as a merge-follower — the paper's "Merge" rows.
+  result.lock_wait = as.lock_wait(now);
+  result.cost = result.lock_wait + costs.fault_entry + costs.vma_lookup;
+
+  const Vma* vma = as.vmas().find(vaddr);
+  if (vma == nullptr || vma->prot == Prot::kNone) {
+    result.err = Errno::kFault;
+    result.kind = FaultKind::kInvalid;
+    return result;
+  }
+
+  const ZoneId zone = as.zone_for(vaddr);
+
+  // After waiting out a merge the region may now be huge-mapped; the
+  // fault then only re-checks and returns (cost already dominated by the
+  // wait). Also covers benign races on already-mapped pages.
+  if (const auto t = as.page_table().walk(vaddr); t.has_value()) {
+    result.kind = result.lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kSmall;
+    result.used = t->size;
+    result.cost += costs.pte_install;
+    return finish(result, zone);
+  }
+
+  if (vma->kind == VmaKind::kHugetlb) {
+    return handle_hugetlb(as, *vma, vaddr, result.cost, result.lock_wait);
+  }
+
+  // --- THP fault path: try a 2M mapping first (§II-B) -------------------
+  if (thp_ != nullptr) {
+    ThpService::HugeFaultResult huge = thp_->try_fault_huge(as, *vma, vaddr);
+    if (huge.ok) {
+      const Addr base = align_down(vaddr, kLargePageSize);
+      const Errno err = as.page_table().map(base, huge.phys, PageSize::k2M, vma->prot);
+      HPMMAP_ASSERT(err == Errno::kOk, "THP eligibility check guaranteed an empty region");
+      result.kind = result.lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kLarge;
+      result.used = PageSize::k2M;
+      result.entered_reclaim = huge.alloc.entered_reclaim;
+      result.cost += memory_.alloc_cycles(huge.alloc, zone) +
+                     memory_.zero_cost(zone, kLargePageSize, costs.zero_bytes_per_cycle) +
+                     costs.pt_alloc_table + costs.pte_install + costs.rmap_account_large;
+      return finish(result, zone);
+    }
+    result.cost += huge.alloc.entered_reclaim || huge.alloc.entered_compaction
+                       ? memory_.alloc_cycles(huge.alloc, zone)
+                       : 0;
+  }
+
+  // --- small-page fallback ------------------------------------------------
+  // Major fault? Reclaim may have pushed this page to swap; the refault
+  // pays a disk read on top of the normal path.
+  const Addr page_addr = align_down(vaddr, kSmallPageSize);
+  const bool swapped_in = as.take_swapped(page_addr);
+  if (swapped_in) {
+    const CostModel& cm = memory_.costs();
+    result.cost += static_cast<Cycles>(memory_.rng().lognormal_from_moments(
+        static_cast<double>(cm.swap_in_mean),
+        cm.swap_in_cv * static_cast<double>(cm.swap_in_mean)));
+  }
+  ZoneId alloc_zone = zone;
+  AllocOutcome out = memory_.alloc_pages(alloc_zone, 0, /*allow_reclaim=*/true);
+  if (!out.ok) {
+    // NUMA spill: try the least-loaded other zone before declaring OOM.
+    alloc_zone = memory_.fallback_zone(zone);
+    if (alloc_zone != zone) {
+      out = memory_.alloc_pages(alloc_zone, 0, /*allow_reclaim=*/true);
+    }
+  }
+  if (!out.ok) {
+    result.err = Errno::kNoMem;
+    result.kind = FaultKind::kInvalid;
+    return result;
+  }
+  const Addr page = align_down(vaddr, kSmallPageSize);
+  PtOpStats pt_stats;
+  const Errno err = as.page_table().map(page, out.addr, PageSize::k4K, vma->prot, &pt_stats);
+  HPMMAP_ASSERT(err == Errno::kOk, "walk() said this page was unmapped");
+  // khugepaged_enter: a THP-eligible region just went small; the daemon
+  // will revisit it (and inject merge noise right here, Figure 4).
+  if (thp_ != nullptr && vma->thp_eligible) {
+    thp_->note_fallback(&as, vaddr);
+  }
+  result.kind = result.lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kSmall;
+  result.used = PageSize::k4K;
+  result.entered_reclaim = out.entered_reclaim;
+  result.cost += memory_.alloc_cycles(out, alloc_zone) +
+                 memory_.zero_cost(alloc_zone, kSmallPageSize, costs.zero_bytes_per_cycle) +
+                 pt_stats.tables_allocated * costs.pt_alloc_table + costs.pte_install +
+                 costs.rmap_account;
+  return finish(result, alloc_zone);
+}
+
+FaultResult FaultHandler::handle_hugetlb(AddressSpace& as, const Vma& vma, Addr vaddr,
+                                         Cycles base_cost, Cycles lock_wait) {
+  const CostModel& costs = memory_.costs();
+  FaultResult result;
+  result.cost = base_cost;
+  result.lock_wait = lock_wait;
+
+  HPMMAP_ASSERT(hugetlb_ != nullptr, "hugetlb VMA without a pool configured");
+  const ZoneId zone = as.zone_for(vaddr);
+  const auto page = hugetlb_->alloc_page(zone);
+  if (!page.has_value()) {
+    result.err = Errno::kNoMem; // SIGBUS on the real system
+    result.kind = FaultKind::kInvalid;
+    return result;
+  }
+  const auto [phys, got_zone] = *page;
+  const Addr base = align_down(vaddr, kLargePageSize);
+  PtOpStats pt_stats;
+  const Errno err = as.page_table().map(base, phys, PageSize::k2M, vma.prot, &pt_stats);
+  HPMMAP_ASSERT(err == Errno::kOk, "hugetlb region double-mapped");
+  result.kind = lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kLarge;
+  result.used = PageSize::k2M;
+  // The hugetlb path takes the hugetlb mutex and reservation map, then
+  // zeroes 2 MiB without the clearing-cache assists the normal path has;
+  // this is why Figure 3's large faults are pricier than THP's yet
+  // mostly load-insensitive (pool memory is never contended).
+  result.cost += costs.hugetlb_fault_overhead +
+                 memory_.zero_cost(got_zone, kLargePageSize, costs.hugetlb_zero_bytes_per_cycle) +
+                 pt_stats.tables_allocated * costs.pt_alloc_table + costs.pte_install;
+  return finish(result, got_zone);
+}
+
+} // namespace hpmmap::mm

@@ -1,0 +1,67 @@
+#include "linux_mm/hugetlbfs.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace hpmmap::mm {
+
+HugetlbPool::HugetlbPool(MemorySystem& memory, std::uint64_t bytes_per_zone)
+    : memory_(memory) {
+  const std::uint32_t zones = memory_.zone_count();
+  pool_.resize(zones);
+  total_.assign(zones, 0);
+  const std::uint64_t pages = bytes_per_zone / kLargePageSize;
+  for (ZoneId z = 0; z < zones; ++z) {
+    pool_[z].reserve(pages);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      AllocOutcome out = memory_.alloc_pages(z, kLargePageOrder, /*allow_reclaim=*/true);
+      HPMMAP_ASSERT(out.ok, "hugetlb boot reservation failed: zone too small/fragmented");
+      pool_[z].push_back(out.addr);
+    }
+    total_[z] = pages;
+    stats_.pool_pages_total += pages;
+  }
+  log_info("hugetlbfs", "reserved %llu x 2M pages per zone across %u zones", static_cast<unsigned long long>(pages), zones);
+}
+
+HugetlbPool::~HugetlbPool() {
+  // Return whatever is still pooled; outstanding pages die with the
+  // simulated machine.
+  for (ZoneId z = 0; z < pool_.size(); ++z) {
+    for (Addr addr : pool_[z]) {
+      memory_.free_pages(z, addr, kLargePageOrder);
+    }
+  }
+}
+
+std::optional<std::pair<Addr, ZoneId>> HugetlbPool::alloc_page(ZoneId zone) {
+  HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
+  for (std::uint32_t probe = 0; probe < pool_.size(); ++probe) {
+    const ZoneId z = (zone + probe) % static_cast<ZoneId>(pool_.size());
+    if (!pool_[z].empty()) {
+      const Addr addr = pool_[z].back();
+      pool_[z].pop_back();
+      ++stats_.faults_served;
+      return std::make_pair(addr, z);
+    }
+  }
+  ++stats_.pool_exhausted;
+  return std::nullopt;
+}
+
+void HugetlbPool::free_page(ZoneId zone, Addr addr) {
+  HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
+  pool_[zone].push_back(addr);
+}
+
+std::uint64_t HugetlbPool::free_pages(ZoneId zone) const {
+  HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
+  return pool_[zone].size();
+}
+
+std::uint64_t HugetlbPool::total_pages(ZoneId zone) const {
+  HPMMAP_ASSERT(zone < total_.size(), "zone out of range");
+  return total_[zone];
+}
+
+} // namespace hpmmap::mm

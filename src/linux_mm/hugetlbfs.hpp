@@ -1,0 +1,55 @@
+// HugeTLBfs: preallocated per-NUMA-zone large-page pools (§II-C).
+//
+// The pools are reserved at boot from pristine (unfragmented) zones —
+// the real system's `hugepages=` boot parameter — and are invisible to
+// the normal allocator afterwards. That exclusivity is the double-edged
+// sword Figure 5 documents: hugetlb faults always find memory, while the
+// rest of the system fights over what is left.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linux_mm/memory_system.hpp"
+
+namespace hpmmap::mm {
+
+struct HugetlbStats {
+  std::uint64_t pool_pages_total = 0;
+  std::uint64_t faults_served = 0;
+  std::uint64_t pool_exhausted = 0;
+};
+
+class HugetlbPool {
+ public:
+  /// Reserve `bytes_per_zone` of 2M pages from every zone. Must run at
+  /// "boot" (before any fragmentation); aborts if reservation fails,
+  /// matching a failed hugepages= boot line.
+  HugetlbPool(MemorySystem& memory, std::uint64_t bytes_per_zone);
+  ~HugetlbPool();
+
+  HugetlbPool(const HugetlbPool&) = delete;
+  HugetlbPool& operator=(const HugetlbPool&) = delete;
+
+  /// Take one 2M page, preferring `zone`, spilling to any other zone
+  /// with free pool pages. nullopt when every pool is empty (the
+  /// application gets SIGBUS on the real system).
+  [[nodiscard]] std::optional<std::pair<Addr, ZoneId>> alloc_page(ZoneId zone);
+
+  /// Return a page to its zone's pool.
+  void free_page(ZoneId zone, Addr addr);
+
+  [[nodiscard]] std::uint64_t free_pages(ZoneId zone) const;
+  [[nodiscard]] std::uint64_t total_pages(ZoneId zone) const;
+  [[nodiscard]] const HugetlbStats& stats() const noexcept { return stats_; }
+
+ private:
+  MemorySystem& memory_;
+  std::vector<std::vector<Addr>> pool_; // per-zone free stacks
+  std::vector<std::uint64_t> total_;
+  HugetlbStats stats_;
+};
+
+} // namespace hpmmap::mm

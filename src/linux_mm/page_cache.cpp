@@ -1,0 +1,96 @@
+#include "linux_mm/page_cache.hpp"
+
+#include "common/assert.hpp"
+#include "linux_mm/buddy_allocator.hpp"
+
+namespace hpmmap::mm {
+
+PageCache::PageCache(BuddyAllocator& buddy, double dirty_fraction)
+    : buddy_(buddy), dirty_fraction_(dirty_fraction) {}
+
+std::uint64_t PageCache::grow(std::uint64_t bytes, unsigned order, bool dirty) {
+  std::uint64_t grown = 0;
+  const std::uint64_t block_bytes = BuddyAllocator::order_bytes(order);
+  while (grown < bytes) {
+    if (buddy_.free_bytes() < free_floor_ + block_bytes) {
+      break;
+    }
+    auto alloc = buddy_.alloc(order);
+    if (!alloc.has_value()) {
+      break;
+    }
+    // When the caller doesn't force dirtiness, mark blocks dirty at the
+    // configured rate using a deterministic rotation (no RNG needed for
+    // an aggregate property).
+    const bool is_dirty =
+        dirty || (dirty_fraction_ > 0.0 &&
+                  static_cast<double>(grow_count_ % 100) < dirty_fraction_ * 100.0);
+    ++grow_count_;
+    lru_.push_back(Block{alloc->addr, order, is_dirty});
+    by_addr_.emplace(alloc->addr, std::prev(lru_.end()));
+    grown += block_bytes;
+    cached_bytes_ += block_bytes;
+  }
+  return grown;
+}
+
+void PageCache::adopt(Addr addr, unsigned order, bool dirty) {
+  HPMMAP_ASSERT(!by_addr_.contains(addr), "block already cached");
+  lru_.push_back(Block{addr, order, dirty});
+  by_addr_.emplace(addr, std::prev(lru_.end()));
+  cached_bytes_ += BuddyAllocator::order_bytes(order);
+}
+
+PageCache::ShrinkResult PageCache::shrink(std::uint64_t bytes) {
+  ShrinkResult result;
+  while (result.bytes_freed < bytes && !lru_.empty()) {
+    const Block block = lru_.front();
+    by_addr_.erase(block.addr);
+    lru_.pop_front();
+    const std::uint64_t block_bytes = BuddyAllocator::order_bytes(block.order);
+    buddy_.free(block.addr, block.order);
+    cached_bytes_ -= block_bytes;
+    result.bytes_freed += block_bytes;
+    if (block.dirty) {
+      ++result.writeback_blocks;
+    } else {
+      ++result.clean_blocks;
+    }
+  }
+  return result;
+}
+
+void PageCache::clear() {
+  while (!lru_.empty()) {
+    const Block block = lru_.front();
+    by_addr_.erase(block.addr);
+    lru_.pop_front();
+    cached_bytes_ -= BuddyAllocator::order_bytes(block.order);
+    buddy_.free(block.addr, block.order);
+  }
+  HPMMAP_ASSERT(cached_bytes_ == 0, "cache accounting drift");
+}
+
+std::optional<std::pair<Addr, unsigned>> PageCache::block_containing(Addr addr) const {
+  auto it = by_addr_.upper_bound(addr);
+  if (it == by_addr_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  const Block& block = *it->second;
+  if (addr < block.addr + BuddyAllocator::order_bytes(block.order)) {
+    return std::make_pair(block.addr, block.order);
+  }
+  return std::nullopt;
+}
+
+void PageCache::relocate(Addr old_addr, Addr new_addr) {
+  auto it = by_addr_.find(old_addr);
+  HPMMAP_ASSERT(it != by_addr_.end(), "relocate of a block the cache does not own");
+  auto lru_it = it->second;
+  by_addr_.erase(it);
+  lru_it->addr = new_addr;
+  by_addr_.emplace(new_addr, lru_it);
+}
+
+} // namespace hpmmap::mm

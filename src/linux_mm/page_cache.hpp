@@ -1,0 +1,88 @@
+// Page cache model.
+//
+// Linux spends nearly all free memory on the page cache; a competing
+// kernel build fills it with source files and object churn. Reclaim then
+// has to shrink the cache page by page — cheap while entries are clean,
+// expensive (writeback) once the clean tail is gone. This is the
+// mechanism behind the Figure 3/5 "small faults cost 475k cycles under
+// load" behaviour.
+//
+// Cache blocks are *movable* in the kernel's sense: compaction may
+// relocate them to assemble contiguous 2M regions, so the cache keeps an
+// address index and supports relocation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace hpmmap::mm {
+
+class BuddyAllocator;
+
+class PageCache {
+ public:
+  /// `dirty_fraction`: probability a cached block needs writeback before
+  /// it can be reclaimed (compiler temp output vs read-only source).
+  explicit PageCache(BuddyAllocator& buddy, double dirty_fraction = 0.3);
+
+  /// Read `bytes` of file data into the cache: allocates order-`order`
+  /// blocks from the buddy until satisfied or free memory reaches the
+  /// floor (page-cache fills stop at the low watermark and let kswapd
+  /// take over; they never drain the atomic reserves). Returns bytes
+  /// actually cached.
+  std::uint64_t grow(std::uint64_t bytes, unsigned order, bool dirty);
+
+  /// Free-memory floor below which grow() refuses to allocate.
+  void set_free_floor(std::uint64_t bytes) noexcept { free_floor_ = bytes; }
+  [[nodiscard]] std::uint64_t free_floor() const noexcept { return free_floor_; }
+
+  /// Adopt an already-allocated buddy block into the cache (a process
+  /// exits but its file data stays cached). The block must have come
+  /// from this cache's buddy and must not be freed by the caller.
+  void adopt(Addr addr, unsigned order, bool dirty);
+
+  /// Drop cached blocks until `bytes` have been freed back to the buddy
+  /// or the cache is empty (LRU order).
+  struct ShrinkResult {
+    std::uint64_t bytes_freed = 0;
+    std::uint64_t writeback_blocks = 0;
+    std::uint64_t clean_blocks = 0;
+  };
+  ShrinkResult shrink(std::uint64_t bytes);
+
+  /// Drop everything (workload exit).
+  void clear();
+
+  /// The cache block containing `addr`, if any, as (block base, order).
+  [[nodiscard]] std::optional<std::pair<Addr, unsigned>> block_containing(Addr addr) const;
+
+  /// Compaction support: the block at `old_addr` now lives at
+  /// `new_addr`. LRU position and dirtiness are preserved.
+  void relocate(Addr old_addr, Addr new_addr);
+
+  [[nodiscard]] std::uint64_t cached_bytes() const noexcept { return cached_bytes_; }
+  [[nodiscard]] std::size_t block_count() const noexcept { return lru_.size(); }
+  [[nodiscard]] double dirty_fraction() const noexcept { return dirty_fraction_; }
+  void set_dirty_fraction(double f) noexcept { dirty_fraction_ = f; }
+
+ private:
+  struct Block {
+    Addr addr;
+    unsigned order;
+    bool dirty;
+  };
+  BuddyAllocator& buddy_;
+  std::list<Block> lru_; // front = oldest (reclaimed first)
+  std::map<Addr, std::list<Block>::iterator> by_addr_;
+  std::uint64_t cached_bytes_ = 0;
+  std::uint64_t free_floor_ = 0;
+  double dirty_fraction_;
+  std::uint64_t grow_count_ = 0; // deterministic dirty assignment
+};
+
+} // namespace hpmmap::mm

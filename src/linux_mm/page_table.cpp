@@ -1,0 +1,228 @@
+#include "linux_mm/page_table.hpp"
+
+#include "common/assert.hpp"
+
+namespace hpmmap::mm {
+
+PageTable::PageTable() : root_(std::make_unique<Node>()) {}
+PageTable::~PageTable() = default;
+PageTable::PageTable(PageTable&&) noexcept = default;
+PageTable& PageTable::operator=(PageTable&&) noexcept = default;
+
+unsigned PageTable::leaf_level(PageSize size) noexcept {
+  switch (size) {
+    case PageSize::k4K: return 0;
+    case PageSize::k2M: return 1;
+    case PageSize::k1G: return 2;
+  }
+  return 0;
+}
+
+void PageTable::account_map(PageSize size, std::int64_t delta) noexcept {
+  const auto apply = [delta](std::uint64_t& v) {
+    v = static_cast<std::uint64_t>(static_cast<std::int64_t>(v) + delta);
+  };
+  switch (size) {
+    case PageSize::k4K: apply(mix_.bytes_4k); break;
+    case PageSize::k2M: apply(mix_.bytes_2m); break;
+    case PageSize::k1G: apply(mix_.bytes_1g); break;
+  }
+}
+
+Errno PageTable::map(Addr vaddr, Addr paddr, PageSize size, Prot prot, PtOpStats* stats) {
+  if (!is_aligned(vaddr, bytes(size)) || !is_aligned(paddr, bytes(size))) {
+    return Errno::kInval;
+  }
+  const unsigned target = leaf_level(size);
+  Node* node = root_.get();
+  PtOpStats local;
+  local.levels = 1;
+  for (unsigned level = 3; level > target; --level) {
+    Entry& e = node->slots[index_at(vaddr, level)];
+    if (e.leaf) {
+      return Errno::kExist; // a larger mapping already covers this address
+    }
+    if (!e.child) {
+      e.child = std::make_unique<Node>();
+      ++node->used;
+      ++table_pages_;
+      ++local.tables_allocated;
+    }
+    node = e.child.get();
+    ++local.levels;
+  }
+  Entry& leaf = node->slots[index_at(vaddr, target)];
+  if (leaf.leaf) {
+    return Errno::kExist;
+  }
+  if (leaf.child) {
+    // A child table exists from earlier small mappings. If it is empty
+    // (all PTEs unmapped — the khugepaged collapse path), free it and
+    // install the large leaf in its place; otherwise the range is busy.
+    if (leaf.child->used != 0) {
+      return Errno::kExist;
+    }
+    leaf.child.reset();
+    --table_pages_;
+    --node->used;
+  }
+  leaf.leaf = true;
+  leaf.phys = paddr;
+  leaf.prot = prot;
+  ++node->used;
+  ++local.entries_written;
+  account_map(size, static_cast<std::int64_t>(bytes(size)));
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return Errno::kOk;
+}
+
+Errno PageTable::unmap(Addr vaddr, PageSize size, PtOpStats* stats) {
+  if (!is_aligned(vaddr, bytes(size))) {
+    return Errno::kInval;
+  }
+  const unsigned target = leaf_level(size);
+  Node* node = root_.get();
+  PtOpStats local;
+  local.levels = 1;
+  for (unsigned level = 3; level > target; --level) {
+    Entry& e = node->slots[index_at(vaddr, level)];
+    if (e.leaf || !e.child) {
+      return Errno::kNoEnt;
+    }
+    node = e.child.get();
+    ++local.levels;
+  }
+  Entry& leaf = node->slots[index_at(vaddr, target)];
+  if (!leaf.leaf) {
+    return Errno::kNoEnt;
+  }
+  leaf.leaf = false;
+  leaf.phys = 0;
+  leaf.prot = Prot::kNone;
+  --node->used;
+  ++local.entries_written;
+  account_map(size, -static_cast<std::int64_t>(bytes(size)));
+  // Interior tables are retained (Linux frees them lazily too); the
+  // table_pages_ count therefore only grows within a process lifetime.
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return Errno::kOk;
+}
+
+Errno PageTable::protect(Addr vaddr, PageSize size, Prot prot) {
+  const unsigned target = leaf_level(size);
+  Node* node = root_.get();
+  for (unsigned level = 3; level > target; --level) {
+    Entry& e = node->slots[index_at(vaddr, level)];
+    if (e.leaf || !e.child) {
+      return Errno::kNoEnt;
+    }
+    node = e.child.get();
+  }
+  Entry& leaf = node->slots[index_at(vaddr, target)];
+  if (!leaf.leaf) {
+    return Errno::kNoEnt;
+  }
+  leaf.prot = prot;
+  return Errno::kOk;
+}
+
+std::optional<Translation> PageTable::walk(Addr vaddr) const {
+  const Node* node = root_.get();
+  for (unsigned level = 3; level > 0; --level) {
+    const Entry& e = node->slots[index_at(vaddr, level)];
+    if (e.leaf) {
+      const PageSize size = level == 1 ? PageSize::k2M : PageSize::k1G;
+      const Addr offset = vaddr & (bytes(size) - 1);
+      return Translation{e.phys + offset, size, e.prot};
+    }
+    if (!e.child) {
+      return std::nullopt;
+    }
+    node = e.child.get();
+  }
+  const Entry& leaf = node->slots[index_at(vaddr, 0)];
+  if (!leaf.leaf) {
+    return std::nullopt;
+  }
+  const Addr offset = vaddr & (kSmallPageSize - 1);
+  return Translation{leaf.phys + offset, PageSize::k4K, leaf.prot};
+}
+
+Errno PageTable::split_large(Addr vaddr, PtOpStats* stats) {
+  const Addr base = align_down(vaddr, kLargePageSize);
+  Node* node = root_.get();
+  for (unsigned level = 3; level > 1; --level) {
+    Entry& e = node->slots[index_at(base, level)];
+    if (e.leaf || !e.child) {
+      return Errno::kNoEnt;
+    }
+    node = e.child.get();
+  }
+  Entry& pd = node->slots[index_at(base, 1)];
+  if (!pd.leaf) {
+    return Errno::kNoEnt;
+  }
+  const Addr phys = pd.phys;
+  const Prot prot = pd.prot;
+  // Replace the 2M leaf with a PT of 512 4K leaves over the same frames.
+  pd.leaf = false;
+  pd.child = std::make_unique<Node>();
+  ++table_pages_;
+  Node* pt = pd.child.get();
+  for (unsigned i = 0; i < kFanout; ++i) {
+    Entry& e = pt->slots[i];
+    e.leaf = true;
+    e.phys = phys + static_cast<Addr>(i) * kSmallPageSize;
+    e.prot = prot;
+  }
+  pt->used = kFanout;
+  account_map(PageSize::k2M, -static_cast<std::int64_t>(kLargePageSize));
+  account_map(PageSize::k4K, static_cast<std::int64_t>(kLargePageSize));
+  if (stats != nullptr) {
+    stats->levels = 4;
+    stats->tables_allocated = 1;
+    stats->entries_written = kFanout;
+  }
+  return Errno::kOk;
+}
+
+unsigned PageTable::small_count_in_2m(Addr vaddr) const {
+  const Addr base = align_down(vaddr, kLargePageSize);
+  const Node* node = root_.get();
+  for (unsigned level = 3; level > 1; --level) {
+    const Entry& e = node->slots[index_at(base, level)];
+    if (e.leaf || !e.child) {
+      return 0;
+    }
+    node = e.child.get();
+  }
+  const Entry& pd = node->slots[index_at(base, 1)];
+  if (pd.leaf || !pd.child) {
+    return 0;
+  }
+  return pd.child->used;
+}
+
+bool PageTable::large_leaf_at(Addr vaddr) const {
+  const auto t = walk(vaddr);
+  return t.has_value() && t->size != PageSize::k4K;
+}
+
+std::uint64_t PageTable::mapped_bytes(Range vrange) const {
+  std::uint64_t total = 0;
+  for_each_leaf([&](Addr va, const Translation& t) {
+    const Range leaf{va, va + bytes(t.size)};
+    if (leaf.overlaps(vrange)) {
+      const Addr lo = std::max(leaf.begin, vrange.begin);
+      const Addr hi = std::min(leaf.end, vrange.end);
+      total += hi - lo;
+    }
+  });
+  return total;
+}
+
+} // namespace hpmmap::mm

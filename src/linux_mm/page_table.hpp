@@ -1,0 +1,133 @@
+// Four-level x86-64 page tables (PML4 -> PDPT -> PD -> PT).
+//
+// Both memory managers drive this structure: Linux installs 4K PTEs and
+// 2M PD entries through the fault path; HPMMAP installs 2M/1G leaves
+// directly at allocation time in an otherwise-unused region of the
+// 48-bit address space (§III-B). The structure is real — walks descend
+// real levels, splits really replace a leaf with 512 children — while
+// costs are charged by the caller from the step counts returned here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "hw/tlb.hpp"
+
+namespace hpmmap::mm {
+
+struct Translation {
+  Addr phys = 0;
+  PageSize size = PageSize::k4K;
+  Prot prot = Prot::kNone;
+};
+
+/// Step counts for cost accounting: levels descended and table pages
+/// freshly allocated during the operation.
+struct PtOpStats {
+  unsigned levels = 0;
+  unsigned tables_allocated = 0;
+  unsigned entries_written = 0;
+};
+
+class PageTable {
+ public:
+  PageTable();
+  ~PageTable();
+  PageTable(PageTable&&) noexcept;
+  PageTable& operator=(PageTable&&) noexcept;
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  /// Install a leaf mapping. Fails with kExist if any part of the region
+  /// is already mapped, kInval on misalignment.
+  Errno map(Addr vaddr, Addr paddr, PageSize size, Prot prot, PtOpStats* stats = nullptr);
+
+  /// Remove the leaf at `vaddr` (must match `size`). kNoEnt if absent.
+  Errno unmap(Addr vaddr, PageSize size, PtOpStats* stats = nullptr);
+
+  /// Change protections on an existing leaf.
+  Errno protect(Addr vaddr, PageSize size, Prot prot);
+
+  /// Translate. nullopt when unmapped.
+  [[nodiscard]] std::optional<Translation> walk(Addr vaddr) const;
+
+  /// Split a 2M leaf into 512 4K leaves covering the same physical range
+  /// (what THP does when a large page must be mlocked, §II-B). Returns
+  /// kNoEnt if no 2M leaf maps `vaddr`.
+  Errno split_large(Addr vaddr, PtOpStats* stats = nullptr);
+
+  /// Byte totals of current leaf mappings per page size — the MappingMix
+  /// the TLB model consumes.
+  [[nodiscard]] hw::MappingMix mapping_mix() const noexcept { return mix_; }
+
+  /// Count of leaf mappings whose translation lies in [range).
+  [[nodiscard]] std::uint64_t mapped_bytes(Range vrange) const;
+
+  /// Number of 4K leaves inside the 2M-aligned region containing `vaddr`
+  /// — O(depth), used by khugepaged to pick merge candidates.
+  [[nodiscard]] unsigned small_count_in_2m(Addr vaddr) const;
+
+  /// True if a 2M (or larger) leaf already covers `vaddr`.
+  [[nodiscard]] bool large_leaf_at(Addr vaddr) const;
+
+  /// Pages consumed by the table structure itself.
+  [[nodiscard]] std::uint64_t table_pages() const noexcept { return table_pages_; }
+
+  /// Visit every leaf as (vaddr, Translation); deterministic order.
+  template <typename Fn>
+  void for_each_leaf(Fn&& fn) const {
+    visit_leaves(root_.get(), 0, 3, fn);
+  }
+
+ private:
+  static constexpr unsigned kFanout = 512;
+  struct Node;
+  struct Entry {
+    // Either a child table (interior) or a leaf translation.
+    std::unique_ptr<Node> child;
+    bool leaf = false;
+    Addr phys = 0;
+    Prot prot = Prot::kNone;
+  };
+  struct Node {
+    std::array<Entry, kFanout> slots;
+    std::uint16_t used = 0;
+  };
+
+  /// Index of `vaddr` at `level` (level 3 = PML4 ... level 0 = PT).
+  [[nodiscard]] static unsigned index_at(Addr vaddr, unsigned level) noexcept {
+    return static_cast<unsigned>((vaddr >> (12 + 9 * level)) & (kFanout - 1));
+  }
+  /// Leaf level for a page size: 0 for 4K, 1 for 2M, 2 for 1G.
+  [[nodiscard]] static unsigned leaf_level(PageSize size) noexcept;
+
+  template <typename Fn>
+  void visit_leaves(const Node* node, Addr base, unsigned level, Fn&& fn) const {
+    if (node == nullptr) {
+      return;
+    }
+    for (unsigned i = 0; i < kFanout; ++i) {
+      const Entry& e = node->slots[i];
+      const Addr va = base | (static_cast<Addr>(i) << (12 + 9 * level));
+      if (e.leaf) {
+        const PageSize size = level == 0   ? PageSize::k4K
+                              : level == 1 ? PageSize::k2M
+                                           : PageSize::k1G;
+        fn(va, Translation{e.phys, size, e.prot});
+      } else if (e.child) {
+        visit_leaves(e.child.get(), va, level - 1, fn);
+      }
+    }
+  }
+
+  void account_map(PageSize size, std::int64_t delta) noexcept;
+
+  std::unique_ptr<Node> root_;
+  hw::MappingMix mix_;
+  std::uint64_t table_pages_ = 1; // the root
+};
+
+} // namespace hpmmap::mm

@@ -1,0 +1,185 @@
+#include "linux_mm/vma.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace hpmmap::mm {
+
+Errno VmaTree::insert(Vma vma) {
+  if (vma.range.empty() || !is_aligned(vma.range.begin, kSmallPageSize) ||
+      !is_aligned(vma.range.end, kSmallPageSize)) {
+    return Errno::kInval;
+  }
+  // Overlap check against the neighbour before and after.
+  auto next = vmas_.lower_bound(vma.range.begin);
+  if (next != vmas_.end() && vma.range.overlaps(next->second.range)) {
+    return Errno::kExist;
+  }
+  if (next != vmas_.begin()) {
+    auto prev = std::prev(next);
+    if (vma.range.overlaps(prev->second.range)) {
+      return Errno::kExist;
+    }
+  }
+  auto [it, inserted] = vmas_.emplace(vma.range.begin, vma);
+  HPMMAP_ASSERT(inserted, "emplace after overlap check cannot fail");
+  merge_around(it);
+  return Errno::kOk;
+}
+
+void VmaTree::merge_around(std::map<Addr, Vma>::iterator it) {
+  // Merge with successor.
+  auto next = std::next(it);
+  if (next != vmas_.end() && it->second.range.end == next->second.range.begin &&
+      it->second.compatible(next->second)) {
+    it->second.range.end = next->second.range.end;
+    vmas_.erase(next);
+  }
+  // Merge with predecessor.
+  if (it != vmas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.range.end == it->second.range.begin &&
+        prev->second.compatible(it->second)) {
+      prev->second.range.end = it->second.range.end;
+      vmas_.erase(it);
+    }
+  }
+}
+
+std::vector<Vma> VmaTree::remove(Range range) {
+  std::vector<Vma> removed;
+  if (range.empty()) {
+    return removed;
+  }
+  // First VMA that could intersect: the one before lower_bound included.
+  auto it = vmas_.lower_bound(range.begin);
+  if (it != vmas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.range.end > range.begin) {
+      it = prev;
+    }
+  }
+  while (it != vmas_.end() && it->second.range.begin < range.end) {
+    Vma vma = it->second;
+    if (!vma.range.overlaps(range)) {
+      ++it;
+      continue;
+    }
+    it = vmas_.erase(it);
+    // Head piece survives.
+    if (vma.range.begin < range.begin) {
+      Vma head = vma;
+      head.range.end = range.begin;
+      vmas_.emplace(head.range.begin, head);
+    }
+    // Tail piece survives.
+    if (vma.range.end > range.end) {
+      Vma tail = vma;
+      tail.range.begin = range.end;
+      it = vmas_.emplace(tail.range.begin, tail).first;
+      ++it;
+    }
+    // The removed middle.
+    Vma mid = vma;
+    mid.range.begin = std::max(vma.range.begin, range.begin);
+    mid.range.end = std::min(vma.range.end, range.end);
+    removed.push_back(mid);
+  }
+  return removed;
+}
+
+Errno VmaTree::protect(Range range, Prot prot) {
+  if (range.empty()) {
+    return Errno::kInval;
+  }
+  // Verify full coverage first (mprotect fails on unmapped holes).
+  Addr cursor = range.begin;
+  auto it = vmas_.lower_bound(range.begin);
+  if (it != vmas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.range.end > range.begin) {
+      it = prev;
+    }
+  }
+  for (auto scan = it; cursor < range.end; ++scan) {
+    if (scan == vmas_.end() || scan->second.range.begin > cursor) {
+      return Errno::kNoEnt;
+    }
+    cursor = scan->second.range.end;
+  }
+  // Split-and-set.
+  std::vector<Vma> pieces = remove(range);
+  for (Vma& piece : pieces) {
+    piece.prot = prot;
+    const Errno err = insert(piece);
+    HPMMAP_ASSERT(err == Errno::kOk, "reinsert of removed piece cannot overlap");
+  }
+  return Errno::kOk;
+}
+
+const Vma* VmaTree::find(Addr addr) const {
+  auto it = vmas_.upper_bound(addr);
+  if (it == vmas_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return it->second.range.contains(addr) ? &it->second : nullptr;
+}
+
+std::optional<Addr> VmaTree::find_free_topdown(std::uint64_t len, std::uint64_t alignment,
+                                               Range window) const {
+  HPMMAP_ASSERT(alignment >= kSmallPageSize, "alignment below page size");
+  if (len == 0 || window.size() < len) {
+    return std::nullopt;
+  }
+  // Scan gaps from the top of the window downward.
+  Addr gap_end = window.end;
+  auto it = vmas_.lower_bound(window.end);
+  while (true) {
+    const Addr gap_begin =
+        (it == vmas_.begin()) ? window.begin
+                              : std::max(window.begin, std::prev(it)->second.range.end);
+    if (gap_end > gap_begin && gap_end - gap_begin >= len) {
+      const Addr candidate = align_down(gap_end - len, alignment);
+      if (candidate >= gap_begin && candidate >= window.begin) {
+        return candidate;
+      }
+    }
+    if (it == vmas_.begin()) {
+      return std::nullopt;
+    }
+    --it;
+    gap_end = std::min(window.end, it->second.range.begin);
+  }
+}
+
+std::uint64_t VmaTree::mapped_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [begin, vma] : vmas_) {
+    total += vma.range.size();
+  }
+  return total;
+}
+
+bool VmaTree::check_consistency() const {
+  Addr prev_end = 0;
+  const Vma* prev = nullptr;
+  for (const auto& [begin, vma] : vmas_) {
+    if (vma.range.empty() || begin != vma.range.begin) {
+      return false;
+    }
+    if (vma.range.begin < prev_end) {
+      return false; // overlap
+    }
+    if (prev != nullptr && prev->range.end == vma.range.begin && prev->compatible(vma)) {
+      return false; // unmerged mergeable neighbours
+    }
+    prev_end = vma.range.end;
+    prev = &vma;
+  }
+  return true;
+}
+
+} // namespace hpmmap::mm

@@ -1,0 +1,112 @@
+// Virtual memory areas and the per-process VMA tree.
+//
+// The paper's §II argument hinges on VMA-level behaviour: Linux lays VMAs
+// out for 4K allocation, producing alignment and permission conflicts
+// that forbid large mappings; THP eligibility is a per-VMA property;
+// HugeTLBfs regions are special VMAs; the stack VMA can never be
+// hugetlb-backed. This module implements those semantics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hpmmap::mm {
+
+enum class VmaKind : std::uint8_t {
+  kText,    // executable image
+  kData,    // initialized data / BSS
+  kHeap,    // brk-managed
+  kStack,   // grows down; never hugetlb (§II-C)
+  kAnon,    // anonymous mmap
+  kHugetlb, // HugeTLBfs-backed file mapping
+};
+
+[[nodiscard]] constexpr std::string_view name(VmaKind k) noexcept {
+  switch (k) {
+    case VmaKind::kText:    return "text";
+    case VmaKind::kData:    return "data";
+    case VmaKind::kHeap:    return "heap";
+    case VmaKind::kStack:   return "stack";
+    case VmaKind::kAnon:    return "anon";
+    case VmaKind::kHugetlb: return "hugetlb";
+  }
+  return "?";
+}
+
+struct Vma {
+  Range range;
+  Prot prot = kProtRW;
+  VmaKind kind = VmaKind::kAnon;
+  bool thp_eligible = false; // anonymous, large enough, madvise/always policy
+  bool locked = false;       // mlock'd
+  PageSize hugetlb_size = PageSize::k2M; // meaningful only for kHugetlb
+
+  /// Two VMAs can merge when adjacent and identical in every attribute
+  /// (the permission-conflict rule from §II-A: differing prot flags keep
+  /// VMAs separate and defeat large mappings).
+  [[nodiscard]] bool compatible(const Vma& other) const noexcept {
+    return prot == other.prot && kind == other.kind && thp_eligible == other.thp_eligible &&
+           locked == other.locked && hugetlb_size == other.hugetlb_size;
+  }
+};
+
+/// Canonical layout windows (x86-64 Linux-like).
+struct AddressLayout {
+  static constexpr Addr kTextBase = 0x0000000000400000ull;
+  static constexpr Addr kMmapTop = 0x00007f0000000000ull;   // mmap grows down from here
+  static constexpr Addr kMmapBottom = 0x0000100000000000ull;
+  static constexpr Addr kStackTop = 0x00007ffffffff000ull;
+  static constexpr std::uint64_t kStackMax = 8 * 1024 * 1024ull; // RLIMIT_STACK default
+  /// HPMMAP claims a region Linux never uses (§III-B: "locates and maps
+  /// memory into an unused memory region").
+  static constexpr Addr kHpmmapBase = 0x0000200000000000ull;
+  static constexpr Addr kHpmmapTop = 0x0000400000000000ull;
+};
+
+class VmaTree {
+ public:
+  /// Insert; fails with kExist on overlap. Adjacent compatible VMAs are
+  /// merged (Linux's vma_merge), which is what makes heaps THP-friendly.
+  Errno insert(Vma vma);
+
+  /// Remove [range); partially covered VMAs are split. Returns the
+  /// removed pieces so the caller can release backing pages.
+  std::vector<Vma> remove(Range range);
+
+  /// Change protection over [range); splits partially covered VMAs.
+  /// This is how permission conflicts fragment a once-mergeable region.
+  Errno protect(Range range, Prot prot);
+
+  [[nodiscard]] const Vma* find(Addr addr) const;
+
+  /// Lowest gap of at least `len` aligned to `alignment` within `window`
+  /// searching downward from the top (Linux's default mmap policy).
+  [[nodiscard]] std::optional<Addr> find_free_topdown(std::uint64_t len, std::uint64_t alignment,
+                                                      Range window) const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return vmas_.size(); }
+  [[nodiscard]] std::uint64_t mapped_bytes() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return vmas_.empty(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [begin, vma] : vmas_) {
+      fn(vma);
+    }
+  }
+
+  /// Invariants: sorted, non-overlapping, non-empty, merged where
+  /// mergeable. For tests.
+  [[nodiscard]] bool check_consistency() const;
+
+ private:
+  void merge_around(std::map<Addr, Vma>::iterator it);
+  std::map<Addr, Vma> vmas_; // keyed by range.begin
+};
+
+} // namespace hpmmap::mm

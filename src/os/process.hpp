@@ -1,0 +1,83 @@
+// Process control block for the simulated node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linux_mm/address_space.hpp"
+#include "linux_mm/fault.hpp"
+#include "os/scheduler.hpp"
+
+namespace hpmmap::os {
+
+/// Which memory manager backs this process's address-space syscalls.
+/// §IV's three configurations: THP (plain Linux with THP), HugeTLBfs
+/// (pools for the app, THP off), HPMMAP (module-managed app).
+enum class MmPolicy : std::uint8_t { kLinuxThp, kLinuxPlain, kHugetlbfs, kHpmmap };
+
+[[nodiscard]] constexpr std::string_view name(MmPolicy p) noexcept {
+  switch (p) {
+    case MmPolicy::kLinuxThp:   return "Linux (THP)";
+    case MmPolicy::kLinuxPlain: return "Linux (4K)";
+    case MmPolicy::kHugetlbfs:  return "Linux (HugeTLBfs)";
+    case MmPolicy::kHpmmap:     return "HPMMAP";
+  }
+  return "?";
+}
+
+/// A fault observation for the Figure 4/5 scatter plots.
+struct FaultRecord {
+  Cycles when = 0;
+  mm::FaultKind kind = mm::FaultKind::kSmall;
+  Cycles cost = 0;
+};
+
+class Process {
+ public:
+  Process(Pid pid, std::string proc_name, MmPolicy policy)
+      : pid_(pid), name_(std::move(proc_name)), policy_(policy), as_(pid) {}
+
+  [[nodiscard]] Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] MmPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] mm::AddressSpace& address_space() noexcept { return as_; }
+  [[nodiscard]] const mm::AddressSpace& address_space() const noexcept { return as_; }
+
+  // --- scheduling -------------------------------------------------------
+  void set_core(std::int32_t core) noexcept { core_ = core; }
+  [[nodiscard]] std::int32_t core() const noexcept { return core_; }
+  void set_sched_handle(Scheduler::ThreadId id) noexcept { sched_ = id; }
+  [[nodiscard]] Scheduler::ThreadId sched_handle() const noexcept { return sched_; }
+
+  // --- fault accounting ----------------------------------------------------
+  [[nodiscard]] mm::FaultStats& fault_stats() noexcept { return fault_stats_; }
+  [[nodiscard]] const mm::FaultStats& fault_stats() const noexcept { return fault_stats_; }
+  void enable_trace(bool on) noexcept { trace_enabled_ = on; }
+  [[nodiscard]] bool trace_enabled() const noexcept { return trace_enabled_; }
+  void record_fault(Cycles when, mm::FaultKind kind, Cycles cost) {
+    fault_stats_.record(kind, cost);
+    if (trace_enabled_) {
+      trace_.push_back(FaultRecord{when, kind, cost});
+    }
+  }
+  [[nodiscard]] const std::vector<FaultRecord>& trace() const noexcept { return trace_; }
+
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  void mark_dead() noexcept { alive_ = false; }
+
+ private:
+  Pid pid_;
+  std::string name_;
+  MmPolicy policy_;
+  mm::AddressSpace as_;
+  std::int32_t core_ = -1;
+  Scheduler::ThreadId sched_{};
+  mm::FaultStats fault_stats_;
+  std::vector<FaultRecord> trace_;
+  bool trace_enabled_ = false;
+  bool alive_ = true;
+};
+
+} // namespace hpmmap::os

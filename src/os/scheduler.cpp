@@ -1,0 +1,111 @@
+#include "os/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hpmmap::os {
+
+Scheduler::Scheduler(std::uint32_t cores) : pinned_weight_(cores, 0.0), core_load_(cores, 0.0) {
+  HPMMAP_ASSERT(cores > 0, "need at least one core");
+}
+
+Scheduler::ThreadId Scheduler::add_thread(std::int32_t core, double weight) {
+  HPMMAP_ASSERT(core < static_cast<std::int32_t>(pinned_weight_.size()), "core out of range");
+  HPMMAP_ASSERT(weight >= 0.0 && weight <= 1.0, "weight is a duty cycle");
+  threads_.push_back(Thread{core, weight, true});
+  if (core >= 0) {
+    pinned_weight_[static_cast<std::size_t>(core)] += weight;
+  } else {
+    unpinned_weight_ += weight;
+  }
+  dirty_ = true;
+  return ThreadId{static_cast<std::uint32_t>(threads_.size())};
+}
+
+void Scheduler::remove_thread(ThreadId id) {
+  HPMMAP_ASSERT(id.valid() && id.id <= threads_.size(), "bad thread id");
+  Thread& t = threads_[id.id - 1];
+  HPMMAP_ASSERT(t.live, "double remove");
+  if (t.core >= 0) {
+    pinned_weight_[static_cast<std::size_t>(t.core)] -= t.weight;
+  } else {
+    unpinned_weight_ -= t.weight;
+  }
+  t.live = false;
+  dirty_ = true;
+}
+
+void Scheduler::set_weight(ThreadId id, double weight) {
+  HPMMAP_ASSERT(id.valid() && id.id <= threads_.size(), "bad thread id");
+  Thread& t = threads_[id.id - 1];
+  HPMMAP_ASSERT(t.live, "weight change on dead thread");
+  if (t.core >= 0) {
+    pinned_weight_[static_cast<std::size_t>(t.core)] += weight - t.weight;
+  } else {
+    unpinned_weight_ += weight - t.weight;
+  }
+  t.weight = weight;
+  dirty_ = true;
+}
+
+void Scheduler::recompute() const {
+  if (!dirty_) {
+    return;
+  }
+  // Water-fill the unpinned demand over the cores: find level L with
+  // sum_c max(0, L - pinned_c) = unpinned. Then core load = max(pinned, L).
+  std::vector<double> sorted = pinned_weight_;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double remaining = unpinned_weight_;
+  double level = 0.0;
+  double filled = 0.0; // cores at or below the current level
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double step = sorted[i] - level;
+    const double need = step * filled;
+    if (need >= remaining) {
+      break;
+    }
+    remaining -= need;
+    level = sorted[i];
+    filled += 1.0;
+  }
+  if (filled > 0.0) {
+    level += remaining / filled;
+  } else if (remaining > 0.0) {
+    // Every core starts above zero pinned load: spread over all.
+    level = sorted.empty() ? 0.0 : sorted[0];
+    level += remaining / n;
+  }
+  water_level_ = level;
+  for (std::size_t c = 0; c < pinned_weight_.size(); ++c) {
+    core_load_[c] = std::max(pinned_weight_[c], water_level_);
+  }
+  dirty_ = false;
+}
+
+double Scheduler::dilation(std::int32_t core) const {
+  recompute();
+  if (core < 0) {
+    return std::max(1.0, water_level_);
+  }
+  HPMMAP_ASSERT(core < static_cast<std::int32_t>(core_load_.size()), "core out of range");
+  return std::max(1.0, core_load_[static_cast<std::size_t>(core)]);
+}
+
+double Scheduler::oversubscription() const {
+  const double total = total_weight();
+  const double n = static_cast<double>(pinned_weight_.size());
+  return std::max(1.0, total / n);
+}
+
+double Scheduler::total_weight() const {
+  double total = unpinned_weight_;
+  for (double w : pinned_weight_) {
+    total += w;
+  }
+  return total;
+}
+
+} // namespace hpmmap::os

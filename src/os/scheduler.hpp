@@ -1,0 +1,65 @@
+// CPU time-sharing model.
+//
+// The evaluation co-locates HPC ranks (pinned, §IV) with kernel-build
+// jobs (explicitly "not pinned to any memory or cores"). Rather than
+// simulating CFS tick by tick, the model solves the steady-state fair
+// share: unpinned load water-fills across cores, and a thread's wall
+// time is its CPU demand times the load ("dilation") of the core it runs
+// on. Profile B's core overcommit (8 app cores + two 8-way builds on 12
+// cores) produces dilation > 1 for the app; profile A's does not — which
+// is exactly the asymmetry Figure 7 shows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hpmmap::os {
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::uint32_t cores);
+
+  struct ThreadId {
+    std::uint32_t id = 0;
+    [[nodiscard]] bool valid() const noexcept { return id != 0; }
+  };
+
+  /// Register a runnable thread. `core` < 0 means unpinned; `weight` is
+  /// its CPU duty cycle in [0, 1] (build jobs stall on I/O, ~0.6).
+  ThreadId add_thread(std::int32_t core, double weight);
+  void remove_thread(ThreadId id);
+  /// Change a thread's demand (e.g. a build job entering its link phase).
+  void set_weight(ThreadId id, double weight);
+
+  /// Load factor (>= 1) experienced by a thread pinned to `core`, or by
+  /// an unpinned thread (pass -1): its wall time per CPU cycle.
+  [[nodiscard]] double dilation(std::int32_t core) const;
+
+  /// Node-wide oversubscription: total runnable weight / cores, floored
+  /// at 1. Feeds the khugepaged preemption model.
+  [[nodiscard]] double oversubscription() const;
+
+  [[nodiscard]] std::uint32_t cores() const noexcept {
+    return static_cast<std::uint32_t>(pinned_weight_.size());
+  }
+  [[nodiscard]] double total_weight() const;
+
+ private:
+  struct Thread {
+    std::int32_t core;
+    double weight;
+    bool live;
+  };
+  void recompute() const;
+
+  std::vector<Thread> threads_;
+  std::vector<double> pinned_weight_;      // per-core pinned demand
+  double unpinned_weight_ = 0.0;
+  mutable std::vector<double> core_load_;  // solved loads
+  mutable double water_level_ = 0.0;
+  mutable bool dirty_ = true;
+};
+
+} // namespace hpmmap::os

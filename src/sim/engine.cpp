@@ -1,0 +1,63 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hpmmap::sim {
+
+EventId Engine::schedule(Cycles delay, Callback fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Engine::schedule_at(Cycles when, Callback fn) {
+  HPMMAP_ASSERT(when >= now_, "cannot schedule an event in the past");
+  HPMMAP_ASSERT(fn != nullptr, "event callback must be callable");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+void Engine::cancel(EventId id) {
+  if (id.valid()) {
+    cancelled_.insert(id.seq);
+  }
+}
+
+bool Engine::fire_next(Cycles limit) {
+  while (!heap_.empty()) {
+    if (heap_.top().when > limit) {
+      return false;
+    }
+    // priority_queue::top() is const; the callback is moved out via the
+    // pop-copy below. Entries are small (one std::function).
+    Entry e = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.when;
+    ++fired_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && fire_next(~Cycles{0})) {
+  }
+}
+
+void Engine::run_until(Cycles until) {
+  stopped_ = false;
+  while (!stopped_ && fire_next(until)) {
+  }
+  if (!stopped_ && now_ < until) {
+    now_ = until;
+  }
+}
+
+} // namespace hpmmap::sim

@@ -1,0 +1,80 @@
+// Discrete-event simulation engine.
+//
+// Everything in the simulated node — application compute bursts, page
+// faults, khugepaged scans, kernel-build process churn — is an event on a
+// single virtual clock measured in CPU cycles. Determinism is guaranteed
+// by (time, sequence) ordering: two events at the same cycle fire in
+// scheduling order, never in container-iteration order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hpmmap::sim {
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const noexcept { return seq != 0; }
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] Cycles now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` cycles from now.
+  EventId schedule(Cycles delay, Callback fn);
+
+  /// Schedule `fn` at absolute time `when` (>= now()).
+  EventId schedule_at(Cycles when, Callback fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is
+  /// a harmless no-op (mirrors timer APIs the actors expect).
+  void cancel(EventId id);
+
+  /// Run until the queue drains or `stop()` is called.
+  void run();
+
+  /// Run events with time <= `until`; afterwards now() == max(now, until)
+  /// unless stopped earlier.
+  void run_until(Cycles until);
+
+  /// Stop after the currently executing event returns.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+ private:
+  struct Entry {
+    Cycles when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  bool fire_next(Cycles limit);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  bool stopped_ = false;
+};
+
+} // namespace hpmmap::sim

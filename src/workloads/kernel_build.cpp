@@ -1,0 +1,184 @@
+#include "workloads/kernel_build.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace hpmmap::workloads {
+
+KernelBuild::KernelBuild(os::Node& node, KernelBuildConfig config, Rng rng)
+    : node_(node), config_(config), rng_(rng) {
+  jobs_.resize(config_.jobs);
+}
+
+KernelBuild::~KernelBuild() { stop(); }
+
+void KernelBuild::start() {
+  HPMMAP_ASSERT(!running_, "build started twice");
+  running_ = true;
+  for (std::size_t slot = 0; slot < jobs_.size(); ++slot) {
+    // Stagger job starts like a make ramping up.
+    const Cycles stagger = node_.spec().cycles(0.02 * static_cast<double>(slot));
+    jobs_[slot].pending = node_.engine().schedule(stagger, [this, slot] { spawn_job(slot); });
+  }
+}
+
+void KernelBuild::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  for (Job& job : jobs_) {
+    node_.engine().cancel(job.pending);
+    if (job.live) {
+      free_blocks(job, 1.0);
+      node_.scheduler().remove_thread(job.sched);
+      node_.bandwidth().clear_demand(job.bw);
+      job.live = false;
+    }
+  }
+}
+
+unsigned KernelBuild::sample_order() {
+  // Compiler memory: mostly small slabs with occasional larger arenas.
+  const double u = rng_.uniform_double();
+  if (u < 0.45) {
+    return 0;
+  }
+  if (u < 0.65) {
+    return 1;
+  }
+  if (u < 0.80) {
+    return 2;
+  }
+  if (u < 0.92) {
+    return 3;
+  }
+  return 4;
+}
+
+void KernelBuild::allocate_working_set(Job& job, std::uint64_t bytes) {
+  std::uint64_t got = 0;
+  while (got < bytes) {
+    // Back off under memory pressure: a real compiler's anonymous pages
+    // would be swapped or its job OOM-killed before it drained every
+    // zone; either way the build does not get to push the system past
+    // its watermarks and starve the co-tenant outright.
+    if (node_.memory().below_low_watermark(job.home)) {
+      const ZoneId other = (job.home + 1) % node_.spec().numa_zones;
+      if (node_.memory().below_low_watermark(other)) {
+        ++stats_.alloc_failures;
+        return;
+      }
+      job.home = other;
+    }
+    const unsigned order = sample_order();
+    auto addr = node_.kernel_alloc(job.home, order);
+    if (!addr.has_value()) {
+      // Zone exhausted: try the other zone, then give up (the compiler
+      // would be OOM-killed; we just cap its working set).
+      const ZoneId other = (job.home + 1) % node_.spec().numa_zones;
+      addr = node_.kernel_alloc(other, order);
+      if (!addr.has_value()) {
+        ++stats_.alloc_failures;
+        return;
+      }
+      job.blocks.push_back(Block{other, *addr, order});
+    } else {
+      job.blocks.push_back(Block{job.home, *addr, order});
+    }
+    got += mm::BuddyAllocator::order_bytes(order);
+  }
+  stats_.bytes_churned += got;
+}
+
+void KernelBuild::free_blocks(Job& job, double fraction) {
+  if (job.blocks.empty()) {
+    return;
+  }
+  if (fraction >= 1.0) {
+    for (const Block& b : job.blocks) {
+      node_.kernel_free(b.zone, b.addr, b.order);
+    }
+    job.blocks.clear();
+    return;
+  }
+  // Free a deterministic-random subset, leaving holes behind — this is
+  // the fragmentation generator.
+  const auto keep_target =
+      static_cast<std::size_t>(static_cast<double>(job.blocks.size()) * (1.0 - fraction));
+  std::vector<Block> keep;
+  keep.reserve(keep_target);
+  for (const Block& b : job.blocks) {
+    if (keep.size() < keep_target && rng_.chance(1.0 - fraction)) {
+      keep.push_back(b);
+    } else {
+      node_.kernel_free(b.zone, b.addr, b.order);
+    }
+  }
+  job.blocks = std::move(keep);
+}
+
+void KernelBuild::spawn_job(std::size_t slot) {
+  if (!running_) {
+    return;
+  }
+  Job& job = jobs_[slot];
+  job.live = true;
+  job.phase = 0;
+  job.home = static_cast<ZoneId>(rng_.uniform(node_.spec().numa_zones));
+  job.sched = node_.scheduler().add_thread(/*core=*/-1, config_.duty_cycle);
+  job.bw = node_.bandwidth().register_consumer();
+  node_.bandwidth().set_demand(job.bw, job.home, config_.bw_demand_per_job);
+  job_step(slot);
+}
+
+void KernelBuild::job_step(std::size_t slot) {
+  if (!running_) {
+    return;
+  }
+  Job& job = jobs_[slot];
+  const double dilation = node_.scheduler().dilation(-1);
+  const auto chunk = [&](double frac) {
+    const double cpu = config_.mean_job_seconds * frac;
+    const double wall = cpu / config_.duty_cycle * dilation;
+    return node_.spec().cycles(rng_.lognormal_from_moments(wall, 0.3 * wall));
+  };
+
+  switch (job.phase) {
+    case 0: { // read sources into the page cache, allocate arenas
+      const std::uint64_t ws = static_cast<std::uint64_t>(
+          rng_.lognormal_from_moments(static_cast<double>(config_.mean_job_bytes),
+                                      0.5 * static_cast<double>(config_.mean_job_bytes)));
+      allocate_working_set(job, std::clamp<std::uint64_t>(ws, 16 * MiB, 512 * MiB));
+      node_.memory().cache(job.home).set_dirty_fraction(config_.cache_dirty_fraction);
+      node_.memory().cache(job.home).grow(config_.cache_bytes_per_job / 2, sample_order(),
+                                          /*dirty=*/false);
+      break;
+    }
+    case 1: // front-end + middle-end
+      break;
+    case 2: // back-end: object output dirties the cache, frees AST arenas
+      node_.memory().cache(job.home).grow(config_.cache_bytes_per_job / 2, sample_order(),
+                                          /*dirty=*/true);
+      free_blocks(job, 0.6);
+      break;
+    case 3: { // job exit: free the rest, account, respawn
+      free_blocks(job, 1.0);
+      node_.scheduler().remove_thread(job.sched);
+      node_.bandwidth().clear_demand(job.bw);
+      job.live = false;
+      ++stats_.jobs_completed;
+      const Cycles gap = node_.spec().cycles(0.01 + 0.02 * rng_.uniform_double());
+      job.pending = node_.engine().schedule(gap, [this, slot] { spawn_job(slot); });
+      return;
+    }
+    default:
+      HPMMAP_ASSERT(false, "unreachable build phase");
+  }
+  ++job.phase;
+  job.pending = node_.engine().schedule(chunk(1.0 / 3.0), [this, slot] { job_step(slot); });
+}
+
+} // namespace hpmmap::workloads

@@ -1,0 +1,71 @@
+// Memory/compute/communication profiles of the evaluation's
+// applications (§IV-A).
+//
+// The paper uses the Mantevo mini-apps and LAMMPS as *memory-behaviour
+// generators*: what matters to the experiments is each app's footprint
+// (weak-scaled so 8 ranks allocate ~12 GB), its allocation pattern
+// (one-shot setup vs per-iteration churn), its access locality, and its
+// per-iteration synchronization. These profiles encode those traits;
+// the numbers are calibrated against the paper's single-node runtimes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hpmmap::workloads {
+
+struct AppProfile {
+  std::string name;
+
+  // --- memory ------------------------------------------------------------
+  std::uint64_t bytes_per_rank = 0;    // main arrays, allocated at setup
+  std::uint64_t misc_bytes = 0;        // libc/MPI pools (mmap, setup)
+  std::uint64_t stack_bytes = 0;       // stack actually touched
+  std::uint64_t iter_alloc_bytes = 0;  // temp buffers churned per iteration
+  double setup_brk_fraction = 0.7;     // share of main data via brk vs mmap
+  std::uint64_t data_chunk_bytes = 64 * 1024 * 1024ull; // per-array mmap granularity
+
+  // --- compute -------------------------------------------------------------
+  std::uint64_t iterations = 100;
+  Cycles cpu_per_iter = 0;           // on-core work per rank-iteration
+  double access_rate = 0.15;         // memory references per cpu cycle
+  double locality = 0.95;            // hot-set fraction for the TLB model
+  double stream_bytes_per_cycle = 1.0; // DRAM demand per rank during compute
+
+  // --- communication -------------------------------------------------------
+  std::uint64_t allreduces_per_iter = 1;
+  std::uint64_t halo_bytes_per_iter = 0;
+};
+
+/// Conjugate gradient solver; memory-bandwidth bound, tight allreduce
+/// every iteration (dot products).
+[[nodiscard]] AppProfile hpccg(double clock_hz);
+/// Classical molecular dynamics (materials science).
+[[nodiscard]] AppProfile comd(double clock_hz);
+/// MD force-computation proxy; the paper's Figure 2-4 subject.
+[[nodiscard]] AppProfile minimd(double clock_hz);
+/// Unstructured implicit finite elements; assembly allocates heavily.
+[[nodiscard]] AppProfile minife(double clock_hz);
+/// LAMMPS (ASC Sequoia); scaling study only.
+[[nodiscard]] AppProfile lammps(double clock_hz);
+
+[[nodiscard]] AppProfile profile_by_name(const std::string& app_name, double clock_hz);
+
+/// Commodity competition profiles (§IV-B/C). A: one parallel kernel
+/// build (8 jobs, throttled to 4 when the app uses 8 cores); B: two
+/// builds; C: one 4-job build per node; D: two 4-job builds per node.
+struct CommodityProfile {
+  std::string name;
+  std::uint32_t builds = 1;
+  std::uint32_t jobs_per_build = 8;
+};
+
+[[nodiscard]] CommodityProfile profile_a(std::uint32_t app_cores);
+[[nodiscard]] CommodityProfile profile_b(std::uint32_t app_cores);
+[[nodiscard]] CommodityProfile profile_c();
+[[nodiscard]] CommodityProfile profile_d();
+[[nodiscard]] CommodityProfile no_competition();
+
+} // namespace hpmmap::workloads

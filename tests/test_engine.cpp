@@ -1,0 +1,160 @@
+// Unit tests: discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace hpmmap::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(30, [&] { order.push_back(3); });
+  e.schedule(10, [&] { order.push_back(1); });
+  e.schedule(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, TieBreakIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Engine, NowAdvancesToEventTime) {
+  Engine e;
+  Cycles seen = 0;
+  e.schedule(123, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 123u);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule(10, [&] {
+    ++fired;
+    e.schedule(10, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 20u);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  int fired = 0;
+  const EventId id = e.schedule(10, [&] { ++fired; });
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, CancelInvalidIsNoop) {
+  Engine e;
+  e.cancel(EventId{});
+  e.cancel(EventId{9999});
+  int fired = 0;
+  e.schedule(1, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine e;
+  int fired = 0;
+  e.schedule(10, [&] { ++fired; });
+  e.schedule(100, [&] { ++fired; });
+  e.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 50u);
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilAdvancesTimeWithNoEvents) {
+  Engine e;
+  e.run_until(777);
+  EXPECT_EQ(e.now(), 777u);
+}
+
+TEST(Engine, EventAtLimitFires) {
+  Engine e;
+  int fired = 0;
+  e.schedule(50, [&] { ++fired; });
+  e.run_until(50);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule(2, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pending_events(), 1u);
+}
+
+TEST(Engine, RunResumesAfterStop) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1, [&] { e.stop(); });
+  e.schedule(2, [&] { ++fired; });
+  e.run();
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, EventsFiredCountsOnlyExecuted) {
+  Engine e;
+  const EventId id = e.schedule(5, [] {});
+  e.schedule(6, [] {});
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(e.events_fired(), 1u);
+}
+
+TEST(Engine, ScheduleAtAbsoluteTime) {
+  Engine e;
+  Cycles seen = 0;
+  e.schedule(10, [&] { e.schedule_at(40, [&] { seen = e.now(); }); });
+  e.run();
+  EXPECT_EQ(seen, 40u);
+}
+
+TEST(EngineDeath, SchedulingInPastAborts) {
+  Engine e;
+  e.schedule(100, [&] {
+    EXPECT_DEATH((void)e.schedule_at(50, [] {}), "past");
+  });
+  e.run();
+}
+
+TEST(EngineDeath, NullCallbackAborts) {
+  Engine e;
+  EXPECT_DEATH((void)e.schedule(1, Engine::Callback{}), "callable");
+}
+
+} // namespace
+} // namespace hpmmap::sim

@@ -1,0 +1,220 @@
+// Unit tests: hardware models (machines, physical memory/offlining,
+// TLB reach, bandwidth contention).
+#include <gtest/gtest.h>
+
+#include "hw/bandwidth.hpp"
+#include "hw/machine.hpp"
+#include "hw/phys_mem.hpp"
+#include "hw/tlb.hpp"
+
+namespace hpmmap::hw {
+namespace {
+
+// --- machines ---------------------------------------------------------------
+
+TEST(Machine, DellR415MatchesPaperTestbed) {
+  const MachineSpec m = dell_r415();
+  EXPECT_EQ(m.total_cores(), 12u);       // 2x 6-core Opteron 4174
+  EXPECT_EQ(m.ram_bytes, 16 * GiB);
+  EXPECT_EQ(m.numa_zones, 2u);
+  EXPECT_DOUBLE_EQ(m.clock_hz, 2.3e9);
+  EXPECT_EQ(m.ram_per_zone(), 8 * GiB);
+}
+
+TEST(Machine, SandiaNodeMatchesPaperTestbed) {
+  const MachineSpec m = sandia_xeon_node();
+  EXPECT_EQ(m.total_cores(), 8u);        // 2x 4-core Xeon X5570
+  EXPECT_EQ(m.ram_bytes, 24 * GiB);
+  EXPECT_EQ(m.numa_zones, 2u);
+}
+
+TEST(Machine, SecondsCyclesRoundTrip) {
+  const MachineSpec m = dell_r415();
+  EXPECT_DOUBLE_EQ(m.seconds(m.cycles(1.5)), 1.5);
+  EXPECT_EQ(m.cycles(1.0), static_cast<Cycles>(2.3e9));
+}
+
+// --- physical memory / offlining --------------------------------------------
+
+TEST(PhysicalMemory, LayoutSplitsEvenly) {
+  PhysicalMemory pm(16 * GiB, 2);
+  ASSERT_EQ(pm.zones().size(), 2u);
+  EXPECT_EQ(pm.zones()[0].range, (Range{0, 8 * GiB}));
+  EXPECT_EQ(pm.zones()[1].range, (Range{8 * GiB, 16 * GiB}));
+  EXPECT_EQ(pm.sections().size(), 16 * GiB / kMemorySectionSize);
+  EXPECT_EQ(pm.online_bytes(0), 8 * GiB);
+}
+
+TEST(PhysicalMemory, ZoneOf) {
+  PhysicalMemory pm(16 * GiB, 2);
+  EXPECT_EQ(pm.zone_of(0), 0u);
+  EXPECT_EQ(pm.zone_of(8 * GiB - 1), 0u);
+  EXPECT_EQ(pm.zone_of(8 * GiB), 1u);
+  EXPECT_EQ(pm.zone_of(16 * GiB - 1), 1u);
+}
+
+TEST(PhysicalMemory, OfflineTakesFromTopOfZone) {
+  PhysicalMemory pm(16 * GiB, 2);
+  const auto ranges = pm.offline_bytes(0, 6 * GiB);
+  ASSERT_EQ(ranges.size(), 1u); // contiguous top block
+  EXPECT_EQ(ranges[0], (Range{2 * GiB, 8 * GiB}));
+  EXPECT_EQ(pm.online_bytes(0), 2 * GiB);
+  EXPECT_EQ(pm.offlined_bytes(0), 6 * GiB);
+  EXPECT_TRUE(pm.is_offline(5 * GiB));
+  EXPECT_FALSE(pm.is_offline(1 * GiB));
+}
+
+TEST(PhysicalMemory, OfflineRoundsUpToSections) {
+  PhysicalMemory pm(16 * GiB, 2);
+  const auto ranges = pm.offline_bytes(0, kMemorySectionSize / 2);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].size(), kMemorySectionSize);
+}
+
+TEST(PhysicalMemory, OfflineTooMuchFails) {
+  PhysicalMemory pm(16 * GiB, 2);
+  EXPECT_TRUE(pm.offline_bytes(0, 9 * GiB).empty());
+  EXPECT_EQ(pm.online_bytes(0), 8 * GiB); // untouched
+}
+
+TEST(PhysicalMemory, OnlineRestores) {
+  PhysicalMemory pm(16 * GiB, 2);
+  const auto ranges = pm.offline_bytes(1, 4 * GiB);
+  EXPECT_EQ(pm.online_bytes(1), 4 * GiB);
+  pm.online_ranges(ranges);
+  EXPECT_EQ(pm.online_bytes(1), 8 * GiB);
+  EXPECT_FALSE(pm.is_offline(15 * GiB));
+}
+
+TEST(PhysicalMemory, RepeatedOfflineConsumesDownward) {
+  PhysicalMemory pm(16 * GiB, 2);
+  const auto first = pm.offline_bytes(0, 2 * GiB);
+  const auto second = pm.offline_bytes(0, 2 * GiB);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(first[0].begin, 6 * GiB);
+  EXPECT_EQ(second[0].begin, 4 * GiB);
+}
+
+TEST(PhysicalMemoryDeath, DoubleOnlineAborts) {
+  PhysicalMemory pm(16 * GiB, 2);
+  const auto ranges = pm.offline_bytes(0, 1 * GiB);
+  pm.online_ranges(ranges);
+  EXPECT_DEATH(pm.online_ranges(ranges), "double-online");
+}
+
+// --- TLB model -----------------------------------------------------------------
+
+TEST(TlbModel, NoMissWhenWorkingSetFits) {
+  TlbModel tlb(dell_r415().tlb);
+  MappingMix mix;
+  mix.bytes_4k = 64 * KiB; // trivially covered
+  EXPECT_EQ(tlb.miss_rate(mix, 0.9), 0.0);
+  EXPECT_EQ(tlb.translation_cycles_per_access(mix, 0.9), 0.0);
+}
+
+TEST(TlbModel, EmptyMixCostsNothing) {
+  TlbModel tlb(dell_r415().tlb);
+  EXPECT_EQ(tlb.translation_cycles_per_access(MappingMix{}, 0.9), 0.0);
+}
+
+TEST(TlbModel, LargePagesBeatSmallPagesAtScale) {
+  TlbModel tlb(dell_r415().tlb);
+  MappingMix small;
+  small.bytes_4k = 2 * GiB;
+  MappingMix large;
+  large.bytes_2m = 2 * GiB;
+  const double cost_small = tlb.translation_cycles_per_access(small, 0.95);
+  const double cost_large = tlb.translation_cycles_per_access(large, 0.95);
+  EXPECT_GT(cost_small, cost_large * 3.0); // the paper's whole premise
+}
+
+TEST(TlbModel, MissRateMonotonicInWorkingSet) {
+  TlbModel tlb(dell_r415().tlb);
+  double prev = -1.0;
+  for (std::uint64_t ws = 64 * MiB; ws <= 4 * GiB; ws *= 2) {
+    MappingMix mix;
+    mix.bytes_4k = ws;
+    const double rate = tlb.miss_rate(mix, 0.95);
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(TlbModel, HigherLocalityLowersCost) {
+  TlbModel tlb(dell_r415().tlb);
+  MappingMix mix;
+  mix.bytes_4k = 1 * GiB;
+  EXPECT_LT(tlb.translation_cycles_per_access(mix, 0.99),
+            tlb.translation_cycles_per_access(mix, 0.80));
+}
+
+TEST(TlbModel, LargeFraction) {
+  MappingMix mix;
+  mix.bytes_4k = 1 * GiB;
+  mix.bytes_2m = 3 * GiB;
+  EXPECT_DOUBLE_EQ(mix.large_fraction(), 0.75);
+  EXPECT_EQ(MappingMix{}.large_fraction(), 0.0);
+}
+
+// --- bandwidth -------------------------------------------------------------------
+
+TEST(Bandwidth, NoContentionBelowCapacity) {
+  BandwidthModel bw(2, 5.6);
+  auto c = bw.register_consumer();
+  bw.set_demand(c, 0, 3.0);
+  EXPECT_DOUBLE_EQ(bw.contention_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(bw.contention_factor(1), 1.0);
+}
+
+TEST(Bandwidth, ContentionGrowsWithOversubscription) {
+  BandwidthModel bw(2, 5.0);
+  auto c1 = bw.register_consumer();
+  auto c2 = bw.register_consumer();
+  bw.set_demand(c1, 0, 4.0);
+  bw.set_demand(c2, 0, 6.0);
+  EXPECT_DOUBLE_EQ(bw.contention_factor(0), 2.0); // 10 over 5
+}
+
+TEST(Bandwidth, EffectiveRateProportionalShare) {
+  BandwidthModel bw(1, 8.0);
+  auto c = bw.register_consumer();
+  bw.set_demand(c, 0, 8.0);
+  // A newcomer wanting 8 against 8 existing on an 8-capacity channel
+  // gets half the channel.
+  EXPECT_DOUBLE_EQ(bw.effective_rate(0, 8.0), 4.0);
+}
+
+TEST(Bandwidth, EffectiveRateUnimpairedWhenIdle) {
+  BandwidthModel bw(1, 8.0);
+  EXPECT_DOUBLE_EQ(bw.effective_rate(0, 6.0), 6.0);
+}
+
+TEST(Bandwidth, RetargetingDemandReplaces) {
+  BandwidthModel bw(1, 10.0);
+  auto c = bw.register_consumer();
+  bw.set_demand(c, 0, 9.0);
+  bw.set_demand(c, 0, 2.0); // replaces, not adds
+  EXPECT_DOUBLE_EQ(bw.total_demand(0), 2.0);
+}
+
+TEST(Bandwidth, ClearDemandRemovesAllZones) {
+  BandwidthModel bw(2, 10.0);
+  auto c = bw.register_consumer();
+  bw.set_demand(c, 0, 5.0);
+  bw.set_demand(c, 1, 7.0);
+  bw.clear_demand(c);
+  EXPECT_DOUBLE_EQ(bw.total_demand(0), 0.0);
+  EXPECT_DOUBLE_EQ(bw.total_demand(1), 0.0);
+}
+
+TEST(Bandwidth, ZonesAreIndependent) {
+  BandwidthModel bw(2, 5.0);
+  auto c = bw.register_consumer();
+  bw.set_demand(c, 0, 50.0);
+  EXPECT_GT(bw.contention_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(bw.contention_factor(1), 1.0);
+}
+
+} // namespace
+} // namespace hpmmap::hw

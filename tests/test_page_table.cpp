@@ -1,0 +1,252 @@
+// Unit + property tests: 4-level page tables.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "linux_mm/page_table.hpp"
+
+namespace hpmmap::mm {
+namespace {
+
+constexpr Addr kVa = 0x7f00'0000'0000ull;
+constexpr Addr kPa = 0x1'0000'0000ull;
+
+TEST(PageTable, FreshTableTranslatesNothing) {
+  PageTable pt;
+  EXPECT_FALSE(pt.walk(0).has_value());
+  EXPECT_FALSE(pt.walk(kVa).has_value());
+  EXPECT_EQ(pt.mapping_mix().total(), 0u);
+  EXPECT_EQ(pt.table_pages(), 1u);
+}
+
+TEST(PageTable, Map4kRoundTrip) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  const auto t = pt.walk(kVa + 123);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->phys, kPa + 123);
+  EXPECT_EQ(t->size, PageSize::k4K);
+  EXPECT_EQ(t->prot, kProtRW);
+}
+
+TEST(PageTable, Map2mRoundTripWithOffset) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k2M, kProtRW), Errno::kOk);
+  const auto t = pt.walk(kVa + 1 * MiB + 17);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->phys, kPa + 1 * MiB + 17);
+  EXPECT_EQ(t->size, PageSize::k2M);
+}
+
+TEST(PageTable, Map1gRoundTrip) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k1G, kProtRW), Errno::kOk);
+  const auto t = pt.walk(kVa + 700 * MiB);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->size, PageSize::k1G);
+  EXPECT_EQ(t->phys, kPa + 700 * MiB);
+}
+
+TEST(PageTable, MisalignedMapRejected) {
+  PageTable pt;
+  EXPECT_EQ(pt.map(kVa + 1, kPa, PageSize::k4K, kProtRW), Errno::kInval);
+  EXPECT_EQ(pt.map(kVa + 4 * KiB, kPa, PageSize::k2M, kProtRW), Errno::kInval);
+  EXPECT_EQ(pt.map(kVa, kPa + 4 * KiB, PageSize::k2M, kProtRW), Errno::kInval);
+}
+
+TEST(PageTable, DoubleMapRejected) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  EXPECT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kExist);
+}
+
+TEST(PageTable, SmallUnderLargeRejected) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k2M, kProtRW), Errno::kOk);
+  EXPECT_EQ(pt.map(kVa + 4 * KiB, kPa, PageSize::k4K, kProtRW), Errno::kExist);
+}
+
+TEST(PageTable, LargeOverPopulatedSmallRejected) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  EXPECT_EQ(pt.map(kVa, kPa, PageSize::k2M, kProtRW), Errno::kExist);
+}
+
+TEST(PageTable, LargeMapReclaimsEmptyChildTable) {
+  // The khugepaged collapse path: map smalls, unmap them all, then the
+  // 2M leaf must install (freeing the empty PT page).
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  const std::uint64_t pages_with_child = pt.table_pages();
+  ASSERT_EQ(pt.unmap(kVa, PageSize::k4K), Errno::kOk);
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k2M, kProtRW), Errno::kOk);
+  EXPECT_EQ(pt.table_pages(), pages_with_child - 1);
+  const auto t = pt.walk(kVa);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->size, PageSize::k2M);
+}
+
+TEST(PageTable, UnmapMissingIsNoEnt) {
+  PageTable pt;
+  EXPECT_EQ(pt.unmap(kVa, PageSize::k4K), Errno::kNoEnt);
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  EXPECT_EQ(pt.unmap(kVa + 4 * KiB, PageSize::k4K), Errno::kNoEnt);
+}
+
+TEST(PageTable, UnmapRemovesTranslation) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  ASSERT_EQ(pt.unmap(kVa, PageSize::k4K), Errno::kOk);
+  EXPECT_FALSE(pt.walk(kVa).has_value());
+}
+
+TEST(PageTable, ProtectChangesLeaf) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  ASSERT_EQ(pt.protect(kVa, PageSize::k4K, Prot::kRead), Errno::kOk);
+  EXPECT_EQ(pt.walk(kVa)->prot, Prot::kRead);
+  EXPECT_EQ(pt.protect(kVa + 4 * KiB, PageSize::k4K, Prot::kRead), Errno::kNoEnt);
+}
+
+TEST(PageTable, MappingMixAccounting) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  ASSERT_EQ(pt.map(kVa + 2 * MiB, kPa + 2 * MiB, PageSize::k2M, kProtRW), Errno::kOk);
+  const auto mix = pt.mapping_mix();
+  EXPECT_EQ(mix.bytes_4k, 4 * KiB);
+  EXPECT_EQ(mix.bytes_2m, 2 * MiB);
+  ASSERT_EQ(pt.unmap(kVa + 2 * MiB, PageSize::k2M), Errno::kOk);
+  EXPECT_EQ(pt.mapping_mix().bytes_2m, 0u);
+}
+
+TEST(PageTable, SplitLargePreservesTranslationAndProt) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k2M, kProtRX), Errno::kOk);
+  PtOpStats stats;
+  ASSERT_EQ(pt.split_large(kVa + 300 * KiB, &stats), Errno::kOk);
+  EXPECT_EQ(stats.entries_written, 512u);
+  for (Addr off : {Addr{0}, Addr{4 * KiB}, Addr{2 * MiB - 4 * KiB}}) {
+    const auto t = pt.walk(kVa + off + 5);
+    ASSERT_TRUE(t.has_value()) << off;
+    EXPECT_EQ(t->size, PageSize::k4K);
+    EXPECT_EQ(t->phys, kPa + off + 5);
+    EXPECT_EQ(t->prot, kProtRX);
+  }
+  const auto mix = pt.mapping_mix();
+  EXPECT_EQ(mix.bytes_2m, 0u);
+  EXPECT_EQ(mix.bytes_4k, 2 * MiB);
+}
+
+TEST(PageTable, SplitLargeOnSmallIsNoEnt) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  EXPECT_EQ(pt.split_large(kVa), Errno::kNoEnt);
+  EXPECT_EQ(pt.split_large(kVa + 32 * MiB), Errno::kNoEnt);
+}
+
+TEST(PageTable, SmallCountIn2m) {
+  PageTable pt;
+  EXPECT_EQ(pt.small_count_in_2m(kVa), 0u);
+  for (unsigned i = 0; i < 10; ++i) {
+    ASSERT_EQ(pt.map(kVa + i * 4 * KiB, kPa + i * 4 * KiB, PageSize::k4K, kProtRW), Errno::kOk);
+  }
+  EXPECT_EQ(pt.small_count_in_2m(kVa), 10u);
+  EXPECT_EQ(pt.small_count_in_2m(kVa + 1 * MiB), 10u); // same 2M region
+  EXPECT_EQ(pt.small_count_in_2m(kVa + 2 * MiB), 0u);
+  ASSERT_EQ(pt.unmap(kVa, PageSize::k4K), Errno::kOk);
+  EXPECT_EQ(pt.small_count_in_2m(kVa), 9u);
+}
+
+TEST(PageTable, LargeLeafAt) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k2M, kProtRW), Errno::kOk);
+  EXPECT_TRUE(pt.large_leaf_at(kVa + 1 * MiB));
+  EXPECT_FALSE(pt.large_leaf_at(kVa + 2 * MiB));
+}
+
+TEST(PageTable, MappedBytesInRange) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  ASSERT_EQ(pt.map(kVa + 2 * MiB, kPa + 2 * MiB, PageSize::k2M, kProtRW), Errno::kOk);
+  EXPECT_EQ(pt.mapped_bytes(Range{kVa, kVa + 4 * MiB}), 4 * KiB + 2 * MiB);
+  // Partial overlap with the large leaf counts partially.
+  EXPECT_EQ(pt.mapped_bytes(Range{kVa + 2 * MiB, kVa + 3 * MiB}), 1 * MiB);
+}
+
+TEST(PageTable, ForEachLeafVisitsAll) {
+  PageTable pt;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW), Errno::kOk);
+  ASSERT_EQ(pt.map(kVa + 2 * MiB, kPa + 2 * MiB, PageSize::k2M, kProtRW), Errno::kOk);
+  std::vector<std::pair<Addr, PageSize>> leaves;
+  pt.for_each_leaf([&](Addr va, const Translation& t) { leaves.emplace_back(va, t.size); });
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0], (std::pair<Addr, PageSize>{kVa, PageSize::k4K}));
+  EXPECT_EQ(leaves[1], (std::pair<Addr, PageSize>{kVa + 2 * MiB, PageSize::k2M}));
+}
+
+TEST(PageTable, OpStatsReportTableAllocations) {
+  PageTable pt;
+  PtOpStats stats;
+  ASSERT_EQ(pt.map(kVa, kPa, PageSize::k4K, kProtRW, &stats), Errno::kOk);
+  EXPECT_EQ(stats.levels, 4u);
+  EXPECT_EQ(stats.tables_allocated, 3u); // PDPT, PD, PT under a fresh root
+  PtOpStats stats2;
+  ASSERT_EQ(pt.map(kVa + 4 * KiB, kPa + 4 * KiB, PageSize::k4K, kProtRW, &stats2), Errno::kOk);
+  EXPECT_EQ(stats2.tables_allocated, 0u); // same PT
+}
+
+// --- property test --------------------------------------------------------------
+
+class PageTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageTableProperty, RandomMapUnmapConsistent) {
+  PageTable pt;
+  Rng rng(GetParam());
+  std::map<Addr, std::pair<Addr, PageSize>> shadow; // va -> (pa, size)
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool large = rng.chance(0.3);
+    const PageSize size = large ? PageSize::k2M : PageSize::k4K;
+    const Addr va = align_down(kVa + rng.uniform(512 * MiB), bytes(size));
+    if (rng.chance(0.6)) {
+      const Addr pa = align_down(rng.uniform(64 * GiB), bytes(size));
+      const Errno err = pt.map(va, pa, size, kProtRW);
+      // Shadow-check: map succeeds iff nothing overlaps in the shadow.
+      bool overlap = false;
+      const Range want{va, va + bytes(size)};
+      for (const auto& [sva, entry] : shadow) {
+        if (want.overlaps(Range{sva, sva + bytes(entry.second)})) {
+          overlap = true;
+          break;
+        }
+      }
+      ASSERT_EQ(err == Errno::kOk, !overlap) << "va=" << va;
+      if (err == Errno::kOk) {
+        shadow[va] = {pa, size};
+      }
+    } else if (!shadow.empty()) {
+      auto it = shadow.begin();
+      std::advance(it, static_cast<long>(rng.uniform(shadow.size())));
+      ASSERT_EQ(pt.unmap(it->first, it->second.second), Errno::kOk);
+      shadow.erase(it);
+    }
+  }
+  // Every shadow entry translates exactly; mix matches byte totals.
+  std::uint64_t b4k = 0, b2m = 0;
+  for (const auto& [va, entry] : shadow) {
+    const auto t = pt.walk(va);
+    ASSERT_TRUE(t.has_value());
+    ASSERT_EQ(t->phys, entry.first);
+    ASSERT_EQ(t->size, entry.second);
+    (entry.second == PageSize::k4K ? b4k : b2m) += bytes(entry.second);
+  }
+  EXPECT_EQ(pt.mapping_mix().bytes_4k, b4k);
+  EXPECT_EQ(pt.mapping_mix().bytes_2m, b2m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace hpmmap::mm

@@ -1,0 +1,218 @@
+// Unit tests: deterministic RNG streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hpmmap {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = Rng(7).fork(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  }
+}
+
+TEST(Rng, ForkSiblingsIndependent) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += c1.next_u64() == c2.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StringForkMatchesRepeatable) {
+  Rng parent(9);
+  Rng a = parent.fork("mm");
+  Rng b = Rng(9).fork("mm");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StringForksDifferByName) {
+  Rng parent(9);
+  Rng a = parent.fork("mm");
+  Rng b = parent.fork("net");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.fork("x");
+  (void)a.fork(77);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformBoundZeroReturnsZero) {
+  Rng r(3);
+  EXPECT_EQ(r.uniform(0), 0u);
+}
+
+TEST(Rng, UniformStaysInBound) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = r.uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u); // all values hit
+}
+
+TEST(Rng, UniformCoversSmallRangeEvenly) {
+  Rng r(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[r.uniform(8)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 80); // within 10%
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(6);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng r(6);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalFromMomentsMatchesTarget) {
+  Rng r(8);
+  const double mean = 1768.0, stdev = 993.0; // Figure 2's small-fault row
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.lognormal_from_moments(mean, stdev);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double m = sum / n;
+  const double s = std::sqrt(sum2 / n - m * m);
+  EXPECT_NEAR(m, mean, mean * 0.02);
+  EXPECT_NEAR(s, stdev, stdev * 0.05);
+}
+
+TEST(Rng, LognormalZeroMeanIsZero) {
+  Rng r(8);
+  EXPECT_EQ(r.lognormal_from_moments(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(12);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.exponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(r.pareto(100.0, 1.6), 100.0);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng r(13);
+  double max_v = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    max_v = std::max(max_v, r.pareto(1.0, 1.5));
+  }
+  EXPECT_GT(max_v, 100.0); // tail reaches far past the minimum
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng r(14);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  EXPECT_FALSE(r.chance(-0.5));
+  EXPECT_TRUE(r.chance(2.0));
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(15);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += r.chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  Rng r(20);
+  std::shuffle(v.begin(), v.end(), r);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+} // namespace
+} // namespace hpmmap

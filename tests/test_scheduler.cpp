@@ -1,0 +1,123 @@
+// Unit tests: the water-filling CPU contention model.
+#include <gtest/gtest.h>
+
+#include "os/scheduler.hpp"
+
+namespace hpmmap::os {
+namespace {
+
+TEST(Scheduler, IdleMachineHasUnitDilation) {
+  Scheduler s(12);
+  EXPECT_DOUBLE_EQ(s.dilation(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.dilation(-1), 1.0);
+  EXPECT_DOUBLE_EQ(s.oversubscription(), 1.0);
+}
+
+TEST(Scheduler, SinglePinnedThreadNoDilation) {
+  Scheduler s(12);
+  s.add_thread(0, 1.0);
+  EXPECT_DOUBLE_EQ(s.dilation(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.dilation(1), 1.0);
+}
+
+TEST(Scheduler, TwoPinnedOnSameCoreShare) {
+  Scheduler s(12);
+  s.add_thread(3, 1.0);
+  s.add_thread(3, 1.0);
+  EXPECT_DOUBLE_EQ(s.dilation(3), 2.0);
+  EXPECT_DOUBLE_EQ(s.dilation(0), 1.0);
+}
+
+TEST(Scheduler, UnpinnedLoadFillsIdleCoresFirst) {
+  // Profile A at 8 app cores: 8 pinned + 4 build jobs (duty 0.6) on 12
+  // cores. The builds fit on the 4 idle cores: the app sees no dilation.
+  Scheduler s(12);
+  for (int c = 0; c < 8; ++c) {
+    s.add_thread(c, 1.0);
+  }
+  for (int j = 0; j < 4; ++j) {
+    s.add_thread(-1, 0.6);
+  }
+  EXPECT_DOUBLE_EQ(s.dilation(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.dilation(-1), 1.0); // water level 0.6 < 1
+}
+
+TEST(Scheduler, OvercommitDilatesEveryone) {
+  // Profile B at 8 app cores: 8 pinned + 16 build jobs on 12 cores.
+  Scheduler s(12);
+  for (int c = 0; c < 8; ++c) {
+    s.add_thread(c, 1.0);
+  }
+  for (int j = 0; j < 16; ++j) {
+    s.add_thread(-1, 0.6);
+  }
+  // Water level L solves 4L + 8(L-1) = 9.6 -> L = 17.6/12 ~= 1.467:
+  // the builds spill past the idle cores and dilate the app too.
+  EXPECT_NEAR(s.dilation(-1), 17.6 / 12.0, 1e-9);
+  EXPECT_NEAR(s.dilation(0), 17.6 / 12.0, 1e-9);
+  EXPECT_GT(s.oversubscription(), 1.0);
+}
+
+TEST(Scheduler, WaterLevelMatchesClosedForm) {
+  // 4 cores, 2 pinned (1.0 each), unpinned demand 4.0:
+  // level L solves 2*(L-0) + 2*(L-1) = 4 -> L = 1.5.
+  Scheduler s(4);
+  s.add_thread(0, 1.0);
+  s.add_thread(1, 1.0);
+  for (int i = 0; i < 4; ++i) {
+    s.add_thread(-1, 1.0);
+  }
+  EXPECT_NEAR(s.dilation(-1), 1.5, 1e-9);
+  EXPECT_NEAR(s.dilation(0), 1.5, 1e-9);
+}
+
+TEST(Scheduler, RemoveThreadRestoresState) {
+  Scheduler s(4);
+  const auto id = s.add_thread(0, 1.0);
+  const auto id2 = s.add_thread(0, 1.0);
+  EXPECT_DOUBLE_EQ(s.dilation(0), 2.0);
+  s.remove_thread(id2);
+  EXPECT_DOUBLE_EQ(s.dilation(0), 1.0);
+  s.remove_thread(id);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 0.0);
+}
+
+TEST(Scheduler, SetWeightAdjustsLoad) {
+  Scheduler s(2);
+  const auto id = s.add_thread(-1, 1.0);
+  s.add_thread(0, 1.0);
+  s.add_thread(1, 1.0);
+  EXPECT_DOUBLE_EQ(s.dilation(0), 1.5); // 3 demand on 2 cores
+  s.set_weight(id, 0.0);
+  EXPECT_DOUBLE_EQ(s.dilation(0), 1.0);
+}
+
+TEST(Scheduler, OversubscriptionFloorsAtOne) {
+  Scheduler s(8);
+  s.add_thread(0, 1.0);
+  EXPECT_DOUBLE_EQ(s.oversubscription(), 1.0);
+}
+
+TEST(Scheduler, DutyCycleWeightsCount) {
+  Scheduler s(2);
+  for (int i = 0; i < 10; ++i) {
+    s.add_thread(-1, 0.1); // ten 10%-duty jobs = 1 core of demand
+  }
+  EXPECT_DOUBLE_EQ(s.dilation(-1), 1.0);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 1.0);
+}
+
+TEST(SchedulerDeath, BadCoreAborts) {
+  Scheduler s(4);
+  EXPECT_DEATH((void)s.add_thread(4, 1.0), "core out of range");
+}
+
+TEST(SchedulerDeath, DoubleRemoveAborts) {
+  Scheduler s(4);
+  const auto id = s.add_thread(0, 1.0);
+  s.remove_thread(id);
+  EXPECT_DEATH(s.remove_thread(id), "double remove");
+}
+
+} // namespace
+} // namespace hpmmap::os

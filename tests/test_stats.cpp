@@ -1,0 +1,152 @@
+// Unit tests: statistics utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace hpmmap {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stdev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, MinMaxSum) {
+  RunningStats s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(10.0);
+  EXPECT_EQ(s.min(), -1.0);
+  EXPECT_EQ(s.max(), 10.0);
+  EXPECT_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.mean(), mean);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.mean(), mean);
+}
+
+TEST(RunningStats, NumericallyStableForLargeCycleCounts) {
+  RunningStats s;
+  // Cycle counts around 1e13 with small relative spread.
+  for (int i = 0; i < 1000; ++i) {
+    s.add(1e13 + i);
+  }
+  EXPECT_NEAR(s.mean(), 1e13 + 499.5, 1.0);
+  EXPECT_GT(s.variance(), 0.0);
+}
+
+TEST(Samples, PercentileSingle) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_EQ(s.percentile(0), 42.0);
+  EXPECT_EQ(s.percentile(50), 42.0);
+  EXPECT_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+}
+
+TEST(Samples, PercentileAfterMoreAdds) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_EQ(s.percentile(50), 1.0);
+  s.add(3.0); // must invalidate the sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+}
+
+TEST(Samples, MeanStdev) {
+  Samples s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Samples, EmptySafe) {
+  Samples s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stdev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Log2Histogram, BucketsByPowerOfTwo) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.bucket_count(0), 2u); // 0 and 1
+  EXPECT_EQ(h.bucket_count(1), 2u); // 2 and 3
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Log2Histogram, LargeValuesClampToLastBucket) {
+  Log2Histogram h;
+  h.add(~0ull);
+  EXPECT_EQ(h.bucket_count(63), 1u);
+}
+
+} // namespace
+} // namespace hpmmap

@@ -1,0 +1,195 @@
+// Unit tests: core vocabulary types, alignment helpers, the address
+// space wrapper, and logging plumbing.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "linux_mm/address_space.hpp"
+
+namespace hpmmap {
+namespace {
+
+// --- Range ----------------------------------------------------------------
+
+TEST(Range, SizeAndEmpty) {
+  EXPECT_EQ((Range{0, 0}).size(), 0u);
+  EXPECT_TRUE((Range{5, 5}).empty());
+  EXPECT_TRUE((Range{7, 5}).empty());
+  EXPECT_EQ((Range{4 * KiB, 12 * KiB}).size(), 8 * KiB);
+  EXPECT_FALSE((Range{0, 1}).empty());
+}
+
+TEST(Range, ContainsAddress) {
+  const Range r{100, 200};
+  EXPECT_TRUE(r.contains(Addr{100}));
+  EXPECT_TRUE(r.contains(Addr{199}));
+  EXPECT_FALSE(r.contains(Addr{200})); // half-open
+  EXPECT_FALSE(r.contains(Addr{99}));
+}
+
+TEST(Range, ContainsRange) {
+  const Range r{100, 200};
+  EXPECT_TRUE(r.contains(Range{100, 200}));
+  EXPECT_TRUE(r.contains(Range{150, 160}));
+  EXPECT_FALSE(r.contains(Range{90, 110}));
+  EXPECT_FALSE(r.contains(Range{150, 201}));
+}
+
+TEST(Range, Overlaps) {
+  const Range r{100, 200};
+  EXPECT_TRUE(r.overlaps(Range{150, 250}));
+  EXPECT_TRUE(r.overlaps(Range{50, 101}));
+  EXPECT_FALSE(r.overlaps(Range{200, 300})); // touching, half-open
+  EXPECT_FALSE(r.overlaps(Range{0, 100}));
+}
+
+TEST(Range, Ordering) {
+  EXPECT_LT((Range{0, 10}), (Range{1, 5}));
+  EXPECT_EQ((Range{3, 9}), (Range{3, 9}));
+}
+
+// --- alignment ----------------------------------------------------------------
+
+TEST(Alignment, AlignDown) {
+  EXPECT_EQ(align_down(0, 4 * KiB), 0u);
+  EXPECT_EQ(align_down(4095, 4 * KiB), 0u);
+  EXPECT_EQ(align_down(4096, 4 * KiB), 4096u);
+  EXPECT_EQ(align_down(3 * MiB, 2 * MiB), 2 * MiB);
+}
+
+TEST(Alignment, AlignUp) {
+  EXPECT_EQ(align_up(0, 4 * KiB), 0u);
+  EXPECT_EQ(align_up(1, 4 * KiB), 4096u);
+  EXPECT_EQ(align_up(4096, 4 * KiB), 4096u);
+  EXPECT_EQ(align_up(2 * MiB + 1, 2 * MiB), 4 * MiB);
+}
+
+TEST(Alignment, IsAligned) {
+  EXPECT_TRUE(is_aligned(0, 2 * MiB));
+  EXPECT_TRUE(is_aligned(4 * MiB, 2 * MiB));
+  EXPECT_FALSE(is_aligned(2 * MiB + 4 * KiB, 2 * MiB));
+}
+
+// --- enums & names -----------------------------------------------------------------
+
+TEST(Names, PageSizes) {
+  EXPECT_EQ(bytes(PageSize::k4K), 4 * KiB);
+  EXPECT_EQ(bytes(PageSize::k2M), 2 * MiB);
+  EXPECT_EQ(bytes(PageSize::k1G), 1 * GiB);
+  EXPECT_EQ(name(PageSize::k4K), "4K");
+  EXPECT_EQ(name(PageSize::k2M), "2M");
+  EXPECT_EQ(name(PageSize::k1G), "1G");
+}
+
+TEST(Names, Errno) {
+  EXPECT_EQ(name(Errno::kOk), "OK");
+  EXPECT_EQ(name(Errno::kNoMem), "ENOMEM");
+  EXPECT_EQ(name(Errno::kFault), "EFAULT");
+}
+
+TEST(Prot, FlagAlgebra) {
+  EXPECT_TRUE(has(kProtRW, Prot::kRead));
+  EXPECT_TRUE(has(kProtRW, Prot::kWrite));
+  EXPECT_FALSE(has(kProtRW, Prot::kExec));
+  EXPECT_TRUE(has(kProtRX | Prot::kWrite, Prot::kExec));
+  EXPECT_EQ(kProtRW & Prot::kExec, Prot::kNone);
+}
+
+TEST(Units, Constants) {
+  EXPECT_EQ(kSmallPagesPerLarge, 512u);
+  EXPECT_EQ(kLargePagesPerHuge, 512u);
+  EXPECT_EQ(kMemorySectionSize, 128 * MiB);
+}
+
+// --- AddressSpace ----------------------------------------------------------------
+
+TEST(AddressSpace, LockWaitSemantics) {
+  mm::AddressSpace as(1);
+  EXPECT_EQ(as.lock_wait(100), 0u);
+  as.lock_until(1000);
+  EXPECT_EQ(as.lock_wait(100), 900u);
+  EXPECT_EQ(as.lock_wait(1000), 0u);
+  EXPECT_TRUE(as.locked_at(999));
+  EXPECT_FALSE(as.locked_at(1000));
+  // Extending only ever grows the hold.
+  as.lock_until(500);
+  EXPECT_EQ(as.lock_wait(100), 900u);
+  as.lock_until(2000);
+  EXPECT_EQ(as.lock_wait(100), 1900u);
+}
+
+TEST(AddressSpace, SingleZonePolicy) {
+  mm::AddressSpace as(1);
+  as.set_zone_policy(mm::AddressSpace::ZonePolicy::kSingle, 1, 2);
+  EXPECT_EQ(as.zone_for(0), 1u);
+  EXPECT_EQ(as.zone_for(123 * GiB), 1u);
+}
+
+TEST(AddressSpace, InterleavePolicyStripesBy2M) {
+  mm::AddressSpace as(1);
+  as.set_zone_policy(mm::AddressSpace::ZonePolicy::kInterleave, 0, 2);
+  EXPECT_EQ(as.zone_for(0), 0u);
+  EXPECT_EQ(as.zone_for(2 * MiB), 1u);
+  EXPECT_EQ(as.zone_for(4 * MiB), 0u);
+  EXPECT_EQ(as.zone_for(2 * MiB + 17), 1u); // same chunk, same zone
+}
+
+TEST(AddressSpace, InterleaveSplitsEvenly) {
+  mm::AddressSpace as(1);
+  as.set_zone_policy(mm::AddressSpace::ZonePolicy::kInterleave, 0, 2);
+  int zone0 = 0;
+  for (Addr chunk = 0; chunk < 100; ++chunk) {
+    zone0 += as.zone_for(chunk * 2 * MiB) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(zone0, 50); // §IV: "exactly half its memory ... from each zone"
+}
+
+TEST(AddressSpace, HeapBookkeeping) {
+  mm::AddressSpace as(1);
+  as.set_heap_base(0x2000000);
+  EXPECT_EQ(as.heap_base(), 0x2000000u);
+  EXPECT_EQ(as.heap_end(), 0x2000000u);
+  as.set_heap_end(0x2400000);
+  EXPECT_EQ(as.heap_end(), 0x2400000u);
+}
+
+TEST(AddressSpace, SwapMarks) {
+  mm::AddressSpace as(1);
+  EXPECT_FALSE(as.take_swapped(0x1000));
+  as.mark_swapped(0x1000);
+  as.mark_swapped(0x2000);
+  EXPECT_EQ(as.swapped_pages(), 2u);
+  EXPECT_TRUE(as.take_swapped(0x1000));
+  EXPECT_FALSE(as.take_swapped(0x1000)); // one-shot
+  EXPECT_EQ(as.swapped_pages(), 1u);
+}
+
+TEST(AddressSpace, RssTracksPageTable) {
+  mm::AddressSpace as(1);
+  EXPECT_EQ(as.rss_bytes(), 0u);
+  ASSERT_EQ(as.page_table().map(0x200000, 0x400000, PageSize::k2M, kProtRW), Errno::kOk);
+  EXPECT_EQ(as.rss_bytes(), 2 * MiB);
+}
+
+// --- logging ----------------------------------------------------------------------
+
+TEST(Log, LevelGate) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // These must not crash regardless of gating.
+  log_debug("test", "dropped %d", 1);
+  log_error("test", "emitted %s", "fine");
+  set_log_level(before);
+}
+
+TEST(Log, FormatsSafely) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  log_warn("test", "%s %llu %.2f", "str", 123ull, 3.14);
+  set_log_level(before);
+}
+
+} // namespace
+} // namespace hpmmap

@@ -1,0 +1,222 @@
+// Unit + property tests: VMA tree semantics (merging, splitting,
+// permission conflicts, gap search).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "linux_mm/vma.hpp"
+
+namespace hpmmap::mm {
+namespace {
+
+Vma anon(Addr begin, Addr end, Prot prot = kProtRW) {
+  Vma v;
+  v.range = Range{begin, end};
+  v.prot = prot;
+  v.kind = VmaKind::kAnon;
+  return v;
+}
+
+TEST(VmaTree, InsertAndFind) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x3000)), Errno::kOk);
+  EXPECT_NE(t.find(0x1000), nullptr);
+  EXPECT_NE(t.find(0x2fff), nullptr);
+  EXPECT_EQ(t.find(0x3000), nullptr);
+  EXPECT_EQ(t.find(0x0fff), nullptr);
+}
+
+TEST(VmaTree, RejectsOverlap) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x3000)), Errno::kOk);
+  EXPECT_EQ(t.insert(anon(0x2000, 0x4000)), Errno::kExist);
+  EXPECT_EQ(t.insert(anon(0x0000, 0x2000)), Errno::kExist);
+  EXPECT_EQ(t.insert(anon(0x1000, 0x3000)), Errno::kExist);
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(VmaTree, RejectsEmptyAndMisaligned) {
+  VmaTree t;
+  EXPECT_EQ(t.insert(anon(0x1000, 0x1000)), Errno::kInval);
+  EXPECT_EQ(t.insert(anon(0x1001, 0x2000)), Errno::kInval);
+}
+
+TEST(VmaTree, MergesAdjacentCompatible) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x2000)), Errno::kOk);
+  ASSERT_EQ(t.insert(anon(0x2000, 0x3000)), Errno::kOk);
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_EQ(t.find(0x1000)->range, (Range{0x1000, 0x3000}));
+}
+
+TEST(VmaTree, MergesBothSides) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x2000)), Errno::kOk);
+  ASSERT_EQ(t.insert(anon(0x3000, 0x4000)), Errno::kOk);
+  ASSERT_EQ(t.insert(anon(0x2000, 0x3000)), Errno::kOk); // bridges the gap
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(VmaTree, PermissionConflictPreventsMerge) {
+  // The §II-A problem: differing prot flags keep VMAs separate.
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x2000, kProtRW)), Errno::kOk);
+  ASSERT_EQ(t.insert(anon(0x2000, 0x3000, kProtRX)), Errno::kOk);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(VmaTree, KindDifferencePreventsMerge) {
+  VmaTree t;
+  Vma heap = anon(0x1000, 0x2000);
+  heap.kind = VmaKind::kHeap;
+  ASSERT_EQ(t.insert(heap), Errno::kOk);
+  ASSERT_EQ(t.insert(anon(0x2000, 0x3000)), Errno::kOk);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(VmaTree, RemoveWholeVma) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x3000)), Errno::kOk);
+  const auto removed = t.remove(Range{0x1000, 0x3000});
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].range, (Range{0x1000, 0x3000}));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(VmaTree, RemoveMiddleSplits) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x5000)), Errno::kOk);
+  const auto removed = t.remove(Range{0x2000, 0x3000});
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].range, (Range{0x2000, 0x3000}));
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_NE(t.find(0x1000), nullptr);
+  EXPECT_EQ(t.find(0x2000), nullptr);
+  EXPECT_NE(t.find(0x3000), nullptr);
+  EXPECT_TRUE(t.check_consistency());
+}
+
+TEST(VmaTree, RemoveSpanningMultipleVmas) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x2000, kProtRW)), Errno::kOk);
+  ASSERT_EQ(t.insert(anon(0x2000, 0x3000, kProtRX)), Errno::kOk);
+  ASSERT_EQ(t.insert(anon(0x3000, 0x4000, kProtRW)), Errno::kOk);
+  const auto removed = t.remove(Range{0x1800, 0x3800});
+  EXPECT_EQ(removed.size(), 3u);
+  EXPECT_EQ(t.count(), 2u); // head of first, tail of last
+  EXPECT_TRUE(t.check_consistency());
+}
+
+TEST(VmaTree, RemoveUncoveredRangeIsEmpty) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x2000)), Errno::kOk);
+  EXPECT_TRUE(t.remove(Range{0x5000, 0x6000}).empty());
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(VmaTree, ProtectSplitsAndSets) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x5000, kProtRW)), Errno::kOk);
+  ASSERT_EQ(t.protect(Range{0x2000, 0x3000}, Prot::kRead), Errno::kOk);
+  EXPECT_EQ(t.count(), 3u);
+  EXPECT_EQ(t.find(0x1000)->prot, kProtRW);
+  EXPECT_EQ(t.find(0x2000)->prot, Prot::kRead);
+  EXPECT_EQ(t.find(0x3000)->prot, kProtRW);
+  EXPECT_TRUE(t.check_consistency());
+}
+
+TEST(VmaTree, ProtectBackMergesAgain) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x5000, kProtRW)), Errno::kOk);
+  ASSERT_EQ(t.protect(Range{0x2000, 0x3000}, Prot::kRead), Errno::kOk);
+  ASSERT_EQ(t.protect(Range{0x2000, 0x3000}, kProtRW), Errno::kOk);
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(VmaTree, ProtectOverHoleFails) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x2000)), Errno::kOk);
+  ASSERT_EQ(t.insert(anon(0x3000, 0x4000)), Errno::kOk);
+  EXPECT_EQ(t.protect(Range{0x1000, 0x4000}, Prot::kRead), Errno::kNoEnt);
+}
+
+TEST(VmaTree, FindFreeTopdownPrefersHighAddresses) {
+  VmaTree t;
+  const Range window{0x10000, 0x100000};
+  const auto a = t.find_free_topdown(0x1000, kSmallPageSize, window);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0xff000u); // top of window minus len
+}
+
+TEST(VmaTree, FindFreeTopdownSkipsOccupied) {
+  VmaTree t;
+  const Range window{0x10000, 0x100000};
+  ASSERT_EQ(t.insert(anon(0xff000, 0x100000)), Errno::kOk);
+  const auto a = t.find_free_topdown(0x1000, kSmallPageSize, window);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0xfe000u);
+}
+
+TEST(VmaTree, FindFreeTopdownHonorsAlignment) {
+  VmaTree t;
+  const Range window{0x10000, 0x300000 + 0x7000};
+  const auto a = t.find_free_topdown(0x1000, kLargePageSize, window);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(is_aligned(*a, kLargePageSize));
+}
+
+TEST(VmaTree, FindFreeTopdownFindsInteriorGap) {
+  VmaTree t;
+  const Range window{0x10000, 0x20000};
+  ASSERT_EQ(t.insert(anon(0x14000, 0x20000)), Errno::kOk); // blocks the top
+  const auto a = t.find_free_topdown(0x2000, kSmallPageSize, window);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0x12000u);
+}
+
+TEST(VmaTree, FindFreeTopdownFailsWhenFull) {
+  VmaTree t;
+  const Range window{0x10000, 0x20000};
+  ASSERT_EQ(t.insert(anon(0x10000, 0x20000)), Errno::kOk);
+  EXPECT_FALSE(t.find_free_topdown(0x1000, kSmallPageSize, window).has_value());
+}
+
+TEST(VmaTree, MappedBytesSumsVmas) {
+  VmaTree t;
+  ASSERT_EQ(t.insert(anon(0x1000, 0x3000)), Errno::kOk);
+  ASSERT_EQ(t.insert(anon(0x5000, 0x6000)), Errno::kOk);
+  EXPECT_EQ(t.mapped_bytes(), 0x3000u);
+}
+
+// --- property test ----------------------------------------------------------------
+
+class VmaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VmaProperty, RandomOpsKeepTreeConsistent) {
+  VmaTree t;
+  Rng rng(GetParam());
+  const Addr base = 0x100000;
+  const std::uint64_t span = 4 * MiB;
+  for (int step = 0; step < 2000; ++step) {
+    const Addr begin = base + align_down(rng.uniform(span), kSmallPageSize);
+    const std::uint64_t len = (1 + rng.uniform(32)) * kSmallPageSize;
+    const double dice = rng.uniform_double();
+    if (dice < 0.45) {
+      Vma v = anon(begin, begin + len, rng.chance(0.5) ? kProtRW : kProtRX);
+      (void)t.insert(v); // may fail on overlap; that's fine
+    } else if (dice < 0.8) {
+      (void)t.remove(Range{begin, begin + len});
+    } else {
+      (void)t.protect(Range{begin, begin + len},
+                      rng.chance(0.5) ? Prot::kRead : kProtRW);
+    }
+    ASSERT_TRUE(t.check_consistency()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmaProperty, ::testing::Values(11, 12, 13, 14));
+
+} // namespace
+} // namespace hpmmap::mm

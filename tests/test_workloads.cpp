@@ -1,0 +1,295 @@
+// Tests: application profiles, the kernel-build interference generator,
+// and the MPI job driver.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "os/node.hpp"
+#include "sim/engine.hpp"
+#include "workloads/kernel_build.hpp"
+#include "workloads/mpi_app.hpp"
+#include "workloads/profiles.hpp"
+
+namespace hpmmap::workloads {
+namespace {
+
+// --- profiles ------------------------------------------------------------------
+
+class ProfileSanity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileSanity, FieldsAreWellFormed) {
+  const AppProfile p = profile_by_name(GetParam(), 2.3e9);
+  EXPECT_EQ(p.name, GetParam());
+  EXPECT_GT(p.bytes_per_rank, 512 * MiB);   // weak-scaled HPC footprint
+  EXPECT_LE(p.bytes_per_rank, 1500 * MiB);  // 8 ranks + misc fit 12 GB pools
+  EXPECT_GT(p.iterations, 50u);
+  EXPECT_GT(p.cpu_per_iter, 0u);
+  EXPECT_GT(p.access_rate, 0.0);
+  EXPECT_LT(p.access_rate, 1.0);
+  EXPECT_GT(p.locality, 0.9);
+  EXPECT_LT(p.locality, 1.0);
+  EXPECT_GE(p.allreduces_per_iter, 1u);
+  // 8 ranks of data plus misc must fit the 12 GB reservation (§IV).
+  EXPECT_LE(8 * (p.bytes_per_rank + p.misc_bytes), 12 * GiB);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ProfileSanity,
+                         ::testing::Values("HPCCG", "CoMD", "miniMD", "miniFE", "LAMMPS"));
+
+TEST(Profiles, CommodityProfilesMatchPaper) {
+  EXPECT_EQ(profile_a(4).jobs_per_build, 8u);
+  EXPECT_EQ(profile_a(8).jobs_per_build, 4u); // throttled at 8 app cores
+  EXPECT_EQ(profile_a(4).builds, 1u);
+  EXPECT_EQ(profile_b(4).builds, 2u);
+  EXPECT_EQ(profile_c().jobs_per_build, 4u);
+  EXPECT_EQ(profile_d().builds, 2u);
+  EXPECT_EQ(no_competition().builds, 0u);
+}
+
+TEST(ProfilesDeath, UnknownAppAborts) {
+  EXPECT_DEATH((void)profile_by_name("NotAnApp", 2.3e9), "unknown application");
+}
+
+// --- kernel build ----------------------------------------------------------------
+
+os::NodeConfig build_node_config() {
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 4 * GiB;
+  cfg.seed = 17;
+  cfg.aged_boot = false;
+  return cfg;
+}
+
+TEST(KernelBuild, ConsumesMemoryWhileRunning) {
+  sim::Engine engine;
+  os::Node node(engine, build_node_config());
+  const std::uint64_t free_before =
+      node.memory().free_bytes(0) + node.memory().free_bytes(1);
+  KernelBuildConfig bc;
+  bc.jobs = 4;
+  KernelBuild build(node, bc, Rng(3));
+  build.start();
+  engine.run_until(node.spec().cycles(2.0));
+  EXPECT_LT(node.memory().free_bytes(0) + node.memory().free_bytes(1), free_before);
+  EXPECT_GT(build.stats().bytes_churned, 0u);
+  build.stop();
+}
+
+TEST(KernelBuild, StopReleasesWorkingSets) {
+  sim::Engine engine;
+  os::Node node(engine, build_node_config());
+  KernelBuildConfig bc;
+  bc.jobs = 4;
+  bc.cache_bytes_per_job = 0; // isolate the anon accounting
+  KernelBuild build(node, bc, Rng(3));
+  const std::uint64_t free_before =
+      node.memory().free_bytes(0) + node.memory().free_bytes(1);
+  build.start();
+  engine.run_until(node.spec().cycles(1.0));
+  build.stop();
+  EXPECT_EQ(node.memory().free_bytes(0) + node.memory().free_bytes(1), free_before);
+}
+
+TEST(KernelBuild, JobsCompleteOverTime) {
+  sim::Engine engine;
+  os::Node node(engine, build_node_config());
+  KernelBuildConfig bc;
+  bc.jobs = 8;
+  KernelBuild build(node, bc, Rng(3));
+  build.start();
+  engine.run_until(node.spec().cycles(10.0));
+  EXPECT_GT(build.stats().jobs_completed, 8u); // slots respawn
+  build.stop();
+}
+
+TEST(KernelBuild, GeneratesFragmentation) {
+  sim::Engine engine;
+  os::Node node(engine, build_node_config());
+  const double frag_before = node.memory().buddy(0).fragmentation();
+  KernelBuildConfig bc;
+  bc.jobs = 8;
+  KernelBuild build(node, bc, Rng(3));
+  build.start();
+  engine.run_until(node.spec().cycles(6.0));
+  const double frag_during =
+      std::max(node.memory().buddy(0).fragmentation(), node.memory().buddy(1).fragmentation());
+  EXPECT_GT(frag_during, frag_before);
+  build.stop();
+}
+
+TEST(KernelBuild, AddsSchedulerLoad) {
+  sim::Engine engine;
+  os::Node node(engine, build_node_config());
+  KernelBuildConfig bc;
+  bc.jobs = 8;
+  KernelBuild build(node, bc, Rng(3));
+  build.start();
+  engine.run_until(node.spec().cycles(1.0));
+  EXPECT_GT(node.scheduler().total_weight(), 2.0); // 8 jobs x 0.6 duty
+  build.stop();
+  EXPECT_NEAR(node.scheduler().total_weight(), 0.0, 1e-9);
+}
+
+TEST(KernelBuild, BacksOffUnderMemoryPressure) {
+  sim::Engine engine;
+  os::NodeConfig cfg = build_node_config();
+  cfg.machine.ram_bytes = 2 * GiB; // tiny machine
+  os::Node node(engine, cfg);
+  // Pin nearly everything so the builds face instant pressure.
+  std::vector<Addr> pins;
+  for (ZoneId z = 0; z < 2; ++z) {
+    while (!node.memory().below_low_watermark(z)) {
+      auto a = node.memory().buddy(z).alloc(10);
+      if (!a.has_value()) {
+        break;
+      }
+      pins.push_back(a->addr);
+    }
+  }
+  KernelBuildConfig bc;
+  bc.jobs = 8;
+  KernelBuild build(node, bc, Rng(3));
+  build.start();
+  engine.run_until(node.spec().cycles(3.0));
+  EXPECT_GT(build.stats().alloc_failures, 0u); // backed off, did not abort
+  build.stop();
+}
+
+// --- MPI job ---------------------------------------------------------------------
+
+MpiJobConfig tiny_job(os::Node& node, os::MmPolicy policy, std::uint32_t ranks) {
+  MpiJobConfig jc;
+  jc.app = hpccg(node.spec().clock_hz);
+  jc.app.bytes_per_rank = 64 * MiB;
+  jc.app.misc_bytes = 4 * MiB;
+  jc.app.iter_alloc_bytes = 512 * KiB;
+  jc.app.iterations = 5;
+  jc.app.cpu_per_iter = node.spec().cycles(0.01);
+  jc.policy = policy;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    RankPlacement p;
+    p.node = &node;
+    p.core = static_cast<std::int32_t>(r);
+    p.home_zone = r % 2;
+    p.zone_policy = mm::AddressSpace::ZonePolicy::kInterleave;
+    jc.ranks.push_back(p);
+  }
+  return jc;
+}
+
+class MpiJobPolicy : public ::testing::TestWithParam<os::MmPolicy> {};
+
+TEST_P(MpiJobPolicy, RunsToCompletion) {
+  sim::Engine engine;
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 4 * GiB;
+  cfg.seed = 23;
+  cfg.thp_enabled = GetParam() != os::MmPolicy::kHugetlbfs;
+  if (GetParam() == os::MmPolicy::kHugetlbfs) {
+    cfg.hugetlb_pool_per_zone = 512 * MiB;
+  }
+  if (GetParam() == os::MmPolicy::kHpmmap) {
+    core::ModuleConfig mod;
+    mod.offline_bytes_per_zone = 512 * MiB;
+    cfg.hpmmap = mod;
+  }
+  os::Node node(engine, cfg);
+  MpiJob job(engine, tiny_job(node, GetParam(), 4));
+  bool completed = false;
+  job.start([&] {
+    completed = true;
+    engine.stop();
+  });
+  engine.run();
+  ASSERT_TRUE(completed);
+  EXPECT_TRUE(job.done());
+  EXPECT_GT(job.runtime_seconds(), 0.0);
+  // Weak bound: five 10ms iterations plus setup should be < 5 s.
+  EXPECT_LT(job.runtime_seconds(), 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, MpiJobPolicy,
+                         ::testing::Values(os::MmPolicy::kLinuxThp, os::MmPolicy::kLinuxPlain,
+                                           os::MmPolicy::kHugetlbfs, os::MmPolicy::kHpmmap));
+
+TEST(MpiJob, HpmmapRanksTakeAlmostNoFaults) {
+  sim::Engine engine;
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 4 * GiB;
+  cfg.seed = 23;
+  core::ModuleConfig mod;
+  mod.offline_bytes_per_zone = 512 * MiB;
+  cfg.hpmmap = mod;
+  os::Node node(engine, cfg);
+  MpiJob job(engine, tiny_job(node, os::MmPolicy::kHpmmap, 2));
+  job.start([&] { engine.stop(); });
+  engine.run();
+  const mm::FaultStats faults = job.aggregate_faults();
+  // Only the Linux-managed stack remains; §III-A: "almost no exposure".
+  EXPECT_LT(faults.count[0], 2048u);
+  EXPECT_EQ(faults.count[1], 0u);
+  // The module saw the ranks' mmap/brk traffic.
+  EXPECT_GT(node.hpmmap_module()->stats().syscalls_interposed, 0u);
+  EXPECT_EQ(node.hpmmap_module()->stats().spurious_faults, 0u);
+}
+
+TEST(MpiJob, LinuxRanksFaultTheirFootprint) {
+  sim::Engine engine;
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 4 * GiB;
+  cfg.seed = 23;
+  os::Node node(engine, cfg);
+  MpiJob job(engine, tiny_job(node, os::MmPolicy::kLinuxThp, 2));
+  job.start([&] { engine.stop(); });
+  engine.run();
+  const mm::FaultStats faults = job.aggregate_faults();
+  const std::uint64_t touched =
+      faults.count[0] * 4 * KiB + faults.count[1] * 2 * MiB + faults.count[2] * 4 * KiB;
+  // Faulted bytes roughly cover 2 ranks' data+misc+stack (+ temp churn).
+  EXPECT_GT(touched, 2 * (64 + 4) * MiB);
+}
+
+TEST(MpiJob, DeterministicAcrossIdenticalRuns) {
+  const auto run_once = [] {
+    sim::Engine engine;
+    os::NodeConfig cfg;
+    cfg.machine = hw::dell_r415();
+    cfg.machine.ram_bytes = 4 * GiB;
+    cfg.seed = 99;
+    cfg.aged_boot = true;
+    os::Node node(engine, cfg);
+    MpiJob job(engine, tiny_job(node, os::MmPolicy::kLinuxThp, 2));
+    job.start([&] { engine.stop(); });
+    engine.run();
+    return job.runtime_cycles();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(MpiJob, TeardownReturnsAllMemory) {
+  sim::Engine engine;
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 4 * GiB;
+  cfg.seed = 23;
+  cfg.aged_boot = false;
+  os::Node node(engine, cfg);
+  const std::uint64_t free_before =
+      node.memory().free_bytes(0) + node.memory().free_bytes(1);
+  MpiJob job(engine, tiny_job(node, os::MmPolicy::kLinuxThp, 2));
+  job.start([&] { engine.stop(); });
+  engine.run();
+  EXPECT_EQ(node.memory().free_bytes(0) + node.memory().free_bytes(1), free_before);
+}
+
+TEST(MpiJob, SharedMemoryCommScalesWithRanks) {
+  const CommModel comm = shared_memory_comm(2.3e9);
+  const AppProfile app = hpccg(2.3e9);
+  EXPECT_GT(comm(app, 8), comm(app, 2));
+}
+
+} // namespace
+} // namespace hpmmap::workloads
