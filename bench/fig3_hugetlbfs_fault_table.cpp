@@ -30,13 +30,13 @@ int main(int argc, char** argv) {
     cfg.commodity = loaded ? workloads::profile_a(8) : workloads::no_competition();
     cfg.app_cores = 8;
     cfg.seed = 2014;
-    cfg.record_trace = true;
+    cfg.trace.categories = static_cast<std::uint32_t>(trace::Category::kFault);
     cfg.footprint_scale = opt.full ? 1.0 : 0.25;
     cfg.duration_scale = opt.full ? 1.0 : 0.15;
     const harness::RunResult r = harness::run_single_node(cfg);
 
     const auto row = [&](mm::FaultKind kind, const char* label) {
-      const auto& k = r.by_kind[static_cast<std::size_t>(kind)];
+      const auto& k = r.by_kind(kind);
       table.add_row({loaded ? "Yes" : "No", label, harness::with_commas(k.total_faults),
                      harness::with_commas(static_cast<std::uint64_t>(k.avg_cycles)),
                      harness::with_commas(static_cast<std::uint64_t>(k.stdev_cycles))});

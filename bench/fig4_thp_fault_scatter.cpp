@@ -3,6 +3,10 @@
 // time, where khugepaged merge-blocked faults (blue in the paper) form a
 // band ~1000x above the ordinary small faults.
 //
+// The per-fault samples come from the trace subsystem: the run records
+// Category::kFault into the flight recorder and the scatter is rebuilt
+// from the app ranks' "fault" events (harness::app_fault_samples).
+//
 // Emits one CSV per panel (no competition / with competition) with
 // columns (t_seconds, kind, cycles), plus a terminal summary: per-decade
 // histogram of fault costs and the worst offenders.
@@ -17,7 +21,6 @@ int main(int argc, char** argv) {
   using namespace hpmmap;
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_mode(opt, "Figure 4: THP fault scatter over time (miniMD)");
-  const double hz = 2.3e9;
 
   for (const bool loaded : {false, true}) {
     harness::SingleNodeRunConfig cfg;
@@ -26,13 +29,15 @@ int main(int argc, char** argv) {
     cfg.commodity = loaded ? workloads::profile_a(8) : workloads::no_competition();
     cfg.app_cores = 8;
     cfg.seed = 41;
-    cfg.record_trace = true;
+    cfg.trace.categories = static_cast<std::uint32_t>(trace::Category::kFault);
     cfg.footprint_scale = opt.full ? 1.0 : 0.25;
     cfg.duration_scale = opt.full ? 1.0 : 0.15;
     const harness::RunResult r = harness::run_single_node(cfg);
+    const std::vector<harness::FaultSample> samples = harness::app_fault_samples(r);
+    const double hz = r.clock_hz;
 
     harness::Table csv({"t_seconds", "kind", "cycles"});
-    for (const os::FaultRecord& rec : r.trace) {
+    for (const harness::FaultSample& rec : samples) {
       csv.add_row({harness::fixed(static_cast<double>(rec.when - r.trace_t0) / hz, 6),
                    std::string(name(rec.kind)), std::to_string(rec.cost)});
     }
@@ -42,11 +47,11 @@ int main(int argc, char** argv) {
 
     // Terminal rendition: cost-decade histogram per kind.
     std::printf("--- %s competition: %zu faults over %.1f s -> %s\n",
-                loaded ? "WITH" : "no", r.trace.size(), r.runtime_seconds, path.c_str());
+                loaded ? "WITH" : "no", samples.size(), r.runtime_seconds, path.c_str());
     const char* kinds[] = {"Small", "Large", "Merge"};
     for (int k = 0; k < 3; ++k) {
       std::uint64_t decades[10] = {};
-      for (const os::FaultRecord& rec : r.trace) {
+      for (const harness::FaultSample& rec : samples) {
         if (static_cast<int>(rec.kind) != k) {
           continue;
         }
@@ -64,9 +69,11 @@ int main(int argc, char** argv) {
     }
     // Worst five faults: under load these should be merge-blocked or
     // reclaim-stalled, echoing the paper's upper band.
-    std::vector<os::FaultRecord> worst = r.trace;
+    std::vector<harness::FaultSample> worst = samples;
     std::sort(worst.begin(), worst.end(),
-              [](const os::FaultRecord& a, const os::FaultRecord& b) { return a.cost > b.cost; });
+              [](const harness::FaultSample& a, const harness::FaultSample& b) {
+                return a.cost > b.cost;
+              });
     for (std::size_t i = 0; i < std::min<std::size_t>(5, worst.size()); ++i) {
       std::printf("  worst #%zu: t=%.2fs %s %s cycles\n", i + 1,
                   static_cast<double>(worst[i].when - r.trace_t0) / hz,

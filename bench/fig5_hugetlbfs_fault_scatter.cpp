@@ -5,6 +5,8 @@
 // The paper's observation: the pool-backed large faults stay put, but
 // the small faults in regions HugeTLBfs does not manage blow up once a
 // competing workload saturates the (much smaller) non-pool memory.
+// Per-fault samples are rebuilt from the trace stream
+// (harness::app_fault_samples), same as Figure 4.
 #include <cstdio>
 #include <string>
 
@@ -16,7 +18,6 @@ int main(int argc, char** argv) {
   using namespace hpmmap;
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_mode(opt, "Figure 5: HugeTLBfs fault scatter (HPCCG, CoMD, miniFE)");
-  const double hz = 2.3e9;
 
   harness::Table summary({"App", "Load", "Small faults", "Avg small (cyc)",
                           "Max small (cyc)", "Large faults", "Avg large (cyc)"});
@@ -29,14 +30,15 @@ int main(int argc, char** argv) {
       cfg.commodity = loaded ? workloads::profile_a(8) : workloads::no_competition();
       cfg.app_cores = 8;
       cfg.seed = 52;
-      cfg.record_trace = true;
+      cfg.trace.categories = static_cast<std::uint32_t>(trace::Category::kFault);
       cfg.footprint_scale = opt.full ? 1.0 : 0.2;
       cfg.duration_scale = opt.full ? 1.0 : 0.1;
       const harness::RunResult r = harness::run_single_node(cfg);
+      const double hz = r.clock_hz;
 
       harness::Table csv({"t_seconds", "kind", "cycles"});
       Cycles max_small = 0;
-      for (const os::FaultRecord& rec : r.trace) {
+      for (const harness::FaultSample& rec : harness::app_fault_samples(r)) {
         csv.add_row({harness::fixed(static_cast<double>(rec.when - r.trace_t0) / hz, 6),
                      std::string(name(rec.kind)), std::to_string(rec.cost)});
         if (rec.kind == mm::FaultKind::kSmall) {
@@ -46,8 +48,8 @@ int main(int argc, char** argv) {
       std::string path = opt.out_dir + "/fig5_" + app + (loaded ? "_loaded" : "_idle") + ".csv";
       csv.write_csv(path);
 
-      const auto& small = r.by_kind[static_cast<std::size_t>(mm::FaultKind::kSmall)];
-      const auto& large = r.by_kind[static_cast<std::size_t>(mm::FaultKind::kLarge)];
+      const auto& small = r.by_kind(mm::FaultKind::kSmall);
+      const auto& large = r.by_kind(mm::FaultKind::kLarge);
       summary.add_row({app, loaded ? "build" : "none",
                        harness::with_commas(small.total_faults),
                        harness::with_commas(static_cast<std::uint64_t>(small.avg_cycles)),

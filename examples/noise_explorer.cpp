@@ -22,23 +22,25 @@ int main() {
   cfg.commodity = workloads::profile_a(4);
   cfg.app_cores = 4;
   cfg.seed = 99;
-  cfg.record_trace = true;
+  cfg.trace.categories = static_cast<std::uint32_t>(trace::Category::kFault);
   cfg.footprint_scale = 0.25;
   cfg.duration_scale = 0.2;
 
   std::printf("Tracing every page fault of miniMD under THP + kernel build...\n\n");
   const harness::RunResult r = harness::run_single_node(cfg);
 
-  std::vector<os::FaultRecord> worst = r.trace;
+  std::vector<harness::FaultSample> worst = harness::app_fault_samples(r);
   std::sort(worst.begin(), worst.end(),
-            [](const os::FaultRecord& a, const os::FaultRecord& b) { return a.cost > b.cost; });
+            [](const harness::FaultSample& a, const harness::FaultSample& b) {
+              return a.cost > b.cost;
+            });
   if (worst.size() > 15) {
     worst.resize(15);
   }
 
   harness::Table table({"t (s into run)", "Kind", "Cost (cycles)"});
-  const double hz = 2.3e9;
-  for (const os::FaultRecord& rec : worst) {
+  const double hz = r.clock_hz;
+  for (const harness::FaultSample& rec : worst) {
     table.add_row({harness::fixed(static_cast<double>(rec.when - r.trace_t0) / hz, 3),
                    std::string(name(rec.kind)), harness::with_commas(rec.cost)});
   }

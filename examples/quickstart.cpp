@@ -35,15 +35,13 @@ int main(int argc, char** argv) {
     cfg.commodity = workloads::profile_a(cores);
     cfg.app_cores = cores;
     cfg.seed = 2014;
-    cfg.record_trace = true;
+    cfg.trace.categories = static_cast<std::uint32_t>(trace::Category::kFault);
     // Quick mode: quarter footprint, fifth duration — shapes survive.
     cfg.footprint_scale = 0.25;
     cfg.duration_scale = 0.2;
 
     const harness::RunResult r = harness::run_single_node(cfg);
-    const auto k = [&](mm::FaultKind kind) {
-      return r.by_kind[static_cast<std::size_t>(kind)];
-    };
+    const auto k = [&](mm::FaultKind kind) { return r.by_kind(kind); };
     table.add_row({std::string(name(manager)), harness::fixed(r.runtime_seconds, 2),
                    harness::with_commas(k(mm::FaultKind::kSmall).total_faults),
                    harness::with_commas(k(mm::FaultKind::kLarge).total_faults),

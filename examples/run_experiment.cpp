@@ -3,17 +3,23 @@
 //
 //   run_experiment --app miniFE --manager hpmmap --profile B --cores 8
 //                  --trials 5 [--nodes 4] [--scale 0.5] [--duration 0.2]
-//                  [--seed 42] [--trace]
+//                  [--seed 42] [--trace] [--trace-out FILE] [--trace-cat CATS]
 //
 // With --nodes > 1 the run uses the Sandia 1 GbE cluster model
 // (profiles C/D); otherwise the Dell R415 single-node model
 // (profiles A/B or "none").
+//
+// --trace-out writes the run's flight-recorder contents as Chrome
+// trace-event JSON (open in https://ui.perfetto.dev or chrome://tracing)
+// plus a FILE.csv twin, and prints the counter/histogram report.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
 
 namespace {
 
@@ -31,7 +37,10 @@ using namespace hpmmap;
       "  --scale F        footprint scale                           (default 1.0)\n"
       "  --duration F     iteration-count scale                     (default 0.1)\n"
       "  --seed N         base RNG seed                             (default 42)\n"
-      "  --trace          record the fault trace and print a summary\n",
+      "  --trace          record the fault trace and print a summary\n"
+      "  --trace-out FILE write Chrome trace JSON to FILE and CSV to FILE.csv\n"
+      "  --trace-cat CATS categories for --trace-out: comma list or 'all'\n"
+      "                   (fault,buddy,thp,hugetlb,module,sched,net,app,harness)\n",
       argv0);
   std::exit(0);
 }
@@ -50,6 +59,25 @@ harness::Manager parse_manager(const std::string& s) {
   std::exit(1);
 }
 
+/// Export one traced run: Perfetto-loadable JSON, CSV twin, metric report.
+void dump_trace(const harness::RunResult& r, const std::string& path) {
+  trace::ExportOptions eopt;
+  eopt.clock_hz = r.clock_hz;
+  eopt.t0 = r.trace_t0;
+  if (!trace::write_chrome_json(path, r.events, eopt)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  if (!trace::write_csv(path + ".csv", r.events)) {
+    std::fprintf(stderr, "failed to write %s.csv\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("trace: %zu events -> %s (+.csv); %llu overwritten in the ring\n",
+              r.events.size(), path.c_str(),
+              static_cast<unsigned long long>(r.trace_dropped));
+  std::printf("%s", trace::metrics().report().c_str());
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -58,6 +86,8 @@ int main(int argc, char** argv) {
   double scale = 1.0, duration = 0.1;
   std::uint64_t seed = 42;
   bool trace = false;
+  std::string trace_out;
+  std::string trace_cat = "all";
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -86,6 +116,10 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace = true;
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      trace_out = next();
+    } else if (!std::strcmp(argv[i], "--trace-cat")) {
+      trace_cat = next();
     } else {
       usage(argv[0]);
     }
@@ -93,6 +127,18 @@ int main(int argc, char** argv) {
 
   using namespace hpmmap;
   const harness::Manager mgr = parse_manager(manager);
+
+  harness::TraceConfig trace_cfg;
+  if (!trace_out.empty()) {
+    const auto mask = trace::parse_categories(trace_cat);
+    if (!mask) {
+      std::fprintf(stderr, "unknown trace category in '%s'\n", trace_cat.c_str());
+      return 1;
+    }
+    trace_cfg.categories = *mask;
+  } else if (trace) {
+    trace_cfg.categories = static_cast<std::uint32_t>(trace::Category::kFault);
+  }
 
   if (nodes > 1) {
     harness::ScalingRunConfig cfg;
@@ -103,11 +149,18 @@ int main(int argc, char** argv) {
                                         : workloads::profile_c();
     cfg.nodes = nodes;
     cfg.seed = seed;
+    cfg.trace = trace_cfg;
     cfg.footprint_scale = scale;
     cfg.duration_scale = duration;
     std::printf("%s on %u nodes (%u ranks), %s, profile %s, %u trials\n", app.c_str(), nodes,
                 nodes * cfg.ranks_per_node, name(mgr).data(), cfg.commodity.name.c_str(),
                 trials);
+    if (!trace_out.empty()) {
+      const harness::RunResult r = harness::run_scaling(cfg);
+      std::printf("runtime: %.2f s\n", r.runtime_seconds);
+      dump_trace(r, trace_out);
+      return 0;
+    }
     const harness::SeriesPoint p = harness::run_trials(cfg, trials);
     std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);
     return 0;
@@ -121,25 +174,29 @@ int main(int argc, char** argv) {
                                       : workloads::no_competition();
   cfg.app_cores = cores;
   cfg.seed = seed;
-  cfg.record_trace = trace;
+  cfg.trace = trace_cfg;
   cfg.footprint_scale = scale;
   cfg.duration_scale = duration;
   std::printf("%s on %u cores, %s, profile %s, %u trials\n", app.c_str(), cores,
               name(mgr).data(), cfg.commodity.name.c_str(), trials);
 
-  if (trace) {
+  if (cfg.trace.on()) {
     const harness::RunResult r = harness::run_single_node(cfg);
     std::printf("runtime: %.2f s\n", r.runtime_seconds);
     harness::Table t({"Kind", "Count", "Avg cycles", "Stdev cycles"});
-    const char* labels[] = {"Small", "Large", "Merge", "Invalid"};
-    for (std::size_t k = 0; k < 4; ++k) {
-      t.add_row({labels[k], harness::with_commas(r.by_kind[k].total_faults),
-                 harness::with_commas(static_cast<std::uint64_t>(r.by_kind[k].avg_cycles)),
-                 harness::with_commas(static_cast<std::uint64_t>(r.by_kind[k].stdev_cycles))});
+    for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+      const auto kind = static_cast<mm::FaultKind>(k);
+      const auto& row = r.by_kind(kind);
+      t.add_row({std::string(mm::name(kind)), harness::with_commas(row.total_faults),
+                 harness::with_commas(static_cast<std::uint64_t>(row.avg_cycles)),
+                 harness::with_commas(static_cast<std::uint64_t>(row.stdev_cycles))});
     }
     t.print();
     std::printf("khugepaged merges: %llu\n",
                 static_cast<unsigned long long>(r.thp_merges));
+    if (!trace_out.empty()) {
+      dump_trace(r, trace_out);
+    }
     return 0;
   }
   const harness::SeriesPoint p = harness::run_trials(cfg, trials);

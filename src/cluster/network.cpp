@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "trace/trace.hpp"
+
 namespace hpmmap::cluster {
 
 double p2p_seconds(const EthernetSpec& spec, std::uint64_t bytes) {
@@ -27,7 +29,14 @@ workloads::CommModel ethernet_comm(const EthernetSpec& spec, double clock_hz,
     secs += static_cast<double>(app.allreduces_per_iter) *
             (3e-6 + 0.4e-6 * static_cast<double>(ranks));
     const double jittered = rng_ptr->lognormal_from_moments(secs, spec.jitter_cv * secs);
-    return static_cast<Cycles>(jittered * clock_hz);
+    const auto cycles = static_cast<Cycles>(jittered * clock_hz);
+    if (trace::on(trace::Category::kNet)) {
+      trace::instant(trace::Category::kNet, "net.collective", 0, -1,
+                     {trace::Arg::u64("cycles", cycles), trace::Arg::u64("ranks", ranks),
+                      trace::Arg::u64("nodes", node_count),
+                      trace::Arg::u64("halo_bytes", app.halo_bytes_per_iter)});
+    }
+    return cycles;
   };
 }
 

@@ -48,6 +48,9 @@ class Samples {
   [[nodiscard]] double max() const noexcept;
   /// Linear-interpolated percentile, p in [0, 100].
   [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
   [[nodiscard]] const std::vector<double>& values() const noexcept { return xs_; }
 
  private:
@@ -55,6 +58,29 @@ class Samples {
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
   void ensure_sorted() const;
+};
+
+/// Streaming quantile estimate via the P² algorithm (Jain & Chlamtac
+/// 1985): five markers, O(1) memory and update. Exact until five samples
+/// have been seen; after that the markers track the target quantile with
+/// parabolic interpolation. Used by the trace histogram registry, where
+/// event volume rules out retaining samples.
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.95 for p95.
+  explicit P2Quantile(double q);
+
+  void add(double x) noexcept;
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+ private:
+  double q_;
+  std::uint64_t n_ = 0;
+  double heights_[5] = {};       // marker heights
+  double positions_[5] = {};     // actual marker positions (1-based)
+  double desired_[5] = {};       // desired marker positions
+  double increments_[5] = {};    // desired-position increments per sample
 };
 
 /// Fixed-bucket histogram (log2 buckets) for cheap shape summaries in logs.

@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::core {
 namespace {
@@ -34,6 +36,11 @@ HpmmapModule::HpmmapModule(hw::PhysicalMemory& phys, hw::BandwidthModel& bw,
       kitten_(offlined_) {
   log_info("hpmmap", "module loaded: %llu MiB offlined per zone",
            static_cast<unsigned long long>(config.offline_bytes_per_zone / MiB));
+  trace::instant(trace::Category::kModule, "hpmmap.load", 0, -1,
+                 {trace::Arg::u64("offline_bytes_per_zone", config.offline_bytes_per_zone),
+                  trace::Arg::u64("zones", offlined_.size()),
+                  trace::Arg::u64("use_1g", config.use_1g_pages ? 1 : 0),
+                  trace::Arg::u64("on_request", config.on_request ? 1 : 0)});
 }
 
 HpmmapModule::~HpmmapModule() {
@@ -84,6 +91,8 @@ Errno HpmmapModule::register_process(Pid pid, mm::AddressSpace& as) {
   const bool ok = registry_.insert(pid, slot);
   HPMMAP_ASSERT(ok, "registry insert after negative find cannot fail");
   ++stats_.registered;
+  trace::instant(trace::Category::kModule, "hpmmap.register", pid, -1,
+                 {trace::Arg::u64("slot", slot)});
   return Errno::kOk;
 }
 
@@ -94,6 +103,7 @@ Errno HpmmapModule::unregister_process(Pid pid) {
   }
   release_process(contexts_[hit->context]);
   registry_.erase(pid);
+  trace::instant(trace::Category::kModule, "hpmmap.unregister", pid, -1);
   return Errno::kOk;
 }
 
@@ -192,6 +202,13 @@ Errno HpmmapModule::back_region(ProcessContext& ctx, Range range, Prot prot, Cyc
     }
     stats_.bytes_mapped += chunk;
     va += chunk;
+  }
+  if (trace::on(trace::Category::kModule)) {
+    trace::instant(trace::Category::kModule, "hpmmap.back_region",
+                   ctx.as != nullptr ? ctx.as->pid() : 0, -1,
+                   {trace::Arg::u64("bytes", range.size()),
+                    trace::Arg::u64("chunks", mapped.size())});
+    trace::metrics().counter("hpmmap.bytes_backed") += range.size();
   }
   return Errno::kOk;
 }
@@ -357,8 +374,19 @@ SyscallResult HpmmapModule::mprotect(Pid pid, Addr addr, std::uint64_t len, Prot
   return result;
 }
 
-mm::FaultResult HpmmapModule::fault(Pid pid, Addr vaddr, Cycles now) {
-  (void)now;
+mm::FaultResult HpmmapModule::fault(Pid pid, Addr vaddr, Cycles now, std::int32_t core) {
+  const auto emit = [&](mm::FaultResult r) {
+    if (trace::on(trace::Category::kFault)) {
+      trace::complete(trace::Category::kFault, "fault", now, r.cost, pid, core,
+                      {trace::Arg::str("kind", mm::name(r.kind).data()),
+                       trace::Arg::str("page", name(r.used).data()),
+                       trace::Arg::u64("lock_wait", r.lock_wait),
+                       trace::Arg::str("manager", "hpmmap")});
+      trace::metrics().histogram("fault.cycles.hpmmap").add(static_cast<double>(r.cost));
+      ++trace::metrics().counter("fault.count");
+    }
+    return r;
+  };
   mm::FaultResult result;
   Cycles probe = 0;
   ProcessContext* ctx = context_for(pid, &probe);
@@ -366,13 +394,13 @@ mm::FaultResult HpmmapModule::fault(Pid pid, Addr vaddr, Cycles now) {
   if (ctx == nullptr) {
     result.err = Errno::kFault;
     result.kind = mm::FaultKind::kInvalid;
-    return result;
+    return emit(result);
   }
   const mm::Vma* vma = ctx->vmas.find(vaddr);
   if (vma == nullptr) {
     result.err = Errno::kFault;
     result.kind = mm::FaultKind::kInvalid;
-    return result;
+    return emit(result);
   }
   if (const auto t = ctx->as->page_table().walk(vaddr); t.has_value()) {
     // On-request backing means this is a spurious fault (TLB refill
@@ -381,7 +409,7 @@ mm::FaultResult HpmmapModule::fault(Pid pid, Addr vaddr, Cycles now) {
     result.kind = mm::FaultKind::kLarge;
     result.used = t->size;
     result.cost += costs_.hpmmap_pte_install;
-    return result;
+    return emit(result);
   }
   HPMMAP_ASSERT(!config_.on_request,
                 "on-request HPMMAP region had an unbacked valid page — invariant broken");
@@ -392,12 +420,12 @@ mm::FaultResult HpmmapModule::fault(Pid pid, Addr vaddr, Cycles now) {
   if (err != Errno::kOk) {
     result.err = Errno::kNoMem;
     result.kind = mm::FaultKind::kInvalid;
-    return result;
+    return emit(result);
   }
   ++stats_.demand_faults;
   result.kind = mm::FaultKind::kLarge;
   result.used = PageSize::k2M;
-  return result;
+  return emit(result);
 }
 
 } // namespace hpmmap::core

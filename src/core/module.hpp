@@ -88,8 +88,8 @@ class HpmmapModule {
 
   /// Fault on an HPMMAP-managed address. With on-request allocation this
   /// only happens for invalid accesses; in the demand-paging ablation it
-  /// backs one large chunk.
-  mm::FaultResult fault(Pid pid, Addr vaddr, Cycles now);
+  /// backs one large chunk. `core` only tags trace events.
+  mm::FaultResult fault(Pid pid, Addr vaddr, Cycles now, std::int32_t core = -1);
 
   /// Does `vaddr` fall in the HPMMAP-managed window?
   [[nodiscard]] static bool in_window(Addr vaddr) noexcept {

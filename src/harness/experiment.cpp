@@ -8,6 +8,7 @@
 #include "common/units.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
+#include "trace/metrics.hpp"
 #include "workloads/kernel_build.hpp"
 #include "workloads/mpi_app.hpp"
 
@@ -87,34 +88,67 @@ workloads::AppProfile scaled_profile(const std::string& app, double clock_hz,
   return prof;
 }
 
-RunResult collect(workloads::MpiJob& job, os::Node& first_node, bool record_trace,
-                  Cycles job_start) {
+/// Size and arm the global flight recorder for one run. Tracing is
+/// process-global state; runs are sequential, so bracketing is enough.
+void begin_tracing(const TraceConfig& cfg, std::uint64_t seed) {
+  if (!cfg.on()) {
+    return;
+  }
+  trace::recorder().set_capacity(cfg.capacity);
+  trace::metrics().reset();
+  trace::enable(cfg.categories);
+  trace::instant(trace::Category::kHarness, "run.start", 0, -1,
+                 {trace::Arg::u64("seed", seed)});
+}
+
+/// Fault kinds round-trip through event args as their display names.
+std::optional<mm::FaultKind> kind_from_label(std::string_view label) {
+  for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+    const auto kind = static_cast<mm::FaultKind>(k);
+    if (label == mm::name(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+RunResult collect(workloads::MpiJob& job, os::Node& first_node, const TraceConfig& trace_cfg,
+                  Cycles job_start, double clock_hz) {
   RunResult result;
   result.runtime_seconds = job.runtime_seconds();
+  result.clock_hz = clock_hz;
   result.faults = job.aggregate_faults();
   result.trace_t0 = job_start;
+  for (std::size_t r = 0; r < job.rank_count(); ++r) {
+    result.app_pids.push_back(job.rank_process(r).pid());
+  }
 
-  // Per-kind distributions need per-fault samples: pull them from the
-  // rank traces when recording was on.
-  if (record_trace) {
-    RunningStats stats[4];
-    for (std::size_t r = 0; r < job.rank_count(); ++r) {
-      for (const os::FaultRecord& rec : job.rank_process(r).trace()) {
-        stats[static_cast<std::size_t>(rec.kind)].add(static_cast<double>(rec.cost));
-        result.trace.push_back(rec);
-      }
+  if (trace_cfg.on()) {
+    trace::instant(trace::Category::kHarness, "run.end", 0, -1,
+                   {trace::Arg::u64("runtime_cycles", job.runtime_cycles())});
+    trace::disable_all();
+    result.events = trace::recorder().snapshot();
+    result.trace_dropped = trace::recorder().dropped();
+  }
+
+  // Per-kind distributions need per-fault samples: reconstruct them from
+  // the trace stream when the fault category was recorded.
+  const bool fault_traced =
+      (trace_cfg.categories & static_cast<std::uint32_t>(trace::Category::kFault)) != 0;
+  if (fault_traced) {
+    std::array<RunningStats, mm::kFaultKindCount> stats;
+    for (const FaultSample& s : app_fault_samples(result)) {
+      stats[static_cast<std::size_t>(s.kind)].add(static_cast<double>(s.cost));
     }
-    std::sort(result.trace.begin(), result.trace.end(),
-              [](const os::FaultRecord& a, const os::FaultRecord& b) { return a.when < b.when; });
-    for (std::size_t k = 0; k < 4; ++k) {
-      result.by_kind[k].total_faults = stats[k].count();
-      result.by_kind[k].avg_cycles = stats[k].mean();
-      result.by_kind[k].stdev_cycles = stats[k].stdev();
+    for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+      result.by_kind_summaries[k].total_faults = stats[k].count();
+      result.by_kind_summaries[k].avg_cycles = stats[k].mean();
+      result.by_kind_summaries[k].stdev_cycles = stats[k].stdev();
     }
   } else {
-    for (std::size_t k = 0; k < 4; ++k) {
-      result.by_kind[k].total_faults = result.faults.count[k];
-      result.by_kind[k].avg_cycles =
+    for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+      result.by_kind_summaries[k].total_faults = result.faults.count[k];
+      result.by_kind_summaries[k].avg_cycles =
           result.faults.count[k] > 0
               ? static_cast<double>(result.faults.total_cycles[k]) /
                     static_cast<double>(result.faults.count[k])
@@ -132,9 +166,46 @@ RunResult collect(workloads::MpiJob& job, os::Node& first_node, bool record_trac
 
 } // namespace
 
+std::vector<FaultSample> app_fault_samples(const RunResult& r) {
+  std::vector<FaultSample> out;
+  for (const trace::Event& e : r.events) {
+    if (e.cat != trace::Category::kFault || e.phase != trace::Phase::kComplete ||
+        e.name() != "fault") {
+      continue;
+    }
+    if (std::find(r.app_pids.begin(), r.app_pids.end(), e.pid) == r.app_pids.end()) {
+      continue;
+    }
+    FaultSample s;
+    s.when = e.ts;
+    s.cost = e.dur;
+    s.pid = e.pid;
+    bool have_kind = false;
+    for (std::uint8_t a = 0; a < e.arg_count; ++a) {
+      const trace::Arg& arg = e.args[a];
+      if (arg.kind == trace::Arg::Kind::kStr && std::string_view{arg.name} == "kind") {
+        if (const auto kind = kind_from_label(arg.value.str)) {
+          s.kind = *kind;
+          have_kind = true;
+        }
+      }
+    }
+    if (have_kind) {
+      out.push_back(s);
+    }
+  }
+  // The ring holds push order; merges scheduled on the engine interleave,
+  // so impose time order (pid breaks ties deterministically).
+  std::sort(out.begin(), out.end(), [](const FaultSample& a, const FaultSample& b) {
+    return a.when != b.when ? a.when < b.when : a.pid < b.pid;
+  });
+  return out;
+}
+
 RunResult run_single_node(const SingleNodeRunConfig& config) {
   sim::Engine engine;
   const hw::MachineSpec machine = hw::dell_r415();
+  begin_tracing(config.trace, config.seed);
   // §IV: 12 of 16 GB reserved/offlined, split across the two zones.
   // Scaled-down runs (tests) reserve proportionally less so the Linux
   // side keeps its 4 GB.
@@ -167,7 +238,6 @@ RunResult run_single_node(const SingleNodeRunConfig& config) {
                           config.duration_scale);
   jc.policy = policy_for(config.manager);
   jc.ranks = placements(node, config.app_cores);
-  jc.record_trace = config.record_trace;
   workloads::MpiJob job(engine, jc);
   const Cycles job_start = engine.now();
   job.start([&engine] { engine.stop(); });
@@ -177,12 +247,13 @@ RunResult run_single_node(const SingleNodeRunConfig& config) {
   for (auto& build : builds) {
     build->stop();
   }
-  return collect(job, node, config.record_trace, job_start);
+  return collect(job, node, config.trace, job_start, machine.clock_hz);
 }
 
 RunResult run_scaling(const ScalingRunConfig& config) {
   sim::Engine engine;
   const hw::MachineSpec machine = hw::sandia_xeon_node();
+  begin_tracing(config.trace, config.seed);
   // §IV: 20 of 24 GB offlined per node, split across the two zones.
   const std::uint64_t pool = 10 * GiB;
 
@@ -237,7 +308,7 @@ RunResult run_scaling(const ScalingRunConfig& config) {
   for (auto& build : builds) {
     build->stop();
   }
-  return collect(job, *nodes.front(), /*record_trace=*/false, job_start);
+  return collect(job, *nodes.front(), config.trace, job_start, machine.clock_hz);
 }
 
 SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials) {

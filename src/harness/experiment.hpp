@@ -1,17 +1,19 @@
 // Experiment harness: builds a configured machine, co-locates an HPC job
 // with a commodity profile, runs it to completion on the event engine,
 // and reports what the paper's figures report (runtime mean/stdev over
-// trials, per-kind fault statistics, fault traces).
+// trials, per-kind fault statistics, trace-event streams).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "linux_mm/fault.hpp"
-#include "os/process.hpp"
+#include "trace/trace.hpp"
 #include "workloads/profiles.hpp"
 
 namespace hpmmap::harness {
@@ -30,13 +32,27 @@ enum class Manager : std::uint8_t { kThp, kHugetlbfs, kHpmmap };
   return "?";
 }
 
+/// Tracing setup for a run. The harness owns the global flight recorder
+/// for the duration of the run: it sizes and clears the ring, enables the
+/// requested categories, and snapshots the buffer into the RunResult
+/// before disabling tracing again. Tracing never perturbs results — the
+/// instrumentation consumes no randomness and charges no cycles.
+struct TraceConfig {
+  /// Bitwise OR of trace::Category values; 0 = tracing off.
+  std::uint32_t categories = 0;
+  /// Flight-recorder ring capacity in events (oldest overwritten beyond).
+  std::size_t capacity = std::size_t{1} << 20;
+
+  [[nodiscard]] bool on() const noexcept { return categories != 0; }
+};
+
 struct SingleNodeRunConfig {
   std::string app = "miniMD";
   Manager manager = Manager::kThp;
   workloads::CommodityProfile commodity{};
   std::uint32_t app_cores = 8;
   std::uint64_t seed = 1;
-  bool record_trace = false;
+  TraceConfig trace{};
   /// Scale the app footprint/iterations (quick modes for tests).
   double footprint_scale = 1.0;
   double duration_scale = 1.0;
@@ -51,13 +67,46 @@ struct FaultKindSummary {
 
 struct RunResult {
   double runtime_seconds = 0.0;
+  /// Clock of the simulated machine — converts trace cycles to seconds.
+  double clock_hz = 0.0;
   mm::FaultStats faults;
-  FaultKindSummary by_kind[4]; // indexed by mm::FaultKind
-  std::vector<os::FaultRecord> trace; // merged, time-sorted (if recorded)
-  Cycles trace_t0 = 0;                // job start, for normalizing trace time
+  /// Flight-recorder snapshot for the whole run (warmup included) when
+  /// tracing was enabled. Not globally time-sorted: scheduled completions
+  /// (khugepaged merges) interleave — sort by ts before plotting.
+  std::vector<trace::Event> events;
+  std::uint64_t trace_dropped = 0;
+  /// Pids of the job's ranks, for filtering app events out of `events`.
+  std::vector<Pid> app_pids;
+  Cycles trace_t0 = 0; // job start, for normalizing trace time
   std::uint64_t thp_merges = 0;
   std::uint64_t hpmmap_spurious_faults = 0;
+
+  [[nodiscard]] FaultKindSummary& by_kind(mm::FaultKind k) noexcept {
+    const auto i = static_cast<std::size_t>(k);
+    HPMMAP_ASSERT(i < mm::kFaultKindCount, "fault kind out of range");
+    return by_kind_summaries[i];
+  }
+  [[nodiscard]] const FaultKindSummary& by_kind(mm::FaultKind k) const noexcept {
+    const auto i = static_cast<std::size_t>(k);
+    HPMMAP_ASSERT(i < mm::kFaultKindCount, "fault kind out of range");
+    return by_kind_summaries[i];
+  }
+
+  std::array<FaultKindSummary, mm::kFaultKindCount> by_kind_summaries{};
 };
+
+/// One app-rank page fault, reconstructed from the trace stream. This is
+/// what the Figure 4/5 scatter plots draw.
+struct FaultSample {
+  Cycles when = 0; // absolute virtual time (subtract RunResult::trace_t0)
+  mm::FaultKind kind = mm::FaultKind::kSmall;
+  Cycles cost = 0;
+  Pid pid = 0;
+};
+
+/// Extract the job ranks' "fault" complete-events from `r.events`, sorted
+/// by time. Empty unless the run traced Category::kFault.
+[[nodiscard]] std::vector<FaultSample> app_fault_samples(const RunResult& r);
 
 /// Run one single-node trial (Dell R415 model).
 [[nodiscard]] RunResult run_single_node(const SingleNodeRunConfig& config);
@@ -69,6 +118,7 @@ struct ScalingRunConfig {
   std::uint32_t nodes = 1;
   std::uint32_t ranks_per_node = 4;
   std::uint64_t seed = 1;
+  TraceConfig trace{};
   double footprint_scale = 1.0;
   double duration_scale = 1.0;
 };

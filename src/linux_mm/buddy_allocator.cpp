@@ -4,6 +4,8 @@
 #include <bit>
 
 #include "common/assert.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::mm {
 
@@ -52,6 +54,11 @@ std::optional<BuddyAllocator::Allocation> BuddyAllocator::alloc(unsigned order) 
   }
   if (found > max_order_) {
     ++stats_.failed_allocs;
+    if (trace::on(trace::Category::kBuddy)) {
+      trace::instant(trace::Category::kBuddy, "buddy.alloc_failed", 0, -1,
+                     {trace::Arg::u64("order", order)});
+      ++trace::metrics().counter("buddy.alloc_failed");
+    }
     return std::nullopt;
   }
   const Addr block = *free_lists_[found].begin();
@@ -66,6 +73,11 @@ std::optional<BuddyAllocator::Allocation> BuddyAllocator::alloc(unsigned order) 
   free_bytes_ -= order_bytes(order);
   ++stats_.allocs;
   stats_.split_steps += splits;
+  if (splits > 0 && trace::on(trace::Category::kBuddy)) {
+    trace::instant(trace::Category::kBuddy, "buddy.split", 0, -1,
+                   {trace::Arg::u64("order", order), trace::Arg::u64("splits", splits)});
+    trace::metrics().counter("buddy.split_steps") += splits;
+  }
   return Allocation{block, splits};
 }
 
@@ -96,6 +108,11 @@ unsigned BuddyAllocator::free(Addr addr, unsigned order) {
   }
   free_lists_[o].insert(block);
   stats_.merge_steps += merges;
+  if (merges > 0 && trace::on(trace::Category::kBuddy)) {
+    trace::instant(trace::Category::kBuddy, "buddy.merge", 0, -1,
+                   {trace::Arg::u64("order", order), trace::Arg::u64("merges", merges)});
+    trace::metrics().counter("buddy.merge_steps") += merges;
+  }
   return merges;
 }
 

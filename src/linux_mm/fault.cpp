@@ -1,8 +1,69 @@
 #include "linux_mm/fault.hpp"
 
 #include "common/assert.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::mm {
+
+namespace {
+
+// Component breakdown collected only while the fault category is
+// enabled. Spans are laid out back-to-back under the parent "fault"
+// event, giving Perfetto the per-fault cost decomposition the paper's
+// Figure 2/3 tables aggregate. Durations are the pre-jitter component
+// model; the parent span carries the final (jittered) handler cost.
+struct FaultSpans {
+  struct Span {
+    const char* name;
+    Cycles dur;
+  };
+  bool active = false;
+  std::array<Span, 6> spans{};
+  std::size_t n = 0;
+
+  void add(const char* span_name, Cycles dur) {
+    if (active && dur > 0 && n < spans.size()) {
+      spans[n++] = Span{span_name, dur};
+    }
+  }
+};
+
+constexpr const char* cycles_histogram(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSmall:         return "fault.cycles.small";
+    case FaultKind::kLarge:         return "fault.cycles.large";
+    case FaultKind::kMergeFollower: return "fault.cycles.merge";
+    case FaultKind::kInvalid:       return "fault.cycles.invalid";
+  }
+  return "fault.cycles.invalid";
+}
+
+FaultResult emit_fault(const AddressSpace& as, Cycles now, std::int32_t core, FaultResult r,
+                       const FaultSpans& ft) {
+  if (!ft.active) {
+    return r;
+  }
+  trace::complete(trace::Category::kFault, "fault", now, r.cost, as.pid(), core,
+                  {trace::Arg::str("kind", name(r.kind).data()),
+                   trace::Arg::str("page", name(r.used).data()),
+                   trace::Arg::u64("lock_wait", r.lock_wait),
+                   trace::Arg::u64("reclaim", r.entered_reclaim ? 1 : 0)});
+  Cycles cursor = now;
+  for (std::size_t i = 0; i < ft.n; ++i) {
+    trace::complete(trace::Category::kFault, ft.spans[i].name, cursor, ft.spans[i].dur, as.pid(),
+                    core);
+    cursor += ft.spans[i].dur;
+  }
+  trace::metrics().histogram(cycles_histogram(r.kind)).add(static_cast<double>(r.cost));
+  ++trace::metrics().counter("fault.count");
+  if (r.entered_reclaim) {
+    ++trace::metrics().counter("fault.direct_reclaim");
+  }
+  return r;
+}
+
+} // namespace
 
 FaultHandler::FaultHandler(MemorySystem& memory, ThpService* thp, HugetlbPool* hugetlb)
     : memory_(memory), thp_(thp), hugetlb_(hugetlb) {}
@@ -22,21 +83,25 @@ FaultResult FaultHandler::finish(FaultResult result, ZoneId zone) {
   return result;
 }
 
-FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now) {
+FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now, std::int32_t core) {
   const CostModel& costs = memory_.costs();
   FaultResult result;
+  FaultSpans ft;
+  ft.active = trace::on(trace::Category::kFault);
 
   // Queue on the page-table lock first: if khugepaged is mid-merge we
   // wait for the full remainder of the merge (§II-B), and the fault is
   // classified as a merge-follower — the paper's "Merge" rows.
   result.lock_wait = as.lock_wait(now);
   result.cost = result.lock_wait + costs.fault_entry + costs.vma_lookup;
+  ft.add("fault.pt_lock", result.lock_wait);
+  ft.add("fault.entry", costs.fault_entry + costs.vma_lookup);
 
   const Vma* vma = as.vmas().find(vaddr);
   if (vma == nullptr || vma->prot == Prot::kNone) {
     result.err = Errno::kFault;
     result.kind = FaultKind::kInvalid;
-    return result;
+    return emit_fault(as, now, core, result, ft);
   }
 
   const ZoneId zone = as.zone_for(vaddr);
@@ -48,11 +113,12 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now) {
     result.kind = result.lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kSmall;
     result.used = t->size;
     result.cost += costs.pte_install;
-    return finish(result, zone);
+    ft.add("fault.pt", costs.pte_install);
+    return emit_fault(as, now, core, finish(result, zone), ft);
   }
 
   if (vma->kind == VmaKind::kHugetlb) {
-    return handle_hugetlb(as, *vma, vaddr, result.cost, result.lock_wait);
+    return handle_hugetlb(as, *vma, vaddr, now, result.cost, result.lock_wait, core);
   }
 
   // --- THP fault path: try a 2M mapping first (§II-B) -------------------
@@ -65,14 +131,20 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now) {
       result.kind = result.lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kLarge;
       result.used = PageSize::k2M;
       result.entered_reclaim = huge.alloc.entered_reclaim;
-      result.cost += memory_.alloc_cycles(huge.alloc, zone) +
-                     memory_.zero_cost(zone, kLargePageSize, costs.zero_bytes_per_cycle) +
-                     costs.pt_alloc_table + costs.pte_install + costs.rmap_account_large;
-      return finish(result, zone);
+      const Cycles alloc_cost = memory_.alloc_cycles(huge.alloc, zone);
+      const Cycles zero = memory_.zero_cost(zone, kLargePageSize, costs.zero_bytes_per_cycle);
+      const Cycles pt = costs.pt_alloc_table + costs.pte_install + costs.rmap_account_large;
+      result.cost += alloc_cost + zero + pt;
+      ft.add("fault.alloc", alloc_cost);
+      ft.add("fault.zero", zero);
+      ft.add("fault.pt", pt);
+      return emit_fault(as, now, core, finish(result, zone), ft);
     }
-    result.cost += huge.alloc.entered_reclaim || huge.alloc.entered_compaction
-                       ? memory_.alloc_cycles(huge.alloc, zone)
-                       : 0;
+    const Cycles failed_alloc = huge.alloc.entered_reclaim || huge.alloc.entered_compaction
+                                    ? memory_.alloc_cycles(huge.alloc, zone)
+                                    : 0;
+    result.cost += failed_alloc;
+    ft.add("fault.thp_attempt", failed_alloc);
   }
 
   // --- small-page fallback ------------------------------------------------
@@ -82,9 +154,11 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now) {
   const bool swapped_in = as.take_swapped(page_addr);
   if (swapped_in) {
     const CostModel& cm = memory_.costs();
-    result.cost += static_cast<Cycles>(memory_.rng().lognormal_from_moments(
+    const auto swap_cost = static_cast<Cycles>(memory_.rng().lognormal_from_moments(
         static_cast<double>(cm.swap_in_mean),
         cm.swap_in_cv * static_cast<double>(cm.swap_in_mean)));
+    result.cost += swap_cost;
+    ft.add("fault.swap_in", swap_cost);
   }
   ZoneId alloc_zone = zone;
   AllocOutcome out = memory_.alloc_pages(alloc_zone, 0, /*allow_reclaim=*/true);
@@ -98,7 +172,7 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now) {
   if (!out.ok) {
     result.err = Errno::kNoMem;
     result.kind = FaultKind::kInvalid;
-    return result;
+    return emit_fault(as, now, core, result, ft);
   }
   const Addr page = align_down(vaddr, kSmallPageSize);
   PtOpStats pt_stats;
@@ -112,19 +186,27 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now) {
   result.kind = result.lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kSmall;
   result.used = PageSize::k4K;
   result.entered_reclaim = out.entered_reclaim;
-  result.cost += memory_.alloc_cycles(out, alloc_zone) +
-                 memory_.zero_cost(alloc_zone, kSmallPageSize, costs.zero_bytes_per_cycle) +
-                 pt_stats.tables_allocated * costs.pt_alloc_table + costs.pte_install +
-                 costs.rmap_account;
-  return finish(result, alloc_zone);
+  const Cycles alloc_cost = memory_.alloc_cycles(out, alloc_zone);
+  const Cycles zero = memory_.zero_cost(alloc_zone, kSmallPageSize, costs.zero_bytes_per_cycle);
+  const Cycles pt =
+      pt_stats.tables_allocated * costs.pt_alloc_table + costs.pte_install + costs.rmap_account;
+  result.cost += alloc_cost + zero + pt;
+  ft.add("fault.alloc", alloc_cost);
+  ft.add("fault.zero", zero);
+  ft.add("fault.pt", pt);
+  return emit_fault(as, now, core, finish(result, alloc_zone), ft);
 }
 
-FaultResult FaultHandler::handle_hugetlb(AddressSpace& as, const Vma& vma, Addr vaddr,
-                                         Cycles base_cost, Cycles lock_wait) {
+FaultResult FaultHandler::handle_hugetlb(AddressSpace& as, const Vma& vma, Addr vaddr, Cycles now,
+                                         Cycles base_cost, Cycles lock_wait, std::int32_t core) {
   const CostModel& costs = memory_.costs();
   FaultResult result;
   result.cost = base_cost;
   result.lock_wait = lock_wait;
+  FaultSpans ft;
+  ft.active = trace::on(trace::Category::kFault);
+  ft.add("fault.pt_lock", lock_wait);
+  ft.add("fault.entry", base_cost - lock_wait);
 
   HPMMAP_ASSERT(hugetlb_ != nullptr, "hugetlb VMA without a pool configured");
   const ZoneId zone = as.zone_for(vaddr);
@@ -132,7 +214,7 @@ FaultResult FaultHandler::handle_hugetlb(AddressSpace& as, const Vma& vma, Addr 
   if (!page.has_value()) {
     result.err = Errno::kNoMem; // SIGBUS on the real system
     result.kind = FaultKind::kInvalid;
-    return result;
+    return emit_fault(as, now, core, result, ft);
   }
   const auto [phys, got_zone] = *page;
   const Addr base = align_down(vaddr, kLargePageSize);
@@ -145,10 +227,14 @@ FaultResult FaultHandler::handle_hugetlb(AddressSpace& as, const Vma& vma, Addr 
   // zeroes 2 MiB without the clearing-cache assists the normal path has;
   // this is why Figure 3's large faults are pricier than THP's yet
   // mostly load-insensitive (pool memory is never contended).
-  result.cost += costs.hugetlb_fault_overhead +
-                 memory_.zero_cost(got_zone, kLargePageSize, costs.hugetlb_zero_bytes_per_cycle) +
-                 pt_stats.tables_allocated * costs.pt_alloc_table + costs.pte_install;
-  return finish(result, got_zone);
+  const Cycles zero =
+      memory_.zero_cost(got_zone, kLargePageSize, costs.hugetlb_zero_bytes_per_cycle);
+  const Cycles pt = pt_stats.tables_allocated * costs.pt_alloc_table + costs.pte_install;
+  result.cost += costs.hugetlb_fault_overhead + zero + pt;
+  ft.add("fault.hugetlb_pool", costs.hugetlb_fault_overhead);
+  ft.add("fault.zero", zero);
+  ft.add("fault.pt", pt);
+  return emit_fault(as, now, core, finish(result, got_zone), ft);
 }
 
 } // namespace hpmmap::mm

@@ -35,6 +35,10 @@ enum class FaultKind : std::uint8_t {
   kInvalid,       // segfault (no VMA / bad permissions)
 };
 
+/// Number of FaultKind values; sized arrays indexed by FaultKind use
+/// this instead of a magic 4.
+inline constexpr std::size_t kFaultKindCount = 4;
+
 [[nodiscard]] constexpr std::string_view name(FaultKind k) noexcept {
   switch (k) {
     case FaultKind::kSmall:         return "Small";
@@ -56,8 +60,8 @@ struct FaultResult {
 
 /// Per-process fault counters, grouped the way Figure 2/3 reports them.
 struct FaultStats {
-  std::uint64_t count[4] = {};   // indexed by FaultKind
-  Cycles total_cycles[4] = {};
+  std::uint64_t count[kFaultKindCount] = {};   // indexed by FaultKind
+  Cycles total_cycles[kFaultKindCount] = {};
   void record(FaultKind kind, Cycles cost) noexcept {
     const auto i = static_cast<std::size_t>(kind);
     ++count[i];
@@ -72,11 +76,12 @@ class FaultHandler {
 
   /// Handle a fault at `vaddr` at simulated time `now`. Does not advance
   /// any clock: the caller charges `result.cost` to the faulting thread.
-  FaultResult handle(AddressSpace& as, Addr vaddr, Cycles now);
+  /// `core` only tags trace events (per-core Perfetto tracks).
+  FaultResult handle(AddressSpace& as, Addr vaddr, Cycles now, std::int32_t core = -1);
 
  private:
-  FaultResult handle_hugetlb(AddressSpace& as, const Vma& vma, Addr vaddr, Cycles base_cost,
-                             Cycles lock_wait);
+  FaultResult handle_hugetlb(AddressSpace& as, const Vma& vma, Addr vaddr, Cycles now,
+                             Cycles base_cost, Cycles lock_wait, std::int32_t core);
   FaultResult finish(FaultResult result, ZoneId zone);
 
   MemorySystem& memory_;

@@ -2,6 +2,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::mm {
 
@@ -22,6 +24,8 @@ HugetlbPool::HugetlbPool(MemorySystem& memory, std::uint64_t bytes_per_zone)
     stats_.pool_pages_total += pages;
   }
   log_info("hugetlbfs", "reserved %llu x 2M pages per zone across %u zones", static_cast<unsigned long long>(pages), zones);
+  trace::instant(trace::Category::kHugetlb, "hugetlb.reserve", 0, -1,
+                 {trace::Arg::u64("pages_per_zone", pages), trace::Arg::u64("zones", zones)});
 }
 
 HugetlbPool::~HugetlbPool() {
@@ -42,16 +46,33 @@ std::optional<std::pair<Addr, ZoneId>> HugetlbPool::alloc_page(ZoneId zone) {
       const Addr addr = pool_[z].back();
       pool_[z].pop_back();
       ++stats_.faults_served;
+      if (trace::on(trace::Category::kHugetlb)) {
+        trace::instant(trace::Category::kHugetlb, "hugetlb.alloc", 0, -1,
+                       {trace::Arg::u64("zone", z),
+                        trace::Arg::u64("pool_free", pool_[z].size()),
+                        trace::Arg::u64("spilled", z == zone ? 0 : 1)});
+        ++trace::metrics().counter("hugetlb.pages_served");
+      }
       return std::make_pair(addr, z);
     }
   }
   ++stats_.pool_exhausted;
+  if (trace::on(trace::Category::kHugetlb)) {
+    trace::instant(trace::Category::kHugetlb, "hugetlb.pool_exhausted", 0, -1,
+                   {trace::Arg::u64("zone", zone)});
+    ++trace::metrics().counter("hugetlb.pool_exhausted");
+  }
   return std::nullopt;
 }
 
 void HugetlbPool::free_page(ZoneId zone, Addr addr) {
   HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
   pool_[zone].push_back(addr);
+  if (trace::on(trace::Category::kHugetlb)) {
+    trace::instant(trace::Category::kHugetlb, "hugetlb.free", 0, -1,
+                   {trace::Arg::u64("zone", zone),
+                    trace::Arg::u64("pool_free", pool_[zone].size())});
+  }
 }
 
 std::uint64_t HugetlbPool::free_pages(ZoneId zone) const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::mm {
 
@@ -201,13 +203,31 @@ AllocOutcome MemorySystem::alloc_pages(ZoneId zone, unsigned order, bool allow_r
         const PageCache::ShrinkResult shrink = z.cache.shrink(target - have);
         outcome.reclaim_clean_blocks += shrink.clean_blocks;
         outcome.reclaim_writeback_blocks += shrink.writeback_blocks;
+        if (trace::on(trace::Category::kBuddy)) {
+          trace::instant(trace::Category::kBuddy, "mm.direct_reclaim", 0, -1,
+                         {trace::Arg::u64("zone", zone),
+                          trace::Arg::u64("clean", shrink.clean_blocks),
+                          trace::Arg::u64("writeback", shrink.writeback_blocks),
+                          trace::Arg::u64("free_bytes", have)});
+          ++trace::metrics().counter("mm.direct_reclaim");
+        }
       }
     }
     if (try_fast()) {
       return outcome;
     }
     if (order >= kLargePageOrder) {
+      const std::uint64_t scanned_before = outcome.compaction_windows_scanned;
       if (auto window = run_compaction(z, outcome); window.has_value()) {
+        if (trace::on(trace::Category::kBuddy)) {
+          trace::instant(trace::Category::kBuddy, "mm.compaction", 0, -1,
+                         {trace::Arg::u64("zone", zone),
+                          trace::Arg::u64("windows",
+                                          outcome.compaction_windows_scanned - scanned_before),
+                          trace::Arg::u64("migrated_bytes", outcome.compaction_migrated_bytes),
+                          trace::Arg::u64("ok", 1)});
+          ++trace::metrics().counter("mm.compaction");
+        }
         outcome.addr = *window;
         outcome.ok = true;
         return outcome;
@@ -268,7 +288,13 @@ std::uint64_t MemorySystem::kswapd_balance(ZoneId zone) {
   if (have >= target) {
     return 0;
   }
-  return z.cache.shrink(target - have).bytes_freed;
+  const std::uint64_t freed = z.cache.shrink(target - have).bytes_freed;
+  if (freed > 0 && trace::on(trace::Category::kBuddy)) {
+    trace::instant(trace::Category::kBuddy, "mm.kswapd", 0, -1,
+                   {trace::Arg::u64("zone", zone), trace::Arg::u64("bytes_freed", freed)});
+    ++trace::metrics().counter("mm.kswapd_wakeups");
+  }
+  return freed;
 }
 
 } // namespace hpmmap::mm

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::mm {
 
@@ -185,6 +187,12 @@ std::optional<ThpService::MergeCandidate> ThpService::find_candidate() {
 
 void ThpService::scan_once() {
   last_scan_ = engine_.now();
+  if (trace::on(trace::Category::kThp)) {
+    trace::instant(trace::Category::kThp, "khugepaged.scan", 0, -1,
+                   {trace::Arg::u64("enter_queue", enter_queue_.size()),
+                    trace::Arg::u64("processes", processes_.size())});
+    ++trace::metrics().counter("khugepaged.scans");
+  }
   // The daemon collapses a couple of regions per wakeup (its scan
   // quota). Before each collapse it linearly scans thousands of PTEs —
   // several milliseconds of work — so the lock acquisition lands at an
@@ -255,6 +263,15 @@ void ThpService::perform_merge(const MergeCandidate& candidate) {
   as.lock_until(engine_.now() + duration);
   stats_.total_merge_lock_cycles += duration;
   inflight_.insert({&as, region});
+  if (trace::on(trace::Category::kThp)) {
+    // The span covers the full PT-lock hold — the window that turns
+    // concurrent faults into merge-followers (Figure 4's blue dots).
+    trace::complete(trace::Category::kThp, "khugepaged.merge", engine_.now(), duration, as.pid(),
+                    -1,
+                    {trace::Arg::u64("region", region),
+                     trace::Arg::u64("mapped_small", candidate.mapped_small)});
+    trace::metrics().histogram("thp.merge_lock_cycles").add(static_cast<double>(duration));
+  }
 
   const Addr huge_phys = huge.addr;
   AddressSpace* asp = &as;
@@ -268,6 +285,8 @@ void ThpService::perform_merge(const MergeCandidate& candidate) {
     // and the huge page goes back to the buddy.
     if (std::find(processes_.begin(), processes_.end(), asp) == processes_.end()) {
       abort_merge();
+      trace::instant(trace::Category::kThp, "khugepaged.merge_abort", 0, -1,
+                     {trace::Arg::str("reason", "process_exited")});
       return;
     }
     AddressSpace& target = *asp;
@@ -278,6 +297,8 @@ void ThpService::perform_merge(const MergeCandidate& candidate) {
       // Region vanished, got remapped, or the fault path huge-mapped it
       // while the merge was copying: abort.
       abort_merge();
+      trace::instant(trace::Category::kThp, "khugepaged.merge_abort", target.pid(), -1,
+                     {trace::Arg::str("reason", "region_changed")});
       return;
     }
     // Unmap the small pages and return their frames; install the leaf.
@@ -293,6 +314,11 @@ void ThpService::perform_merge(const MergeCandidate& candidate) {
     const Errno err = pt.map(region, huge_phys, PageSize::k2M, vma->prot);
     HPMMAP_ASSERT(err == Errno::kOk, "merge target region was not fully cleared");
     ++stats_.merges_completed;
+    if (trace::on(trace::Category::kThp)) {
+      trace::instant(trace::Category::kThp, "khugepaged.merge_done", target.pid(), -1,
+                     {trace::Arg::u64("region", region)});
+      ++trace::metrics().counter("khugepaged.merges_completed");
+    }
   });
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::os {
 namespace {
@@ -164,6 +165,7 @@ Process& Node::spawn(std::string proc_name, MmPolicy policy, std::int32_t core, 
       (policy == MmPolicy::kLinuxThp || policy == MmPolicy::kLinuxPlain)) {
     thp_->register_process(&as);
   }
+  trace::instant(trace::Category::kApp, "proc.spawn", pid, core);
   return proc;
 }
 
@@ -186,6 +188,7 @@ void Node::exit_process(Process& proc) {
   }
   scheduler_.remove_thread(proc.sched_handle());
   proc.mark_dead();
+  trace::instant(trace::Category::kApp, "proc.exit", proc.pid(), proc.core());
 }
 
 bool Node::is_hpmmap_call(const Process& proc, Cycles& hash_cost) const {
@@ -476,8 +479,8 @@ Cycles Node::touch_range(Process& proc, Range range) {
       continue;
     }
     mm::FaultResult fr = is_hpmmap_addr
-                             ? module_->fault(proc.pid(), va, engine_.now() + cost)
-                             : fault_handler_->handle(as, va, engine_.now() + cost);
+                             ? module_->fault(proc.pid(), va, engine_.now() + cost, proc.core())
+                             : fault_handler_->handle(as, va, engine_.now() + cost, proc.core());
     proc.record_fault(engine_.now() + cost, fr.kind, fr.cost);
     cost += fr.cost;
     if (fr.err == Errno::kOk && fr.used == PageSize::k4K && !is_hpmmap_addr) {
@@ -487,8 +490,9 @@ Cycles Node::touch_range(Process& proc, Range range) {
       }
     }
     if (fr.err != Errno::kOk) {
-      log_warn("node", "fault failed at %llx for pid %u: %s",
-               static_cast<unsigned long long>(va), proc.pid(), name(fr.err).data());
+      HPMMAP_LOG_WARN_LIMITED(fault_warn_limiter_, "node", "fault failed at %llx for pid %u: %s",
+                              static_cast<unsigned long long>(va), proc.pid(),
+                              name(fr.err).data());
       va += kSmallPageSize; // skip; workload generators treat it as lost work
       continue;
     }
@@ -570,6 +574,10 @@ void Node::maybe_swap(ZoneId zone) {
     as.mark_swapped(va);
     ++swapped_out_total_;
     ++evicted;
+  }
+  if (evicted > 0 && trace::on(trace::Category::kBuddy)) {
+    trace::instant(trace::Category::kBuddy, "mm.swap_out", 0, -1,
+                   {trace::Arg::u64("zone", zone), trace::Arg::u64("pages", evicted)});
   }
 }
 

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/module.hpp"
@@ -160,6 +161,9 @@ class Node {
   // eviction victims. Bounded; self-cleans as entries go stale.
   std::deque<std::pair<Process*, Addr>> anon_lru_;
   std::uint64_t swapped_out_total_ = 0;
+  // Failed-fault warnings are per-fault under memory exhaustion; budget
+  // them so pathological configs don't flood benchmark output.
+  LogLimiter fault_warn_limiter_{10};
 };
 
 } // namespace hpmmap::os

@@ -27,13 +27,6 @@ enum class MmPolicy : std::uint8_t { kLinuxThp, kLinuxPlain, kHugetlbfs, kHpmmap
   return "?";
 }
 
-/// A fault observation for the Figure 4/5 scatter plots.
-struct FaultRecord {
-  Cycles when = 0;
-  mm::FaultKind kind = mm::FaultKind::kSmall;
-  Cycles cost = 0;
-};
-
 class Process {
  public:
   Process(Pid pid, std::string proc_name, MmPolicy policy)
@@ -52,17 +45,14 @@ class Process {
   [[nodiscard]] Scheduler::ThreadId sched_handle() const noexcept { return sched_; }
 
   // --- fault accounting ----------------------------------------------------
+  // Aggregate counters only; per-fault events go through the trace
+  // subsystem (trace/trace.hpp) under Category::kFault.
   [[nodiscard]] mm::FaultStats& fault_stats() noexcept { return fault_stats_; }
   [[nodiscard]] const mm::FaultStats& fault_stats() const noexcept { return fault_stats_; }
-  void enable_trace(bool on) noexcept { trace_enabled_ = on; }
-  [[nodiscard]] bool trace_enabled() const noexcept { return trace_enabled_; }
   void record_fault(Cycles when, mm::FaultKind kind, Cycles cost) {
+    (void)when;
     fault_stats_.record(kind, cost);
-    if (trace_enabled_) {
-      trace_.push_back(FaultRecord{when, kind, cost});
-    }
   }
-  [[nodiscard]] const std::vector<FaultRecord>& trace() const noexcept { return trace_; }
 
   [[nodiscard]] bool alive() const noexcept { return alive_; }
   void mark_dead() noexcept { alive_ = false; }
@@ -75,8 +65,6 @@ class Process {
   std::int32_t core_ = -1;
   Scheduler::ThreadId sched_{};
   mm::FaultStats fault_stats_;
-  std::vector<FaultRecord> trace_;
-  bool trace_enabled_ = false;
   bool alive_ = true;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::os {
 
@@ -20,6 +21,11 @@ Scheduler::ThreadId Scheduler::add_thread(std::int32_t core, double weight) {
     unpinned_weight_ += weight;
   }
   dirty_ = true;
+  if (trace::on(trace::Category::kSched)) {
+    trace::instant(trace::Category::kSched, "sched.add_thread", 0, core,
+                   {trace::Arg::u64("tid", threads_.size()), trace::Arg::f64("weight", weight)});
+    trace::counter(trace::Category::kSched, "sched.total_weight", total_weight());
+  }
   return ThreadId{static_cast<std::uint32_t>(threads_.size())};
 }
 
@@ -34,6 +40,11 @@ void Scheduler::remove_thread(ThreadId id) {
   }
   t.live = false;
   dirty_ = true;
+  if (trace::on(trace::Category::kSched)) {
+    trace::instant(trace::Category::kSched, "sched.remove_thread", 0, t.core,
+                   {trace::Arg::u64("tid", id.id)});
+    trace::counter(trace::Category::kSched, "sched.total_weight", total_weight());
+  }
 }
 
 void Scheduler::set_weight(ThreadId id, double weight) {
@@ -47,6 +58,10 @@ void Scheduler::set_weight(ThreadId id, double weight) {
   }
   t.weight = weight;
   dirty_ = true;
+  if (trace::on(trace::Category::kSched)) {
+    trace::instant(trace::Category::kSched, "sched.set_weight", 0, t.core,
+                   {trace::Arg::u64("tid", id.id), trace::Arg::f64("weight", weight)});
+  }
 }
 
 void Scheduler::recompute() const {

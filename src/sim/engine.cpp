@@ -3,8 +3,16 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::sim {
+
+Engine::Engine() {
+  trace::set_clock(
+      [](const void* ctx) { return static_cast<const Engine*>(ctx)->now(); }, this);
+}
+
+Engine::~Engine() { trace::clear_clock(this); }
 
 EventId Engine::schedule(Cycles delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));

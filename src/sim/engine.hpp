@@ -27,6 +27,13 @@ class Engine {
  public:
   using Callback = std::function<void()>;
 
+  /// Registers this engine as the tracing clock, so tracepoints in
+  /// components without an engine reference can stamp virtual time.
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   [[nodiscard]] Cycles now() const noexcept { return now_; }
 
   /// Schedule `fn` to run `delay` cycles from now.

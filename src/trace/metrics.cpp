@@ -1,0 +1,36 @@
+#include "trace/metrics.hpp"
+
+#include <cstdio>
+
+namespace hpmmap::trace {
+
+MetricRegistry& metrics() noexcept {
+  static MetricRegistry r;
+  return r;
+}
+
+std::string MetricRegistry::report() const {
+  std::string out;
+  char line[256];
+  if (!counters_.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : counters_) {
+      std::snprintf(line, sizeof(line), "  %-32s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+  if (!histograms_.empty()) {
+    out += "histograms:\n";
+    for (const auto& [name, h] : histograms_) {
+      std::snprintf(line, sizeof(line),
+                    "  %-32s n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count()), h.mean(), h.p50(),
+                    h.p95(), h.p99(), h.max());
+      out += line;
+    }
+  }
+  return out;
+}
+
+} // namespace hpmmap::trace

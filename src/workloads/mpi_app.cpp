@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/units.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::workloads {
 namespace {
@@ -61,7 +62,11 @@ void MpiJob::start_rank(std::size_t i) {
   os::Node& node = *r.place.node;
   r.proc = &node.spawn(config_.app.name + "-r" + std::to_string(i), config_.policy,
                        r.place.core, /*duty=*/1.0, r.place.zone_policy, r.place.home_zone);
-  r.proc->enable_trace(config_.record_trace);
+  if (trace::on(trace::Category::kApp)) {
+    trace::instant(trace::Category::kApp, "rank.start", r.proc->pid(), r.place.core,
+                   {trace::Arg::u64("rank", i),
+                    trace::Arg::u64("bytes", config_.app.bytes_per_rank)});
+  }
 
   // Register the rank's streaming DRAM demand, split across the zones it
   // allocates from.
@@ -261,6 +266,11 @@ void MpiJob::release_barrier() {
     } else if (!r.finished) {
       r.finished = true;
       r.finish_time = engine_.now() + comm;
+      if (trace::on(trace::Category::kApp)) {
+        trace::instant(trace::Category::kApp, "rank.finish", r.proc->pid(), r.place.core,
+                       {trace::Arg::u64("rank", i),
+                        trace::Arg::u64("iterations", r.iteration)});
+      }
     }
   }
   if (all_done) {

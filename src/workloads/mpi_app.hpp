@@ -43,7 +43,6 @@ struct MpiJobConfig {
   os::MmPolicy policy = os::MmPolicy::kLinuxThp;
   std::vector<RankPlacement> ranks;
   CommModel comm; // defaults to shared_memory_comm of rank 0's node
-  bool record_trace = false;
 };
 
 class MpiJob {

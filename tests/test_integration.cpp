@@ -59,14 +59,23 @@ TEST(Integration, HpmmapIsNotSlowerUnderLoad) {
 TEST(Integration, TraceRecordsFaultTimeline) {
   harness::SingleNodeRunConfig cfg =
       quick("miniMD", harness::Manager::kThp, workloads::profile_a(2), 2);
-  cfg.record_trace = true;
+  cfg.trace.categories = static_cast<std::uint32_t>(trace::Category::kFault);
   const harness::RunResult r = harness::run_single_node(cfg);
-  ASSERT_FALSE(r.trace.empty());
-  // Sorted by time, all after job start.
-  for (std::size_t i = 1; i < r.trace.size(); ++i) {
-    EXPECT_GE(r.trace[i].when, r.trace[i - 1].when);
+  ASSERT_FALSE(r.events.empty());
+  const std::vector<harness::FaultSample> samples = harness::app_fault_samples(r);
+  ASSERT_FALSE(samples.empty());
+  // Samples come back time-sorted, all at/after job start (the warmup's
+  // kernel-build faults belong to other pids and are filtered out).
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].when, samples[i - 1].when);
   }
-  EXPECT_GE(r.trace.front().when, r.trace_t0);
+  EXPECT_GE(samples.front().when, r.trace_t0);
+  // The reconstructed per-kind totals match the kernel's own counters.
+  std::uint64_t sampled = 0;
+  for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+    sampled += r.by_kind(static_cast<mm::FaultKind>(k)).total_faults;
+  }
+  EXPECT_EQ(sampled, samples.size());
 }
 
 TEST(Integration, RunTrialsAggregatesSeeds) {

@@ -129,6 +129,102 @@ TEST(Samples, EmptySafe) {
   EXPECT_EQ(s.percentile(50), 0.0);
 }
 
+// Deterministic LCG (MMIX constants) so the P² accuracy checks are
+// reproducible without seeding std::mt19937 differently per platform.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  double uniform01() noexcept {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state_ >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.value(), 0.0);
+}
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  // With fewer than five samples P² stores them and interpolates the
+  // sorted set directly, so small streams stay exact.
+  P2Quantile median(0.5);
+  median.add(30.0);
+  median.add(10.0);
+  median.add(20.0);
+  EXPECT_DOUBLE_EQ(median.value(), 20.0);
+
+  P2Quantile q95(0.95);
+  q95.add(1.0);
+  q95.add(2.0);
+  EXPECT_NEAR(q95.value(), 1.95, 1e-12);
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  P2Quantile median(0.5);
+  Lcg rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    median.add(rng.uniform01());
+  }
+  EXPECT_EQ(median.count(), 20000u);
+  EXPECT_NEAR(median.value(), 0.5, 0.02);
+}
+
+TEST(P2Quantile, TailQuantilesOfUniformStream) {
+  P2Quantile q95(0.95);
+  P2Quantile q99(0.99);
+  Lcg rng(42);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform01();
+    q95.add(x);
+    q99.add(x);
+  }
+  EXPECT_NEAR(q95.value(), 0.95, 0.01);
+  EXPECT_NEAR(q99.value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, TracksExactPercentileOnSkewedData) {
+  // Exponential-ish heavy tail (inverse-CDF of uniform), the shape of
+  // fault-cost distributions. Compare against the exact batch percentile.
+  P2Quantile q95(0.95);
+  Samples exact;
+  Lcg rng(1234);
+  for (int i = 0; i < 30000; ++i) {
+    const double u = rng.uniform01();
+    const double x = -std::log(1.0 - u); // Exp(1)
+    q95.add(x);
+    exact.add(x);
+  }
+  const double truth = exact.percentile(95.0);
+  EXPECT_NEAR(q95.value(), truth, 0.05 * truth);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 100; ++i) {
+    q.add(7.5);
+  }
+  EXPECT_DOUBLE_EQ(q.value(), 7.5);
+}
+
+TEST(P2Quantile, SortedAndReversedInputAgree) {
+  // Marker adjustment must not depend on arrival order for a stable
+  // distribution: ascending and descending streams of the same values
+  // land near the same estimate.
+  P2Quantile up(0.5);
+  P2Quantile down(0.5);
+  for (int i = 0; i < 10001; ++i) {
+    up.add(static_cast<double>(i));
+    down.add(static_cast<double>(10000 - i));
+  }
+  EXPECT_NEAR(up.value(), 5000.0, 150.0);
+  EXPECT_NEAR(down.value(), 5000.0, 150.0);
+}
+
 TEST(Log2Histogram, BucketsByPowerOfTwo) {
   Log2Histogram h;
   h.add(0);
