@@ -20,6 +20,7 @@
 #include "harness/table.hpp"
 #include "trace/export.hpp"
 #include "trace/metrics.hpp"
+#include "verify/fault_inject.hpp"
 
 namespace {
 
@@ -40,7 +41,16 @@ using namespace hpmmap;
       "  --trace          record the fault trace and print a summary\n"
       "  --trace-out FILE write Chrome trace JSON to FILE and CSV to FILE.csv\n"
       "  --trace-cat CATS categories for --trace-out: comma list or 'all'\n"
-      "                   (fault,buddy,thp,hugetlb,module,sched,net,app,harness)\n",
+      "                   (fault,buddy,thp,hugetlb,module,sched,net,app,harness,verify)\n"
+      "  --audit          run the mm invariant auditor at run end and print its report\n"
+      "  --audit-on-fire  with --inject: also audit at every injection instant\n"
+      "  --inject SPEC    arm fault injection; SPEC is comma-separated entries\n"
+      "                   point[@N][+P][xC][~F][*M]: @N = Nth call, +P = every P\n"
+      "                   calls after, xC = at most C fires, ~F = probability per\n"
+      "                   call, *M = magnitude (net_delay multiplier). Points:\n"
+      "                   buddy_alloc, direct_reclaim, thp_huge_alloc,\n"
+      "                   thp_merge_abort, hugetlb_alloc, net_delay.\n"
+      "                   e.g. --inject thp_huge_alloc@100+50x20,net_delay~0.02*16\n",
       argv0);
   std::exit(0);
 }
@@ -78,6 +88,33 @@ void dump_trace(const harness::RunResult& r, const std::string& path) {
   std::printf("%s", trace::metrics().report().c_str());
 }
 
+/// Print what a verified run observed: per-point injector counters and
+/// the auditor's verdict.
+void report_verification(const harness::RunResult& r, bool injected, bool audited) {
+  if (injected) {
+    harness::Table t({"Injection point", "Calls", "Fired"});
+    for (std::size_t i = 0; i < verify::kInjectPointCount; ++i) {
+      const auto p = static_cast<verify::InjectPoint>(i);
+      t.add_row({std::string(verify::name(p)),
+                 harness::with_commas(r.injected[i].calls),
+                 harness::with_commas(r.injected[i].fired)});
+    }
+    t.print();
+    std::printf("injected faults: %llu; thp 4K fallbacks: %llu; merges aborted: "
+                "%llu; hugetlb exhaustions: %llu\n",
+                static_cast<unsigned long long>(r.injected_total()),
+                static_cast<unsigned long long>(r.thp_fault_fallbacks),
+                static_cast<unsigned long long>(r.thp_merges_aborted),
+                static_cast<unsigned long long>(r.hugetlb_pool_exhausted));
+  }
+  if (audited) {
+    std::printf("%s", r.audit_report.c_str());
+    if (!r.audit_report.empty() && r.audit_report.back() != '\n') {
+      std::printf("\n");
+    }
+  }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -88,6 +125,8 @@ int main(int argc, char** argv) {
   bool trace = false;
   std::string trace_out;
   std::string trace_cat = "all";
+  bool audit = false, audit_on_fire = false;
+  std::string inject_spec;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -120,6 +159,12 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (!std::strcmp(argv[i], "--trace-cat")) {
       trace_cat = next();
+    } else if (!std::strcmp(argv[i], "--audit")) {
+      audit = true;
+    } else if (!std::strcmp(argv[i], "--audit-on-fire")) {
+      audit_on_fire = true;
+    } else if (!std::strcmp(argv[i], "--inject")) {
+      inject_spec = next();
     } else {
       usage(argv[0]);
     }
@@ -127,6 +172,19 @@ int main(int argc, char** argv) {
 
   using namespace hpmmap;
   const harness::Manager mgr = parse_manager(manager);
+
+  harness::VerifyConfig verify_cfg;
+  verify_cfg.audit = audit;
+  verify_cfg.audit_on_injection = audit_on_fire;
+  if (!inject_spec.empty()) {
+    const auto plan = verify::parse_inject_spec(inject_spec);
+    if (!plan) {
+      std::fprintf(stderr, "bad --inject spec '%s'\n", inject_spec.c_str());
+      return 1;
+    }
+    verify_cfg.inject = *plan;
+  }
+  const bool verifying = audit || verify_cfg.inject.any();
 
   harness::TraceConfig trace_cfg;
   if (!trace_out.empty()) {
@@ -152,14 +210,18 @@ int main(int argc, char** argv) {
     cfg.trace = trace_cfg;
     cfg.footprint_scale = scale;
     cfg.duration_scale = duration;
+    cfg.verify = verify_cfg;
     std::printf("%s on %u nodes (%u ranks), %s, profile %s, %u trials\n", app.c_str(), nodes,
                 nodes * cfg.ranks_per_node, name(mgr).data(), cfg.commodity.name.c_str(),
                 trials);
-    if (!trace_out.empty()) {
+    if (!trace_out.empty() || verifying) {
       const harness::RunResult r = harness::run_scaling(cfg);
       std::printf("runtime: %.2f s\n", r.runtime_seconds);
-      dump_trace(r, trace_out);
-      return 0;
+      report_verification(r, verify_cfg.inject.any(), audit);
+      if (!trace_out.empty()) {
+        dump_trace(r, trace_out);
+      }
+      return r.audit_violations == 0 ? 0 : 1;
     }
     const harness::SeriesPoint p = harness::run_trials(cfg, trials);
     std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);
@@ -177,27 +239,31 @@ int main(int argc, char** argv) {
   cfg.trace = trace_cfg;
   cfg.footprint_scale = scale;
   cfg.duration_scale = duration;
+  cfg.verify = verify_cfg;
   std::printf("%s on %u cores, %s, profile %s, %u trials\n", app.c_str(), cores,
               name(mgr).data(), cfg.commodity.name.c_str(), trials);
 
-  if (cfg.trace.on()) {
+  if (cfg.trace.on() || verifying) {
     const harness::RunResult r = harness::run_single_node(cfg);
     std::printf("runtime: %.2f s\n", r.runtime_seconds);
-    harness::Table t({"Kind", "Count", "Avg cycles", "Stdev cycles"});
-    for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
-      const auto kind = static_cast<mm::FaultKind>(k);
-      const auto& row = r.by_kind(kind);
-      t.add_row({std::string(mm::name(kind)), harness::with_commas(row.total_faults),
-                 harness::with_commas(static_cast<std::uint64_t>(row.avg_cycles)),
-                 harness::with_commas(static_cast<std::uint64_t>(row.stdev_cycles))});
+    if (cfg.trace.on()) {
+      harness::Table t({"Kind", "Count", "Avg cycles", "Stdev cycles"});
+      for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+        const auto kind = static_cast<mm::FaultKind>(k);
+        const auto& row = r.by_kind(kind);
+        t.add_row({std::string(mm::name(kind)), harness::with_commas(row.total_faults),
+                   harness::with_commas(static_cast<std::uint64_t>(row.avg_cycles)),
+                   harness::with_commas(static_cast<std::uint64_t>(row.stdev_cycles))});
+      }
+      t.print();
+      std::printf("khugepaged merges: %llu\n",
+                  static_cast<unsigned long long>(r.thp_merges));
     }
-    t.print();
-    std::printf("khugepaged merges: %llu\n",
-                static_cast<unsigned long long>(r.thp_merges));
+    report_verification(r, verify_cfg.inject.any(), audit);
     if (!trace_out.empty()) {
       dump_trace(r, trace_out);
     }
-    return 0;
+    return r.audit_violations == 0 ? 0 : 1;
   }
   const harness::SeriesPoint p = harness::run_trials(cfg, trials);
   std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);

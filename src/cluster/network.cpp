@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "trace/trace.hpp"
+#include "verify/fault_inject.hpp"
 
 namespace hpmmap::cluster {
 
@@ -28,7 +29,13 @@ workloads::CommModel ethernet_comm(const EthernetSpec& spec, double clock_hz,
     // Intra-node shared-memory share.
     secs += static_cast<double>(app.allreduces_per_iter) *
             (3e-6 + 0.4e-6 * static_cast<double>(ranks));
-    const double jittered = rng_ptr->lognormal_from_moments(secs, spec.jitter_cv * secs);
+    double jittered = rng_ptr->lognormal_from_moments(secs, spec.jitter_cv * secs);
+    // Injected delay spike: one collective stretched by the plan's
+    // magnitude (a congested switch / a retransmit storm). The job just
+    // runs longer — BSP absorbs the straggler at the next barrier.
+    if (verify::injector().should_fail(verify::InjectPoint::kNetDelay)) {
+      jittered *= verify::injector().magnitude(verify::InjectPoint::kNetDelay);
+    }
     const auto cycles = static_cast<Cycles>(jittered * clock_hz);
     if (trace::on(trace::Category::kNet)) {
       trace::instant(trace::Category::kNet, "net.collective", 0, -1,

@@ -79,6 +79,27 @@ std::uint64_t KittenAllocator::total_bytes(ZoneId zone) const {
   return total;
 }
 
+bool KittenAllocator::frame_is_free(ZoneId zone, Addr addr) const {
+  HPMMAP_ASSERT(zone < zones_.size(), "zone out of range");
+  for (const mm::BuddyAllocator& buddy : zones_[zone].buddies) {
+    if (buddy.range().contains(addr)) {
+      return buddy.free_block_containing(addr).has_value();
+    }
+  }
+  return false;
+}
+
+bool KittenAllocator::check_consistency() const {
+  for (const ZoneHeap& zh : zones_) {
+    for (const mm::BuddyAllocator& buddy : zh.buddies) {
+      if (!buddy.check_consistency()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool KittenAllocator::all_free() const {
   for (const ZoneHeap& zh : zones_) {
     for (const mm::BuddyAllocator& buddy : zh.buddies) {

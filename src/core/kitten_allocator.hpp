@@ -49,6 +49,23 @@ class KittenAllocator {
   /// sanity check).
   [[nodiscard]] bool all_free() const;
 
+  /// True if the 4K frame at `addr` sits inside a free block of the
+  /// zone's heaps (the invariant auditor asks this about mapped frames).
+  [[nodiscard]] bool frame_is_free(ZoneId zone, Addr addr) const;
+
+  /// Every underlying buddy passes its own consistency check.
+  [[nodiscard]] bool check_consistency() const;
+
+  /// Visit each underlying buddy allocator as (zone, buddy).
+  template <typename Fn>
+  void for_each_buddy(Fn&& fn) const {
+    for (std::size_t z = 0; z < zones_.size(); ++z) {
+      for (const mm::BuddyAllocator& buddy : zones_[z].buddies) {
+        fn(static_cast<ZoneId>(z), buddy);
+      }
+    }
+  }
+
  private:
   struct ZoneHeap {
     std::vector<mm::BuddyAllocator> buddies; // one per offlined range

@@ -96,6 +96,15 @@ Errno HpmmapModule::register_process(Pid pid, mm::AddressSpace& as) {
   return Errno::kOk;
 }
 
+const mm::VmaTree* HpmmapModule::regions_for(Pid pid) const {
+  const auto hit = registry_.find(pid);
+  if (!hit.has_value()) {
+    return nullptr;
+  }
+  const ProcessContext& ctx = contexts_[hit->context];
+  return ctx.live ? &ctx.vmas : nullptr;
+}
+
 Errno HpmmapModule::unregister_process(Pid pid) {
   const auto hit = registry_.find(pid);
   if (!hit.has_value()) {

@@ -97,6 +97,10 @@ class HpmmapModule {
   }
 
   [[nodiscard]] const ModuleStats& stats() const noexcept { return stats_; }
+  /// HPMMAP's own region list for a registered pid (nullptr if the pid
+  /// is not registered or its context is dead). The invariant auditor
+  /// checks window-resident page-table leaves against these regions.
+  [[nodiscard]] const mm::VmaTree* regions_for(Pid pid) const;
   [[nodiscard]] const KittenAllocator& allocator() const noexcept { return kitten_; }
   /// Mutable allocator access for diagnostics/benchmarks (the real
   /// module exposes its pool state through debugfs similarly).

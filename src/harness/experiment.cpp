@@ -9,6 +9,7 @@
 #include "os/node.hpp"
 #include "sim/engine.hpp"
 #include "trace/metrics.hpp"
+#include "verify/audit.hpp"
 #include "workloads/kernel_build.hpp"
 #include "workloads/mpi_app.hpp"
 
@@ -157,12 +158,83 @@ RunResult collect(workloads::MpiJob& job, os::Node& first_node, const TraceConfi
   }
   if (first_node.thp() != nullptr) {
     result.thp_merges = first_node.thp()->stats().merges_completed;
+    result.thp_fault_fallbacks = first_node.thp()->stats().fault_huge_fallback;
+    result.thp_merges_aborted = first_node.thp()->stats().merges_aborted;
+  }
+  if (first_node.hugetlb() != nullptr) {
+    result.hugetlb_pool_exhausted = first_node.hugetlb()->stats().pool_exhausted;
   }
   if (first_node.hpmmap_module() != nullptr) {
     result.hpmmap_spurious_faults = first_node.hpmmap_module()->stats().spurious_faults;
   }
   return result;
 }
+
+/// Arms the process-global injector for one run; the destructor
+/// guarantees the next run's node boots against a disarmed injector even
+/// if the run throws.
+class VerifySession {
+ public:
+  VerifySession(const VerifyConfig& cfg, std::uint64_t seed) : cfg_(cfg) {
+    if (cfg_.inject.any()) {
+      verify::injector().arm(cfg_.inject, seed);
+    }
+  }
+  ~VerifySession() {
+    verify::injector().set_on_fire(nullptr);
+    verify::injector().disarm();
+  }
+  VerifySession(const VerifySession&) = delete;
+  VerifySession& operator=(const VerifySession&) = delete;
+
+  /// Install the debug-mode hook: audit `node` at every injection
+  /// instant (every point fires before mutating state, so the sweep is
+  /// over a consistent snapshot).
+  void audit_on_fire(os::Node& node) {
+    if (!cfg_.audit_on_injection || !cfg_.inject.any()) {
+      return;
+    }
+    verify::injector().set_on_fire([this, &node](verify::InjectPoint) {
+      verify::MmAuditor auditor(node);
+      absorb(auditor.run());
+    });
+  }
+
+  /// End-of-run accounting into `result`: injector counters, the final
+  /// audit over every node, and whatever the on-fire audits saw.
+  void finish(RunResult& result, const std::vector<os::Node*>& nodes) {
+    if (cfg_.inject.any()) {
+      result.injected = verify::injector().all_stats();
+    }
+    if (cfg_.audit) {
+      for (os::Node* node : nodes) {
+        verify::MmAuditor auditor(*node);
+        absorb(auditor.run());
+      }
+    }
+    result.audit_checks = checks_;
+    result.audit_violations = violations_;
+    result.audit_report = std::move(report_);
+  }
+
+ private:
+  void absorb(const verify::AuditReport& rep) {
+    checks_ += rep.checks;
+    violations_ += rep.violation_count();
+    // Keep the first failing summary (a transient mid-run violation must
+    // not be hidden by a clean final audit), else the latest clean one.
+    if (report_.empty() || (!rep.ok() && clean_)) {
+      report_ = rep.summary();
+      clean_ = rep.ok();
+    }
+  }
+
+  const VerifyConfig& cfg_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t violations_ = 0;
+  std::string report_;
+  bool clean_ = true;
+};
 
 } // namespace
 
@@ -217,6 +289,10 @@ RunResult run_single_node(const SingleNodeRunConfig& config) {
 
   os::Node node(engine,
                 node_config_for(config.manager, machine, pool, config.seed, "r415"));
+  // Arm only after boot: the hugetlb reservation and module load assert
+  // on allocation success and must never see injected failures.
+  VerifySession verify_session(config.verify, config.seed);
+  verify_session.audit_on_fire(node);
 
   // Commodity competition.
   std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
@@ -247,7 +323,9 @@ RunResult run_single_node(const SingleNodeRunConfig& config) {
   for (auto& build : builds) {
     build->stop();
   }
-  return collect(job, node, config.trace, job_start, machine.clock_hz);
+  RunResult result = collect(job, node, config.trace, job_start, machine.clock_hz);
+  verify_session.finish(result, {&node});
+  return result;
 }
 
 RunResult run_scaling(const ScalingRunConfig& config) {
@@ -263,6 +341,10 @@ RunResult run_scaling(const ScalingRunConfig& config) {
         engine, node_config_for(config.manager, machine, pool,
                                 config.seed + 7919ull * n, "xeon" + std::to_string(n))));
   }
+  VerifySession verify_session(config.verify, config.seed);
+  // Debug-mode audits cover the first node (injections are global; the
+  // end-of-run audit walks every node).
+  verify_session.audit_on_fire(*nodes.front());
 
   std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
   Rng rng(config.seed);
@@ -308,7 +390,13 @@ RunResult run_scaling(const ScalingRunConfig& config) {
   for (auto& build : builds) {
     build->stop();
   }
-  return collect(job, *nodes.front(), config.trace, job_start, machine.clock_hz);
+  RunResult result = collect(job, *nodes.front(), config.trace, job_start, machine.clock_hz);
+  std::vector<os::Node*> node_ptrs;
+  for (auto& n : nodes) {
+    node_ptrs.push_back(n.get());
+  }
+  verify_session.finish(result, node_ptrs);
+  return result;
 }
 
 SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials) {

@@ -14,6 +14,7 @@
 #include "common/types.hpp"
 #include "linux_mm/fault.hpp"
 #include "trace/trace.hpp"
+#include "verify/fault_inject.hpp"
 #include "workloads/profiles.hpp"
 
 namespace hpmmap::harness {
@@ -46,6 +47,22 @@ struct TraceConfig {
   [[nodiscard]] bool on() const noexcept { return categories != 0; }
 };
 
+/// Verification knobs shared by both run shapes. The harness arms the
+/// process-global fault injector after the node(s) boot (boot paths
+/// assert on allocation success and must never see injected failures)
+/// and disarms it before returning; audits walk every node's mm state.
+struct VerifyConfig {
+  /// Injection plan for the run; an all-disabled plan leaves the
+  /// injector disarmed.
+  verify::InjectionPlan inject{};
+  /// Run the MmAuditor over every node when the run completes.
+  bool audit = false;
+  /// Debug mode: additionally audit at the instant of every injected
+  /// fault (all injection points fire before mutating state, so the
+  /// sweep sees a consistent snapshot).
+  bool audit_on_injection = false;
+};
+
 struct SingleNodeRunConfig {
   std::string app = "miniMD";
   Manager manager = Manager::kThp;
@@ -56,6 +73,7 @@ struct SingleNodeRunConfig {
   /// Scale the app footprint/iterations (quick modes for tests).
   double footprint_scale = 1.0;
   double duration_scale = 1.0;
+  VerifyConfig verify{};
 };
 
 /// Per-kind fault-cost distribution, as Figure 2/3 tabulates.
@@ -80,6 +98,29 @@ struct RunResult {
   Cycles trace_t0 = 0; // job start, for normalizing trace time
   std::uint64_t thp_merges = 0;
   std::uint64_t hpmmap_spurious_faults = 0;
+
+  // --- verification (populated when VerifyConfig enabled any of it) ---
+  /// Per-point injector counters for the run (calls seen, faults fired).
+  std::array<verify::PointStats, verify::kInjectPointCount> injected{};
+  /// Audit totals across the end-of-run audit and any on-injection
+  /// audits; `audit_report` is the human-readable summary (the first
+  /// failing audit wins so a transient violation is never papered over).
+  std::uint64_t audit_checks = 0;
+  std::uint64_t audit_violations = 0;
+  std::string audit_report;
+  /// Fallback/retry counters proving injected failures degraded
+  /// gracefully rather than crashing.
+  std::uint64_t thp_fault_fallbacks = 0;
+  std::uint64_t thp_merges_aborted = 0;
+  std::uint64_t hugetlb_pool_exhausted = 0;
+
+  [[nodiscard]] std::uint64_t injected_total() const noexcept {
+    std::uint64_t total = 0;
+    for (const verify::PointStats& s : injected) {
+      total += s.fired;
+    }
+    return total;
+  }
 
   [[nodiscard]] FaultKindSummary& by_kind(mm::FaultKind k) noexcept {
     const auto i = static_cast<std::size_t>(k);
@@ -121,6 +162,7 @@ struct ScalingRunConfig {
   TraceConfig trace{};
   double footprint_scale = 1.0;
   double duration_scale = 1.0;
+  VerifyConfig verify{};
 };
 
 /// Run one multi-node trial (Sandia Xeon cluster model, 1 GbE).

@@ -63,6 +63,11 @@ class PhysicalMemory {
   /// isolation invariant (Linux never touches offlined frames).
   [[nodiscard]] bool is_offline(Addr a) const;
 
+  /// True if `a` is a real physical address (zones start at 0 and are
+  /// contiguous). The auditor uses this to report — not assert on —
+  /// frames pointing off the end of RAM.
+  [[nodiscard]] bool valid(Addr a) const noexcept { return a < total_bytes_; }
+
  private:
   [[nodiscard]] Section& section_of(Addr a);
   [[nodiscard]] const Section& section_of(Addr a) const;

@@ -57,6 +57,10 @@ class AddressSpace {
   /// fault handler charges the swap-in).
   bool take_swapped(Addr page) { return swapped_out_.erase(page) > 0; }
   [[nodiscard]] std::size_t swapped_pages() const noexcept { return swapped_out_.size(); }
+  [[nodiscard]] bool is_swapped(Addr page) const { return swapped_out_.contains(page); }
+  [[nodiscard]] const std::unordered_set<Addr>& swapped_set() const noexcept {
+    return swapped_out_;
+  }
 
   // --- accounting -----------------------------------------------------------
   [[nodiscard]] std::uint64_t rss_bytes() const noexcept { return pt_.mapping_mix().total(); }

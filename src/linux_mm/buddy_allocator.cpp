@@ -245,6 +245,12 @@ bool BuddyAllocator::can_alloc(unsigned order) const {
   return false;
 }
 
+void BuddyAllocator::corrupt_insert_free_block(Addr addr, unsigned order) {
+  HPMMAP_ASSERT(order <= max_order_, "order above max_order");
+  free_lists_[order].insert(addr);
+  free_bytes_ += order_bytes(order);
+}
+
 bool BuddyAllocator::check_consistency() const {
   std::uint64_t bytes = 0;
   std::vector<Range> blocks;

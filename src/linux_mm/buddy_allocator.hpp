@@ -94,6 +94,23 @@ class BuddyAllocator {
   /// the range; accounting consistent). For tests; O(free blocks).
   [[nodiscard]] bool check_consistency() const;
 
+  /// Visit every free block as (base, order), ascending order then
+  /// address — the enumeration the invariant auditor sweeps.
+  template <typename Fn>
+  void for_each_free_block(Fn&& fn) const {
+    for (unsigned o = 0; o <= max_order_; ++o) {
+      for (Addr a : free_lists_[o]) {
+        fn(a, o);
+      }
+    }
+  }
+
+  /// Error-injection hook for auditor tests ONLY: insert a raw free-list
+  /// entry (accounted, but without coalescing or overlap checks), so a
+  /// test can seed the corruptions — split buddy pairs, duplicates —
+  /// that the public API's eager coalescing makes unreachable.
+  void corrupt_insert_free_block(Addr addr, unsigned order);
+
  private:
   [[nodiscard]] Addr buddy_of(Addr addr, unsigned order) const noexcept;
   void insert_free(Addr addr, unsigned order);

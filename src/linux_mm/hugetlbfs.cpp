@@ -4,6 +4,7 @@
 #include "common/log.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "verify/fault_inject.hpp"
 
 namespace hpmmap::mm {
 
@@ -40,6 +41,18 @@ HugetlbPool::~HugetlbPool() {
 
 std::optional<std::pair<Addr, ZoneId>> HugetlbPool::alloc_page(ZoneId zone) {
   HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
+  // Injected exhaustion: behave exactly as if every zone's pool were
+  // empty (no page leaves the pool, so conservation holds); the caller
+  // sees the same SIGBUS-path outcome a real dry pool produces.
+  if (verify::injector().should_fail(verify::InjectPoint::kHugetlbAlloc)) {
+    ++stats_.pool_exhausted;
+    if (trace::on(trace::Category::kHugetlb)) {
+      trace::instant(trace::Category::kHugetlb, "hugetlb.pool_exhausted", 0, -1,
+                     {trace::Arg::u64("zone", zone)});
+      ++trace::metrics().counter("hugetlb.pool_exhausted");
+    }
+    return std::nullopt;
+  }
   for (std::uint32_t probe = 0; probe < pool_.size(); ++probe) {
     const ZoneId z = (zone + probe) % static_cast<ZoneId>(pool_.size());
     if (!pool_[z].empty()) {
@@ -83,6 +96,11 @@ std::uint64_t HugetlbPool::free_pages(ZoneId zone) const {
 std::uint64_t HugetlbPool::total_pages(ZoneId zone) const {
   HPMMAP_ASSERT(zone < total_.size(), "zone out of range");
   return total_[zone];
+}
+
+const std::vector<Addr>& HugetlbPool::free_pool(ZoneId zone) const {
+  HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
+  return pool_[zone];
 }
 
 } // namespace hpmmap::mm

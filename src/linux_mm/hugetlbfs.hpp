@@ -43,6 +43,8 @@ class HugetlbPool {
 
   [[nodiscard]] std::uint64_t free_pages(ZoneId zone) const;
   [[nodiscard]] std::uint64_t total_pages(ZoneId zone) const;
+  /// The zone's free stack, for the invariant auditor's frame sweep.
+  [[nodiscard]] const std::vector<Addr>& free_pool(ZoneId zone) const;
   [[nodiscard]] const HugetlbStats& stats() const noexcept { return stats_; }
 
  private:

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "verify/fault_inject.hpp"
 
 namespace hpmmap::mm {
 
@@ -162,6 +163,10 @@ AllocOutcome MemorySystem::alloc_pages(ZoneId zone, unsigned order, bool allow_r
   HPMMAP_ASSERT(order <= kLinuxMaxOrder, "order above Linux MAX_ORDER");
   ZoneState& z = zones_[zone];
   AllocOutcome outcome;
+  // Injected buddy failure: the fast path refuses this call, forcing the
+  // slow path (or, for opportunistic callers, an outright miss the
+  // caller must absorb — THP falls back to 4K, faults retry).
+  bool buddy_fail = verify::injector().should_fail(verify::InjectPoint::kBuddyAlloc);
 
   const auto try_fast = [&]() -> bool {
     // Respect the min watermark: the last reserve is for the reclaim
@@ -179,13 +184,13 @@ AllocOutcome MemorySystem::alloc_pages(ZoneId zone, unsigned order, bool allow_r
     return true;
   };
 
-  if (!below_low_watermark(zone) && try_fast()) {
+  if (!buddy_fail && !below_low_watermark(zone) && try_fast()) {
     return outcome;
   }
 
   if (!allow_reclaim) {
     // Opportunistic path: take it only if no slow-path work is needed.
-    if (!below_low_watermark(zone) && try_fast()) {
+    if (!buddy_fail && !below_low_watermark(zone) && try_fast()) {
       return outcome;
     }
     return outcome;
@@ -194,22 +199,28 @@ AllocOutcome MemorySystem::alloc_pages(ZoneId zone, unsigned order, bool allow_r
   // Slow path: direct reclaim toward the high watermark (2x low), then
   // compaction for order-9+, then retry.
   for (int attempt = 0; attempt < 3 && !outcome.ok; ++attempt) {
-    if (below_low_watermark(zone) || !z.buddy.can_alloc(order)) {
+    if (buddy_fail || below_low_watermark(zone) || !z.buddy.can_alloc(order)) {
+      buddy_fail = false; // the injected miss forces one reclaim pass, no more
       outcome.entered_reclaim = true;
       const auto target = static_cast<std::uint64_t>(
           2.0 * costs_.watermark_low * static_cast<double>(z.online_bytes));
       const std::uint64_t have = z.buddy.free_bytes();
       if (have < target) {
-        const PageCache::ShrinkResult shrink = z.cache.shrink(target - have);
-        outcome.reclaim_clean_blocks += shrink.clean_blocks;
-        outcome.reclaim_writeback_blocks += shrink.writeback_blocks;
-        if (trace::on(trace::Category::kBuddy)) {
-          trace::instant(trace::Category::kBuddy, "mm.direct_reclaim", 0, -1,
-                         {trace::Arg::u64("zone", zone),
-                          trace::Arg::u64("clean", shrink.clean_blocks),
-                          trace::Arg::u64("writeback", shrink.writeback_blocks),
-                          trace::Arg::u64("free_bytes", have)});
-          ++trace::metrics().counter("mm.direct_reclaim");
+        if (verify::injector().should_fail(verify::InjectPoint::kDirectReclaim)) {
+          // Injected: the LRU scan finds nothing evictable; the retry
+          // loop continues to compaction / smaller-order fallback.
+        } else {
+          const PageCache::ShrinkResult shrink = z.cache.shrink(target - have);
+          outcome.reclaim_clean_blocks += shrink.clean_blocks;
+          outcome.reclaim_writeback_blocks += shrink.writeback_blocks;
+          if (trace::on(trace::Category::kBuddy)) {
+            trace::instant(trace::Category::kBuddy, "mm.direct_reclaim", 0, -1,
+                           {trace::Arg::u64("zone", zone),
+                            trace::Arg::u64("clean", shrink.clean_blocks),
+                            trace::Arg::u64("writeback", shrink.writeback_blocks),
+                            trace::Arg::u64("free_bytes", have)});
+            ++trace::metrics().counter("mm.direct_reclaim");
+          }
         }
       }
     }

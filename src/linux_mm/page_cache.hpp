@@ -65,6 +65,15 @@ class PageCache {
   /// `new_addr`. LRU position and dirtiness are preserved.
   void relocate(Addr old_addr, Addr new_addr);
 
+  /// Visit every cached block as (base, order, dirty) in ascending
+  /// address order (deterministic; the invariant auditor's sweep).
+  template <typename Fn>
+  void for_each_block(Fn&& fn) const {
+    for (const auto& [addr, it] : by_addr_) {
+      fn(addr, it->order, it->dirty);
+    }
+  }
+
   [[nodiscard]] std::uint64_t cached_bytes() const noexcept { return cached_bytes_; }
   [[nodiscard]] std::size_t block_count() const noexcept { return lru_.size(); }
   [[nodiscard]] double dirty_fraction() const noexcept { return dirty_fraction_; }

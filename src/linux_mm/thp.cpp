@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "verify/fault_inject.hpp"
 
 namespace hpmmap::mm {
 
@@ -76,6 +77,13 @@ ThpService::HugeFaultResult ThpService::try_fault_huge(AddressSpace& as, const V
                                                        Addr vaddr) {
   HugeFaultResult result;
   if (!region_eligible(as, vma, vaddr)) {
+    ++stats_.fault_huge_fallback;
+    return result;
+  }
+  // Injected huge-allocation failure: eligibility passed but the order-9
+  // block "fails" — exactly the fault-path fallback the caller must
+  // absorb by mapping 4K and queueing the region for khugepaged.
+  if (verify::injector().should_fail(verify::InjectPoint::kThpHugeAlloc)) {
     ++stats_.fault_huge_fallback;
     return result;
   }
@@ -230,9 +238,21 @@ void ThpService::perform_merge(const MergeCandidate& candidate) {
   const Addr region = candidate.region;
   const ZoneId zone = as.zone_for(region);
 
+  // Injected abort: khugepaged abandons the candidate before touching
+  // any state (the kernel's collapse_huge_page bails the same way when
+  // its revalidation fails). The region stays 4K-mapped and remains a
+  // future candidate.
+  if (verify::injector().should_fail(verify::InjectPoint::kThpMergeAbort)) {
+    ++stats_.merges_aborted;
+    trace::instant(trace::Category::kThp, "khugepaged.merge_abort", as.pid(), -1,
+                   {trace::Arg::str("reason", "injected")});
+    return;
+  }
+
   // Allocate the huge page first (outside the lock, like the kernel).
   AllocOutcome huge = memory_.alloc_pages(zone, kLargePageOrder, /*allow_reclaim=*/true);
   if (!huge.ok) {
+    ++stats_.merges_aborted;
     return;
   }
 
@@ -285,6 +305,7 @@ void ThpService::perform_merge(const MergeCandidate& candidate) {
     // and the huge page goes back to the buddy.
     if (std::find(processes_.begin(), processes_.end(), asp) == processes_.end()) {
       abort_merge();
+      ++stats_.merges_aborted;
       trace::instant(trace::Category::kThp, "khugepaged.merge_abort", 0, -1,
                      {trace::Arg::str("reason", "process_exited")});
       return;
@@ -297,6 +318,7 @@ void ThpService::perform_merge(const MergeCandidate& candidate) {
       // Region vanished, got remapped, or the fault path huge-mapped it
       // while the merge was copying: abort.
       abort_merge();
+      ++stats_.merges_aborted;
       trace::instant(trace::Category::kThp, "khugepaged.merge_abort", target.pid(), -1,
                      {trace::Arg::str("reason", "region_changed")});
       return;

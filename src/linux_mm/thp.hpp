@@ -31,6 +31,7 @@ struct ThpStats {
   std::uint64_t fault_huge_success = 0;
   std::uint64_t fault_huge_fallback = 0;
   std::uint64_t merges_completed = 0;
+  std::uint64_t merges_aborted = 0; // process exit, region churn, or injected
   std::uint64_t merge_candidates_scanned = 0;
   std::uint64_t split_on_mlock = 0;
   Cycles total_merge_lock_cycles = 0;

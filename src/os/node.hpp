@@ -121,6 +121,15 @@ class Node {
   [[nodiscard]] core::HpmmapModule* hpmmap_module() noexcept { return module_.get(); }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] const NodeConfig& config() const noexcept { return config_; }
+  /// Visit every process ever spawned (dead ones included; check
+  /// `alive()`). Deterministic spawn order; the auditor's sweep.
+  template <typename Fn>
+  void for_each_process(Fn&& fn) const {
+    for (const auto& p : processes_) {
+      fn(*p);
+    }
+  }
+  [[nodiscard]] std::size_t process_count() const noexcept { return processes_.size(); }
   [[nodiscard]] double seconds(Cycles c) const noexcept { return config_.machine.seconds(c); }
 
  private:

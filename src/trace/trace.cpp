@@ -17,10 +17,11 @@ struct Clock {
 
 Clock g_clock;
 
-constexpr std::array<Category, 9> kAllCategoryList = {
+constexpr std::array<Category, 10> kAllCategoryList = {
     Category::kFault, Category::kBuddy,  Category::kThp,
     Category::kHugetlb, Category::kModule, Category::kSched,
     Category::kNet,   Category::kApp,    Category::kHarness,
+    Category::kVerify,
 };
 
 } // namespace

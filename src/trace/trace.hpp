@@ -43,9 +43,10 @@ enum class Category : std::uint32_t {
   kNet     = 1u << 6, // cluster interconnect barriers
   kApp     = 1u << 7, // workload rank lifecycle
   kHarness = 1u << 8, // experiment bracketing
+  kVerify  = 1u << 9, // invariant audits and fault injection
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x1ff;
+inline constexpr std::uint32_t kAllCategories = 0x3ff;
 
 [[nodiscard]] constexpr std::string_view name(Category c) noexcept {
   switch (c) {
@@ -58,6 +59,7 @@ inline constexpr std::uint32_t kAllCategories = 0x1ff;
     case Category::kNet:     return "net";
     case Category::kApp:     return "app";
     case Category::kHarness: return "harness";
+    case Category::kVerify:  return "verify";
   }
   return "?";
 }

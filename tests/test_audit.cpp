@@ -1,0 +1,285 @@
+// The invariant auditor: silent on healthy state (fresh nodes, every
+// seed experiment configuration, post-workload machines) and precise on
+// deliberately corrupted state — a leaked frame, a split buddy pair, a
+// PTE outside any VMA each produce their named violation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/units.hpp"
+#include "harness/experiment.hpp"
+#include "linux_mm/buddy_allocator.hpp"
+#include "os/node.hpp"
+#include "sim/engine.hpp"
+#include "verify/audit.hpp"
+
+namespace hpmmap {
+namespace {
+
+os::NodeConfig small_config() {
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 4 * GiB;
+  cfg.seed = 5;
+  cfg.aged_boot = false;
+  return cfg;
+}
+
+os::Process& spawn_app(os::Node& node, os::MmPolicy policy) {
+  return node.spawn("app", policy, 0, 1.0, mm::AddressSpace::ZonePolicy::kSingle, 0);
+}
+
+bool has_violation(const verify::AuditReport& r, std::string_view check) {
+  return std::any_of(r.violations.begin(), r.violations.end(),
+                     [&](const verify::Violation& v) { return v.check == check; });
+}
+
+harness::SingleNodeRunConfig quick(harness::Manager mgr) {
+  harness::SingleNodeRunConfig cfg;
+  cfg.app = "HPCCG";
+  cfg.manager = mgr;
+  cfg.commodity = workloads::profile_a(2);
+  cfg.app_cores = 2;
+  cfg.seed = 7;
+  cfg.footprint_scale = 0.08;
+  cfg.duration_scale = 0.05;
+  cfg.verify.audit = true;
+  return cfg;
+}
+
+// --- healthy state -------------------------------------------------------
+
+TEST(Audit, FreshNodeIsClean) {
+  sim::Engine engine;
+  os::Node node(engine, small_config());
+  verify::MmAuditor auditor(node);
+  const verify::AuditReport r = auditor.run();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_GT(r.checks, 0u);
+}
+
+TEST(Audit, AgedBootIsClean) {
+  sim::Engine engine;
+  os::NodeConfig cfg = small_config();
+  cfg.aged_boot = true;
+  os::Node node(engine, cfg);
+  verify::MmAuditor auditor(node);
+  EXPECT_TRUE(auditor.run().ok());
+}
+
+TEST(Audit, WorkloadedNodeIsClean) {
+  // Exercise every policy plus exits, then audit the whole machine.
+  sim::Engine engine;
+  os::NodeConfig cfg = small_config();
+  core::ModuleConfig mod;
+  mod.offline_bytes_per_zone = 512 * MiB;
+  cfg.hpmmap = mod;
+  cfg.hugetlb_pool_per_zone = 256 * MiB;
+  os::Node node(engine, cfg);
+  for (const os::MmPolicy policy : {os::MmPolicy::kLinuxThp, os::MmPolicy::kLinuxPlain,
+                                    os::MmPolicy::kHugetlbfs, os::MmPolicy::kHpmmap}) {
+    os::Process& p = spawn_app(node, policy);
+    const auto out = node.sys_mmap(p, 16 * MiB, kProtRW, os::Node::Segment::kHeapData);
+    ASSERT_EQ(out.err, Errno::kOk);
+    (void)node.touch_range(p, Range{out.addr, out.addr + 16 * MiB});
+    (void)node.sys_munmap(p, out.addr + 4 * MiB, 2 * MiB);
+  }
+  verify::MmAuditor auditor(node);
+  const verify::AuditReport r = auditor.run();
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Audit, SeedExperimentConfigsAreClean) {
+  for (const harness::Manager mgr : {harness::Manager::kThp, harness::Manager::kHugetlbfs,
+                                     harness::Manager::kHpmmap}) {
+    const harness::RunResult r = harness::run_single_node(quick(mgr));
+    EXPECT_EQ(r.audit_violations, 0u) << r.audit_report;
+    EXPECT_GT(r.audit_checks, 0u);
+  }
+}
+
+TEST(Audit, ScalingRunIsClean) {
+  harness::ScalingRunConfig cfg;
+  cfg.app = "HPCCG";
+  cfg.manager = harness::Manager::kHpmmap;
+  cfg.commodity = workloads::profile_c();
+  cfg.nodes = 2;
+  cfg.seed = 11;
+  cfg.footprint_scale = 0.08;
+  cfg.duration_scale = 0.05;
+  cfg.verify.audit = true;
+  const harness::RunResult r = harness::run_scaling(cfg);
+  EXPECT_EQ(r.audit_violations, 0u) << r.audit_report;
+  EXPECT_GT(r.audit_checks, 0u);
+}
+
+// --- corrupted state -----------------------------------------------------
+
+TEST(Audit, DetectsLeakedFrameMappedWhileFree) {
+  // A frame simultaneously mapped by a process and sitting on a buddy
+  // freelist: the use-after-free shape of a real leak.
+  sim::Engine engine;
+  os::Node node(engine, small_config());
+  os::Process& p = spawn_app(node, os::MmPolicy::kLinuxPlain);
+  const auto out = node.sys_mmap(p, 1 * MiB, kProtRW, os::Node::Segment::kHeapData);
+  ASSERT_EQ(out.err, Errno::kOk);
+  const mm::AllocOutcome frame = node.memory().alloc_pages(0, 0, /*allow_reclaim=*/false);
+  ASSERT_TRUE(frame.ok);
+  ASSERT_EQ(p.address_space().page_table().map(out.addr, frame.addr, PageSize::k4K, kProtRW),
+            Errno::kOk);
+  node.memory().free_pages(0, frame.addr, 0); // the "double free"
+  verify::MmAuditor auditor(node);
+  const verify::AuditReport r = auditor.run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "frame.double_owner")) << r.summary();
+}
+
+TEST(Audit, DetectsDoubleMappedFrameAcrossProcesses) {
+  sim::Engine engine;
+  os::Node node(engine, small_config());
+  os::Process& a = spawn_app(node, os::MmPolicy::kLinuxPlain);
+  os::Process& b = node.spawn("app2", os::MmPolicy::kLinuxPlain, 1, 1.0,
+                              mm::AddressSpace::ZonePolicy::kSingle, 0);
+  const auto va = node.sys_mmap(a, 1 * MiB, kProtRW, os::Node::Segment::kHeapData);
+  const auto vb = node.sys_mmap(b, 1 * MiB, kProtRW, os::Node::Segment::kHeapData);
+  const mm::AllocOutcome frame = node.memory().alloc_pages(0, 0, /*allow_reclaim=*/false);
+  ASSERT_TRUE(frame.ok);
+  ASSERT_EQ(a.address_space().page_table().map(va.addr, frame.addr, PageSize::k4K, kProtRW),
+            Errno::kOk);
+  ASSERT_EQ(b.address_space().page_table().map(vb.addr, frame.addr, PageSize::k4K, kProtRW),
+            Errno::kOk);
+  verify::MmAuditor auditor(node);
+  const verify::AuditReport r = auditor.run();
+  EXPECT_TRUE(has_violation(r, "frame.double_owner")) << r.summary();
+}
+
+TEST(Audit, DetectsSplitBuddyPair) {
+  // Two free order-0 blocks that are each other's buddy must have been
+  // coalesced; seeding them via the corruption hook trips the check.
+  mm::BuddyAllocator buddy(Range{0, 1 * MiB}, 8);
+  const auto block = buddy.alloc(1);
+  ASSERT_TRUE(block.has_value());
+  buddy.corrupt_insert_free_block(block->addr, 0);
+  buddy.corrupt_insert_free_block(block->addr + 4 * KiB, 0);
+  verify::AuditReport r;
+  verify::audit_buddy(buddy, "test", r);
+  EXPECT_TRUE(has_violation(r, "buddy.uncoalesced")) << r.summary();
+}
+
+TEST(Audit, DetectsDuplicateFreeBlockAsAccountingDrift) {
+  // The freelists are sets, so a same-order duplicate collapses to one
+  // entry — but the double-counted bytes leave the books off by a block.
+  mm::BuddyAllocator buddy(Range{0, 1 * MiB}, 8);
+  const auto block = buddy.alloc(2);
+  ASSERT_TRUE(block.has_value());
+  buddy.corrupt_insert_free_block(block->addr, 2);
+  buddy.corrupt_insert_free_block(block->addr, 2);
+  verify::AuditReport r;
+  verify::audit_buddy(buddy, "test", r);
+  EXPECT_TRUE(has_violation(r, "buddy.accounting")) << r.summary();
+}
+
+TEST(Audit, DetectsOverlappingFreeBlocks) {
+  // The same frame free at two different orders: two freelist entries
+  // covering overlapping physical ranges.
+  mm::BuddyAllocator buddy(Range{0, 1 * MiB}, 8);
+  const auto block = buddy.alloc(1);
+  ASSERT_TRUE(block.has_value());
+  buddy.corrupt_insert_free_block(block->addr, 0);
+  buddy.corrupt_insert_free_block(block->addr, 1);
+  verify::AuditReport r;
+  verify::audit_buddy(buddy, "test", r);
+  EXPECT_TRUE(has_violation(r, "buddy.overlap")) << r.summary();
+}
+
+TEST(Audit, DetectsOutOfRangeAndMisalignedBlocks) {
+  mm::BuddyAllocator buddy(Range{0, 1 * MiB}, 8);
+  buddy.corrupt_insert_free_block(2 * MiB, 0); // beyond the managed range
+  const auto block = buddy.alloc(2);           // 16K hole to corrupt inside
+  ASSERT_TRUE(block.has_value());
+  buddy.corrupt_insert_free_block(block->addr + 4 * KiB, 1); // 8K block, 4K-aligned
+  verify::AuditReport r;
+  verify::audit_buddy(buddy, "test", r);
+  EXPECT_TRUE(has_violation(r, "buddy.out_of_range")) << r.summary();
+  EXPECT_TRUE(has_violation(r, "buddy.misaligned")) << r.summary();
+}
+
+TEST(Audit, DetectsPteOutsideAnyVma) {
+  sim::Engine engine;
+  os::Node node(engine, small_config());
+  os::Process& p = spawn_app(node, os::MmPolicy::kLinuxPlain);
+  const mm::AllocOutcome frame = node.memory().alloc_pages(0, 0, /*allow_reclaim=*/false);
+  ASSERT_TRUE(frame.ok);
+  const Addr stray = 0x123456000; // no VMA anywhere near
+  ASSERT_EQ(p.address_space().vmas().find(stray), nullptr);
+  ASSERT_EQ(p.address_space().page_table().map(stray, frame.addr, PageSize::k4K, kProtRW),
+            Errno::kOk);
+  verify::MmAuditor auditor(node);
+  const verify::AuditReport r = auditor.run();
+  EXPECT_TRUE(has_violation(r, "pte.outside_vma")) << r.summary();
+}
+
+TEST(Audit, DetectsProtMismatch) {
+  sim::Engine engine;
+  os::Node node(engine, small_config());
+  os::Process& p = spawn_app(node, os::MmPolicy::kLinuxPlain);
+  const auto out = node.sys_mmap(p, 1 * MiB, kProtRW, os::Node::Segment::kHeapData);
+  ASSERT_EQ(out.err, Errno::kOk);
+  const mm::AllocOutcome frame = node.memory().alloc_pages(0, 0, /*allow_reclaim=*/false);
+  ASSERT_TRUE(frame.ok);
+  // RW VMA, read-only leaf: a protection the VMA never granted.
+  ASSERT_EQ(p.address_space().page_table().map(out.addr, frame.addr, PageSize::k4K, Prot::kRead),
+            Errno::kOk);
+  verify::MmAuditor auditor(node);
+  const verify::AuditReport r = auditor.run();
+  EXPECT_TRUE(has_violation(r, "pte.prot_mismatch")) << r.summary();
+}
+
+TEST(Audit, DetectsHugetlbPoolLeak) {
+  sim::Engine engine;
+  os::NodeConfig cfg = small_config();
+  cfg.thp_enabled = false;
+  cfg.hugetlb_pool_per_zone = 256 * MiB;
+  cfg.hugetlbfs_small_spill = 0.0;
+  os::Node node(engine, cfg);
+  os::Process& p = spawn_app(node, os::MmPolicy::kHugetlbfs);
+  const auto out = node.sys_mmap(p, 8 * MiB, kProtRW, os::Node::Segment::kHeapData);
+  ASSERT_EQ(out.err, Errno::kOk);
+  (void)node.touch_range(p, Range{out.addr, out.addr + 8 * MiB});
+  const auto t = p.address_space().page_table().walk(out.addr);
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->size, PageSize::k2M);
+  // Return a page to the pool while it is still mapped: the pool now
+  // accounts one page twice (free + in use exceeds the reservation).
+  node.hugetlb()->free_page(0, t->phys);
+  verify::MmAuditor auditor(node);
+  const verify::AuditReport r = auditor.run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "hugetlb.conservation") || has_violation(r, "frame.double_owner"))
+      << r.summary();
+}
+
+TEST(Audit, ViolationDiagnosticsNameTheScene) {
+  // The detail string must carry enough to act on: addresses and pid.
+  sim::Engine engine;
+  os::Node node(engine, small_config());
+  os::Process& p = spawn_app(node, os::MmPolicy::kLinuxPlain);
+  const mm::AllocOutcome frame = node.memory().alloc_pages(0, 0, /*allow_reclaim=*/false);
+  ASSERT_TRUE(frame.ok);
+  ASSERT_EQ(p.address_space().page_table().map(0x123456000, frame.addr, PageSize::k4K, kProtRW),
+            Errno::kOk);
+  verify::MmAuditor auditor(node);
+  const verify::AuditReport r = auditor.run();
+  ASSERT_FALSE(r.ok());
+  const auto hit = std::find_if(r.violations.begin(), r.violations.end(),
+                                [](const verify::Violation& v) {
+                                  return v.check == "pte.outside_vma";
+                                });
+  ASSERT_NE(hit, r.violations.end());
+  EXPECT_NE(hit->detail.find("0x123456000"), std::string::npos) << hit->detail;
+  EXPECT_NE(hit->detail.find("pid"), std::string::npos) << hit->detail;
+  EXPECT_NE(r.summary().find("pte.outside_vma"), std::string::npos);
+}
+
+} // namespace
+} // namespace hpmmap

@@ -1,0 +1,100 @@
+// Golden regression for the paper-table pipeline: regenerate the Figure
+// 2 (THP) and Figure 3 (HugeTLBfs) fault-cost tables at reduced scale
+// and compare byte-for-byte against checked-in goldens. Any drift in the
+// fault paths, the RNG draw order, the stats pipeline, or the table
+// formatter shows up here as a diff.
+//
+// Refresh after an intentional behaviour change with:
+//   HPMMAP_UPDATE_GOLDEN=1 ./test_golden_tables
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace hpmmap {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(HPMMAP_GOLDEN_DIR) + "/" + name;
+}
+
+bool update_mode() { return std::getenv("HPMMAP_UPDATE_GOLDEN") != nullptr; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return in ? ss.str() : std::string{};
+}
+
+/// Regenerate one fault-cost table exactly the way the bench/ drivers
+/// do (same seed, same scales, same row layout), at quick scale.
+std::string fault_table(harness::Manager mgr, bool include_merge_row) {
+  harness::Table table({"Added Load", "Fault Size", "Total Faults", "Avg Cycles",
+                        "Stdev Cycles"});
+  for (const bool loaded : {false, true}) {
+    harness::SingleNodeRunConfig cfg;
+    cfg.app = "miniMD";
+    cfg.manager = mgr;
+    cfg.commodity = loaded ? workloads::profile_a(8) : workloads::no_competition();
+    cfg.app_cores = 8;
+    cfg.seed = 2014;
+    cfg.footprint_scale = 0.25;
+    cfg.duration_scale = 0.15;
+    const harness::RunResult r = harness::run_single_node(cfg);
+    const auto row = [&](mm::FaultKind kind, const char* label) {
+      const auto& k = r.by_kind(kind);
+      table.add_row({loaded ? "Yes" : "No", label, harness::with_commas(k.total_faults),
+                     harness::with_commas(static_cast<std::uint64_t>(k.avg_cycles)),
+                     harness::with_commas(static_cast<std::uint64_t>(k.stdev_cycles))});
+    };
+    row(mm::FaultKind::kSmall, "Small");
+    row(mm::FaultKind::kLarge, "Large");
+    if (include_merge_row) {
+      row(mm::FaultKind::kMergeFollower, "Merge");
+    }
+  }
+  return table.to_string();
+}
+
+void check_golden(const std::string& name, const std::string& produced) {
+  const std::string path = golden_path(name);
+  if (update_mode()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << produced;
+    return;
+  }
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << path << " missing — regenerate with HPMMAP_UPDATE_GOLDEN=1";
+  EXPECT_EQ(expected, produced)
+      << "table drifted from golden " << path
+      << " (HPMMAP_UPDATE_GOLDEN=1 refreshes it if the change is intended)";
+}
+
+TEST(GoldenTables, Fig2ThpFaultTable) {
+  check_golden("fig2_thp_fault_table.txt",
+               fault_table(harness::Manager::kThp, /*include_merge_row=*/true));
+}
+
+TEST(GoldenTables, Fig3HugetlbfsFaultTable) {
+  check_golden("fig3_hugetlbfs_fault_table.txt",
+               fault_table(harness::Manager::kHugetlbfs, /*include_merge_row=*/false));
+}
+
+TEST(GoldenTables, RegenerationIsByteIdentical) {
+  // The guarantee the goldens rest on: two generations in one process
+  // are byte-identical (no hidden global state leaks between runs).
+  const std::string a = fault_table(harness::Manager::kThp, true);
+  const std::string b = fault_table(harness::Manager::kThp, true);
+  EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace hpmmap

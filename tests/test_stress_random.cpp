@@ -1,0 +1,299 @@
+// Property-based stress: drive a Node through tens of thousands of
+// random address-space operations across every memory policy, mirror the
+// expected state in a flat reference model, and differentially check the
+// two at every step boundary while the invariant auditor sweeps the whole
+// machine at checkpoints. Identical seeds must reproduce identical final
+// machine state, bit for bit.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "os/node.hpp"
+#include "sim/engine.hpp"
+#include "verify/audit.hpp"
+
+namespace hpmmap {
+namespace {
+
+constexpr std::size_t kOps = 10'000;
+constexpr std::size_t kAuditEvery = 2'000;
+constexpr std::size_t kMaxProcs = 6;
+
+os::NodeConfig stress_config(std::uint64_t seed) {
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 4 * GiB;
+  cfg.seed = seed;
+  cfg.aged_boot = false;
+  core::ModuleConfig mod;
+  mod.offline_bytes_per_zone = 512 * MiB;
+  cfg.hpmmap = mod;
+  cfg.hugetlb_pool_per_zone = 128 * MiB;
+  cfg.hugetlbfs_small_spill = 0.0;
+  return cfg;
+}
+
+/// Flat reference model of one process: what the simulation's VMA tree
+/// and page table must agree with, maintained by replaying the same
+/// syscall results the Node reported.
+struct RefProcess {
+  os::Process* proc = nullptr;
+  os::MmPolicy policy{};
+  std::map<Addr, Addr> mapped;   // begin -> end, disjoint, maximal info
+  std::set<Addr> touched;        // 4K page addresses we demanded
+  Addr heap_base = 0, heap_end = 0;
+
+  void add(Addr begin, Addr end) { mapped[begin] = end; }
+  void remove(Addr begin, Addr end) {
+    // Split/trim every interval intersecting [begin, end).
+    auto it = mapped.lower_bound(begin);
+    if (it != mapped.begin()) {
+      --it;
+    }
+    std::vector<std::pair<Addr, Addr>> pieces;
+    while (it != mapped.end() && it->first < end) {
+      const Addr b = it->first, e = it->second;
+      if (e <= begin) {
+        ++it;
+        continue;
+      }
+      it = mapped.erase(it);
+      if (b < begin) {
+        pieces.emplace_back(b, begin);
+      }
+      if (e > end) {
+        pieces.emplace_back(end, e);
+      }
+    }
+    for (const auto& [b, e] : pieces) {
+      mapped[b] = e;
+    }
+    for (auto t = touched.lower_bound(begin); t != touched.end() && *t < end;) {
+      t = touched.erase(t);
+    }
+  }
+  [[nodiscard]] bool covers(Addr page) const {
+    auto it = mapped.upper_bound(page);
+    if (it == mapped.begin()) {
+      return false;
+    }
+    --it;
+    return page >= it->first && page + 4 * KiB <= it->second;
+  }
+  [[nodiscard]] std::uint64_t mapped_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& [b, e] : mapped) {
+      total += e - b;
+    }
+    return total;
+  }
+};
+
+/// FNV-1a over the machine's observable final state: every process's
+/// leaves and VMAs plus the allocator totals. Equal digests == equal
+/// state for determinism purposes.
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t machine_digest(os::Node& node) {
+  Digest d;
+  node.for_each_process([&](const os::Process& p) {
+    if (!p.alive()) {
+      return;
+    }
+    d.mix(p.pid());
+    p.address_space().page_table().for_each_leaf([&](Addr va, mm::Translation t) {
+      d.mix(va);
+      d.mix(t.phys);
+      d.mix(static_cast<std::uint64_t>(t.size));
+      d.mix(static_cast<std::uint64_t>(t.prot));
+    });
+    p.address_space().vmas().for_each([&](const mm::Vma& v) {
+      d.mix(v.range.begin);
+      d.mix(v.range.end);
+      d.mix(static_cast<std::uint64_t>(v.kind));
+    });
+    d.mix(p.address_space().rss_bytes());
+  });
+  for (ZoneId z = 0; z < node.memory().zone_count(); ++z) {
+    d.mix(node.memory().free_bytes(z));
+  }
+  return d.value();
+}
+
+/// One full random walk; returns the final-state digest. `check` enables
+/// the differential/audit assertions (off for the pure-determinism
+/// replay, which only needs the digest).
+std::uint64_t run_walk(std::uint64_t seed, bool check) {
+  sim::Engine engine;
+  os::Node node(engine, stress_config(seed));
+  Rng rng = Rng(seed).fork("stress");
+
+  std::vector<RefProcess> procs;
+  std::uint64_t spawned = 0;
+  const auto spawn_one = [&]() {
+    static constexpr os::MmPolicy kPolicies[] = {
+        os::MmPolicy::kLinuxThp, os::MmPolicy::kLinuxPlain, os::MmPolicy::kHugetlbfs,
+        os::MmPolicy::kHpmmap};
+    RefProcess ref;
+    ref.policy = kPolicies[rng.uniform(4)];
+    ref.proc = &node.spawn("stress" + std::to_string(spawned++), ref.policy,
+                           static_cast<std::int32_t>(rng.uniform(8)), 1.0,
+                           mm::AddressSpace::ZonePolicy::kSingle, 0);
+    const auto brk = node.sys_brk(*ref.proc, 0);
+    ref.heap_base = brk.addr;
+    ref.heap_end = brk.addr;
+    procs.push_back(std::move(ref));
+  };
+  spawn_one();
+
+  const auto differential_check = [&](const RefProcess& ref) {
+    // Every leaf the page table holds lies inside a reference interval
+    // (the brk heap counts), and every page we touched is still mapped
+    // or was swapped out — never silently lost.
+    const mm::AddressSpace& as = ref.proc->address_space();
+    as.page_table().for_each_leaf([&](Addr va, mm::Translation t) {
+      const Addr end = va + static_cast<Addr>(t.size);
+      // khugepaged merges map the whole 2M window, which may run past
+      // the exact brk point while staying inside the heap VMA.
+      const bool in_heap = va >= ref.heap_base &&
+                           end <= align_up(ref.heap_end, kLargePageSize);
+      const bool in_map = ref.covers(va) && ref.covers(end - 4 * KiB);
+      const bool in_exec = va < ref.heap_base || va >= mm::AddressLayout::kStackTop - 64 * MiB;
+      ASSERT_TRUE(in_heap || in_map || in_exec)
+          << "leaf outside reference state at 0x" << std::hex << va;
+    });
+    for (const Addr page : ref.touched) {
+      const bool present = as.page_table().walk(page).has_value();
+      ASSERT_TRUE(present || as.is_swapped(page))
+          << "touched page lost at 0x" << std::hex << page;
+    }
+    std::uint64_t vma_bytes = 0;
+    as.vmas().for_each([&](const mm::Vma& v) { vma_bytes += v.range.size(); });
+    ASSERT_GE(vma_bytes, ref.mapped_bytes());
+  };
+
+  for (std::size_t op = 0; op < kOps; ++op) {
+    RefProcess& ref = procs[rng.uniform(procs.size())];
+    const std::uint64_t draw = rng.uniform(100);
+    if (draw < 25) { // mmap
+      std::uint64_t len = rng.uniform(1, 512) * 4 * KiB;
+      if (ref.policy == os::MmPolicy::kHugetlbfs || ref.policy == os::MmPolicy::kHpmmap) {
+        // Pool regions are 2M-grained; HPMMAP rounds and eagerly backs
+        // the whole rounded region, so the reference must match.
+        len = align_up(len, kLargePageSize);
+      }
+      const auto out = node.sys_mmap(*ref.proc, len, kProtRW, os::Node::Segment::kHeapData);
+      if (out.err == Errno::kOk) {
+        ref.add(out.addr, out.addr + len);
+      }
+    } else if (draw < 40) { // munmap
+      if (!ref.mapped.empty()) {
+        auto it = ref.mapped.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(rng.uniform(ref.mapped.size())));
+        Addr begin = it->first, end = it->second;
+        if (ref.policy == os::MmPolicy::kLinuxThp || ref.policy == os::MmPolicy::kLinuxPlain) {
+          // Linux policies handle partial unmaps; carve a random page-
+          // aligned subrange. Pool/window policies release whole regions.
+          const std::uint64_t pages = (end - begin) / (4 * KiB);
+          const std::uint64_t skip = rng.uniform(pages);
+          begin += skip * 4 * KiB;
+          end = begin + rng.uniform(1, pages - skip) * 4 * KiB;
+        }
+        const auto out = node.sys_munmap(*ref.proc, begin, end - begin);
+        if (out.err == Errno::kOk) {
+          ref.remove(begin, end);
+        }
+      }
+    } else if (draw < 75) { // touch a random mapped window
+      if (!ref.mapped.empty()) {
+        auto it = ref.mapped.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(rng.uniform(ref.mapped.size())));
+        const Addr begin = it->first;
+        const std::uint64_t span = it->second - begin;
+        const std::uint64_t len = std::min<std::uint64_t>(span, rng.uniform(1, 128) * 4 * KiB);
+        (void)node.touch_range(*ref.proc, Range{begin, begin + len});
+        for (Addr page = begin; page < begin + len; page += 4 * KiB) {
+          ref.touched.insert(page);
+        }
+      }
+    } else if (draw < 85) { // brk grow (and touch the fresh heap tail)
+      const std::uint64_t grow = rng.uniform(1, 64) * 4 * KiB;
+      const auto out = node.sys_brk(*ref.proc, ref.heap_end + grow);
+      if (out.err == Errno::kOk) {
+        const Addr old_end = ref.heap_end;
+        ref.heap_end += grow;
+        (void)node.touch_range(*ref.proc, Range{old_end, ref.heap_end});
+        for (Addr page = old_end; page < ref.heap_end; page += 4 * KiB) {
+          ref.touched.insert(page);
+        }
+      }
+    } else if (draw < 92) { // spawn
+      if (procs.size() < kMaxProcs) {
+        spawn_one();
+      }
+    } else if (draw < 96) { // exit
+      if (procs.size() > 1) {
+        const std::size_t victim = rng.uniform(procs.size());
+        node.exit_process(*procs[victim].proc);
+        procs.erase(procs.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    } else { // let scheduled work (khugepaged merges) land
+      engine.run_until(engine.now() + 50'000'000);
+    }
+
+    if (check && (op + 1) % kAuditEvery == 0) {
+      for (const RefProcess& p : procs) {
+        differential_check(p);
+        if (::testing::Test::HasFatalFailure()) {
+          return 0;
+        }
+      }
+      verify::MmAuditor auditor(node);
+      const verify::AuditReport rep = auditor.run();
+      EXPECT_TRUE(rep.ok()) << "op " << op << ": " << rep.summary();
+    }
+  }
+
+  engine.run_until(engine.now() + 1'000'000'000); // drain scheduled merges
+  if (check) {
+    for (const RefProcess& p : procs) {
+      differential_check(p);
+    }
+    verify::MmAuditor auditor(node);
+    const verify::AuditReport rep = auditor.run();
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_GT(rep.checks, 0u);
+  }
+  return machine_digest(node);
+}
+
+class StressRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressRandomOps, TenThousandOpsStayConsistent) {
+  const std::uint64_t digest = run_walk(GetParam(), /*check=*/true);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  // Determinism: an identical replay reaches the identical final state.
+  EXPECT_EQ(run_walk(GetParam(), /*check=*/false), digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressRandomOps, ::testing::Values(101u, 202u, 303u));
+
+} // namespace
+} // namespace hpmmap
