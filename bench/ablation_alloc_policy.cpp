@@ -6,8 +6,12 @@
 // *when* the backing happens differs. Reports runtime, fault counts and
 // where the backing cost was paid (syscall vs fault path).
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "harness/batch.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "os/node.hpp"
@@ -17,55 +21,64 @@
 
 int main(int argc, char** argv) {
   using namespace hpmmap;
+  using Row = std::vector<std::string>;
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_mode(opt, "Ablation A2: on-request vs demand backing inside HPMMAP");
 
   harness::Table table({"Policy", "Runtime (s)", "Demand faults", "Spurious faults",
                         "Linux small faults"});
 
+  // Both variants run concurrently on the batch runner; each owns its
+  // engine and node, and the rows come back in variant order.
+  std::vector<std::function<Row()>> tasks;
   for (const bool on_request : {true, false}) {
-    sim::Engine engine;
-    os::NodeConfig cfg;
-    cfg.machine = hw::dell_r415();
-    cfg.seed = 31;
-    core::ModuleConfig mod;
-    mod.offline_bytes_per_zone = 6 * GiB;
-    mod.on_request = on_request;
-    cfg.hpmmap = mod;
-    os::Node node(engine, cfg);
+    tasks.emplace_back([&opt, on_request]() -> Row {
+      sim::Engine engine;
+      os::NodeConfig cfg;
+      cfg.machine = hw::dell_r415();
+      cfg.seed = 31;
+      core::ModuleConfig mod;
+      mod.offline_bytes_per_zone = 6 * GiB;
+      mod.on_request = on_request;
+      cfg.hpmmap = mod;
+      os::Node node(engine, cfg);
 
-    workloads::KernelBuildConfig bc;
-    bc.jobs = 8;
-    workloads::KernelBuild build(node, bc, Rng(7));
-    build.start();
-    engine.run_until(node.spec().cycles(1.0));
+      workloads::KernelBuildConfig bc;
+      bc.jobs = 8;
+      workloads::KernelBuild build(node, bc, Rng(7));
+      build.start();
+      engine.run_until(node.spec().cycles(1.0));
 
-    workloads::MpiJobConfig jc;
-    jc.app = workloads::minimd(node.spec().clock_hz);
-    jc.app.bytes_per_rank = static_cast<std::uint64_t>(
-        static_cast<double>(jc.app.bytes_per_rank) * (opt.full ? 1.0 : 0.2));
-    jc.app.iterations = static_cast<std::uint64_t>(
-        static_cast<double>(jc.app.iterations) * (opt.full ? 1.0 : 0.1));
-    jc.policy = os::MmPolicy::kHpmmap;
-    for (std::uint32_t r = 0; r < 4; ++r) {
-      workloads::RankPlacement p;
-      p.node = &node;
-      p.core = static_cast<std::int32_t>(r < 2 ? r : 6 + r - 2);
-      p.home_zone = r < 2 ? 0 : 1;
-      jc.ranks.push_back(p);
-    }
-    workloads::MpiJob job(engine, jc);
-    job.start([&engine] { engine.stop(); });
-    engine.run();
-    build.stop();
+      workloads::MpiJobConfig jc;
+      jc.app = workloads::minimd(node.spec().clock_hz);
+      jc.app.bytes_per_rank = static_cast<std::uint64_t>(
+          static_cast<double>(jc.app.bytes_per_rank) * (opt.full ? 1.0 : 0.2));
+      jc.app.iterations = static_cast<std::uint64_t>(
+          static_cast<double>(jc.app.iterations) * (opt.full ? 1.0 : 0.1));
+      jc.policy = os::MmPolicy::kHpmmap;
+      for (std::uint32_t r = 0; r < 4; ++r) {
+        workloads::RankPlacement p;
+        p.node = &node;
+        p.core = static_cast<std::int32_t>(r < 2 ? r : 6 + r - 2);
+        p.home_zone = r < 2 ? 0 : 1;
+        jc.ranks.push_back(p);
+      }
+      workloads::MpiJob job(engine, jc);
+      job.start([&engine] { engine.stop(); });
+      engine.run();
+      build.stop();
 
-    const mm::FaultStats faults = job.aggregate_faults();
-    const core::ModuleStats& ms = node.hpmmap_module()->stats();
-    table.add_row({on_request ? "on-request (paper)" : "demand-paged (ablation)",
-                   harness::fixed(job.runtime_seconds(), 2),
-                   harness::with_commas(ms.demand_faults),
-                   harness::with_commas(ms.spurious_faults),
-                   harness::with_commas(faults.count[0])});
+      const mm::FaultStats faults = job.aggregate_faults();
+      const core::ModuleStats& ms = node.hpmmap_module()->stats();
+      return Row{on_request ? "on-request (paper)" : "demand-paged (ablation)",
+                 harness::fixed(job.runtime_seconds(), 2),
+                 harness::with_commas(ms.demand_faults),
+                 harness::with_commas(ms.spurious_faults),
+                 harness::with_commas(faults.count[0])};
+    });
+  }
+  for (Row& row : harness::BatchRunner(opt.jobs).map(std::move(tasks))) {
+    table.add_row(std::move(row));
   }
   table.print();
   table.write_csv(opt.out_dir + "/ablation_alloc_policy.csv");

@@ -7,9 +7,13 @@
 // should be flat; the shared path picks up reclaim/compaction tails that
 // grow with load (§III-A's isolation argument, reduced to its kernel).
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
+#include "harness/batch.hpp"
 #include "harness/table.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
@@ -17,93 +21,106 @@
 
 int main(int argc, char** argv) {
   using namespace hpmmap;
+  using Row = std::vector<std::string>;
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_mode(opt, "Ablation A3: isolated (offlined) vs shared allocation");
 
   harness::Table table({"Source", "Load", "Allocs", "Mean (cyc)", "p99 (cyc)", "Max (cyc)",
                         "Failures"});
 
+  // idle and loaded variants run concurrently on the batch runner; each
+  // produces its pair of rows, merged back in variant order.
+  std::vector<std::function<std::vector<Row>()>> tasks;
   for (const bool loaded : {false, true}) {
-    sim::Engine engine;
-    os::NodeConfig cfg;
-    cfg.machine = hw::dell_r415();
-    cfg.seed = 13;
-    // Offline most of the machine (the §IV configuration): the shared
-    // side is small enough that the build actually pressures it.
-    core::ModuleConfig mod;
-    mod.offline_bytes_per_zone = 7 * GiB; // Linux keeps 1 GiB per zone
-    cfg.hpmmap = mod;
-    os::Node node(engine, cfg);
+    tasks.emplace_back([&opt, loaded]() -> std::vector<Row> {
+      sim::Engine engine;
+      os::NodeConfig cfg;
+      cfg.machine = hw::dell_r415();
+      cfg.seed = 13;
+      // Offline most of the machine (the §IV configuration): the shared
+      // side is small enough that the build actually pressures it.
+      core::ModuleConfig mod;
+      mod.offline_bytes_per_zone = 7 * GiB; // Linux keeps 1 GiB per zone
+      cfg.hpmmap = mod;
+      os::Node node(engine, cfg);
 
-    std::unique_ptr<workloads::KernelBuild> build;
-    if (loaded) {
-      workloads::KernelBuildConfig bc;
-      bc.jobs = 8;
-      build = std::make_unique<workloads::KernelBuild>(node, bc, Rng(3));
-      build->start();
-      engine.run_until(node.spec().cycles(4.0));
-    }
-
-    const int n = opt.full ? 2000 : 600;
-    const mm::CostModel& costs = node.config().costs;
-
-    // (a) Kitten over the offlined pool: constant-time pops, immune to
-    // whatever the build does on the shared side.
-    Samples kitten;
-    std::vector<std::pair<ZoneId, Addr>> kitten_blocks;
-    std::uint64_t kitten_failures = 0;
-    core::KittenAllocator& pool = node.hpmmap_module()->allocator_mut();
-    for (int i = 0; i < n; ++i) {
-      // Interleave with the build's churn on the simulated clock.
-      engine.run_until(engine.now() + node.spec().cycles(0.002));
-      const ZoneId zone = static_cast<ZoneId>(i % 2);
-      auto a = pool.alloc(zone, kLargePageSize);
-      if (a.has_value()) {
-        kitten_blocks.emplace_back(zone, *a);
-        kitten.add(static_cast<double>(costs.hpmmap_alloc_base + costs.hpmmap_pte_install));
-        if (kitten_blocks.size() > 64) { // steady-state: recycle
-          pool.free(kitten_blocks.front().first, kitten_blocks.front().second, kLargePageSize);
-          kitten_blocks.erase(kitten_blocks.begin());
-        }
-      } else {
-        ++kitten_failures;
+      std::unique_ptr<workloads::KernelBuild> build;
+      if (loaded) {
+        workloads::KernelBuildConfig bc;
+        bc.jobs = 8;
+        build = std::make_unique<workloads::KernelBuild>(node, bc, Rng(3));
+        build->start();
+        engine.run_until(node.spec().cycles(4.0));
       }
-    }
-    for (const auto& [zone, addr] : kitten_blocks) {
-      pool.free(zone, addr, kLargePageSize);
-    }
 
-    // (b) the shared zone allocator with the full slow path.
-    Samples shared;
-    std::uint64_t shared_failures = 0;
-    std::vector<std::pair<ZoneId, Addr>> shared_blocks;
-    for (int i = 0; i < n; ++i) {
-      engine.run_until(engine.now() + node.spec().cycles(0.002));
-      const ZoneId zone = static_cast<ZoneId>(i % 2);
-      mm::AllocOutcome out = node.memory().alloc_pages(zone, mm::kLargePageOrder, true);
-      if (out.ok) {
-        shared.add(static_cast<double>(node.memory().alloc_cycles(out, zone)));
-        shared_blocks.emplace_back(zone, out.addr);
-        if (shared_blocks.size() > 64) {
-          node.memory().free_pages(shared_blocks.front().first, shared_blocks.front().second,
-                                   mm::kLargePageOrder);
-          shared_blocks.erase(shared_blocks.begin());
+      const int n = opt.full ? 2000 : 600;
+      const mm::CostModel& costs = node.config().costs;
+
+      // (a) Kitten over the offlined pool: constant-time pops, immune to
+      // whatever the build does on the shared side.
+      Samples kitten;
+      std::vector<std::pair<ZoneId, Addr>> kitten_blocks;
+      std::uint64_t kitten_failures = 0;
+      core::KittenAllocator& pool = node.hpmmap_module()->allocator_mut();
+      for (int i = 0; i < n; ++i) {
+        // Interleave with the build's churn on the simulated clock.
+        engine.run_until(engine.now() + node.spec().cycles(0.002));
+        const ZoneId zone = static_cast<ZoneId>(i % 2);
+        auto a = pool.alloc(zone, kLargePageSize);
+        if (a.has_value()) {
+          kitten_blocks.emplace_back(zone, *a);
+          kitten.add(static_cast<double>(costs.hpmmap_alloc_base + costs.hpmmap_pte_install));
+          if (kitten_blocks.size() > 64) { // steady-state: recycle
+            pool.free(kitten_blocks.front().first, kitten_blocks.front().second, kLargePageSize);
+            kitten_blocks.erase(kitten_blocks.begin());
+          }
+        } else {
+          ++kitten_failures;
         }
-      } else {
-        ++shared_failures;
       }
-    }
+      for (const auto& [zone, addr] : kitten_blocks) {
+        pool.free(zone, addr, kLargePageSize);
+      }
 
-    const char* load_label = loaded ? "kernel build" : "idle";
-    table.add_row({"offlined pool (Kitten)", load_label, std::to_string(n),
-                   harness::fixed(kitten.mean(), 0), harness::fixed(kitten.percentile(99), 0),
-                   harness::fixed(kitten.max(), 0), std::to_string(kitten_failures)});
-    table.add_row({"shared zone allocator", load_label, std::to_string(n),
-                   harness::fixed(shared.mean(), 0), harness::fixed(shared.percentile(99), 0),
-                   harness::fixed(shared.max(), 0), std::to_string(shared_failures)});
+      // (b) the shared zone allocator with the full slow path.
+      Samples shared;
+      std::uint64_t shared_failures = 0;
+      std::vector<std::pair<ZoneId, Addr>> shared_blocks;
+      for (int i = 0; i < n; ++i) {
+        engine.run_until(engine.now() + node.spec().cycles(0.002));
+        const ZoneId zone = static_cast<ZoneId>(i % 2);
+        mm::AllocOutcome out = node.memory().alloc_pages(zone, mm::kLargePageOrder, true);
+        if (out.ok) {
+          shared.add(static_cast<double>(node.memory().alloc_cycles(out, zone)));
+          shared_blocks.emplace_back(zone, out.addr);
+          if (shared_blocks.size() > 64) {
+            node.memory().free_pages(shared_blocks.front().first, shared_blocks.front().second,
+                                     mm::kLargePageOrder);
+            shared_blocks.erase(shared_blocks.begin());
+          }
+        } else {
+          ++shared_failures;
+        }
+      }
 
-    if (build) {
-      build->stop();
+      const char* load_label = loaded ? "kernel build" : "idle";
+      std::vector<Row> rows;
+      rows.push_back({"offlined pool (Kitten)", load_label, std::to_string(n),
+                      harness::fixed(kitten.mean(), 0), harness::fixed(kitten.percentile(99), 0),
+                      harness::fixed(kitten.max(), 0), std::to_string(kitten_failures)});
+      rows.push_back({"shared zone allocator", load_label, std::to_string(n),
+                      harness::fixed(shared.mean(), 0), harness::fixed(shared.percentile(99), 0),
+                      harness::fixed(shared.max(), 0), std::to_string(shared_failures)});
+
+      if (build) {
+        build->stop();
+      }
+      return rows;
+    });
+  }
+  for (std::vector<Row>& rows : harness::BatchRunner(opt.jobs).map(std::move(tasks))) {
+    for (Row& row : rows) {
+      table.add_row(std::move(row));
     }
   }
   table.print();

@@ -7,8 +7,12 @@
 // model's per-access translation estimate — showing *why* large pages
 // win at HPC working-set sizes.
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "harness/batch.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "os/node.hpp"
@@ -22,6 +26,8 @@ struct Variant {
   hpmmap::os::MmPolicy policy;
   bool use_1g;
 };
+
+using Row = std::vector<std::string>;
 
 } // namespace
 
@@ -39,48 +45,56 @@ int main(int argc, char** argv) {
   harness::Table table({"Allocation unit", "Runtime (s)", "4K bytes", "2M bytes", "1G bytes",
                         "Translation cyc/access"});
 
+  // One task per variant on the batch runner — each builds its own
+  // engine/node, so variants run concurrently; rows land in variant order.
+  std::vector<std::function<Row()>> tasks;
   for (const Variant& v : variants) {
-    sim::Engine engine;
-    os::NodeConfig cfg;
-    cfg.machine = hw::dell_r415();
-    cfg.seed = 77;
-    cfg.thp_enabled = false; // isolate the page-size effect
-    if (v.policy == os::MmPolicy::kHpmmap) {
-      core::ModuleConfig mod;
-      mod.offline_bytes_per_zone = 6 * GiB;
-      mod.use_1g_pages = v.use_1g;
-      cfg.hpmmap = mod;
-    }
-    os::Node node(engine, cfg);
+    tasks.emplace_back([&opt, v]() -> Row {
+      sim::Engine engine;
+      os::NodeConfig cfg;
+      cfg.machine = hw::dell_r415();
+      cfg.seed = 77;
+      cfg.thp_enabled = false; // isolate the page-size effect
+      if (v.policy == os::MmPolicy::kHpmmap) {
+        core::ModuleConfig mod;
+        mod.offline_bytes_per_zone = 6 * GiB;
+        mod.use_1g_pages = v.use_1g;
+        cfg.hpmmap = mod;
+      }
+      os::Node node(engine, cfg);
 
-    workloads::MpiJobConfig jc;
-    jc.app = workloads::hpccg(node.spec().clock_hz);
-    jc.app.bytes_per_rank = static_cast<std::uint64_t>(
-        static_cast<double>(jc.app.bytes_per_rank) * (opt.full ? 1.0 : 0.25));
-    jc.app.bytes_per_rank = align_up(jc.app.bytes_per_rank, kHugePageSize); // 1G-able
-    jc.app.iterations = static_cast<std::uint64_t>(
-        static_cast<double>(jc.app.iterations) * (opt.full ? 1.0 : 0.15));
-    jc.app.setup_brk_fraction = 0.0;       // all via mmap so 1G alignment is possible
-    jc.app.data_chunk_bytes = 1 * GiB;     // whole-array allocations: 1G-mappable
-    jc.policy = v.policy;
-    for (std::uint32_t r = 0; r < 4; ++r) {
-      workloads::RankPlacement p;
-      p.node = &node;
-      p.core = static_cast<std::int32_t>(r < 2 ? r : 6 + r - 2);
-      p.home_zone = r < 2 ? 0 : 1;
-      p.zone_policy = mm::AddressSpace::ZonePolicy::kSingle; // keep 1G chunks zonal
-      jc.ranks.push_back(p);
-    }
-    workloads::MpiJob job(engine, jc);
-    job.start([&engine] { engine.stop(); });
-    engine.run();
+      workloads::MpiJobConfig jc;
+      jc.app = workloads::hpccg(node.spec().clock_hz);
+      jc.app.bytes_per_rank = static_cast<std::uint64_t>(
+          static_cast<double>(jc.app.bytes_per_rank) * (opt.full ? 1.0 : 0.25));
+      jc.app.bytes_per_rank = align_up(jc.app.bytes_per_rank, kHugePageSize); // 1G-able
+      jc.app.iterations = static_cast<std::uint64_t>(
+          static_cast<double>(jc.app.iterations) * (opt.full ? 1.0 : 0.15));
+      jc.app.setup_brk_fraction = 0.0;       // all via mmap so 1G alignment is possible
+      jc.app.data_chunk_bytes = 1 * GiB;     // whole-array allocations: 1G-mappable
+      jc.policy = v.policy;
+      for (std::uint32_t r = 0; r < 4; ++r) {
+        workloads::RankPlacement p;
+        p.node = &node;
+        p.core = static_cast<std::int32_t>(r < 2 ? r : 6 + r - 2);
+        p.home_zone = r < 2 ? 0 : 1;
+        p.zone_policy = mm::AddressSpace::ZonePolicy::kSingle; // keep 1G chunks zonal
+        jc.ranks.push_back(p);
+      }
+      workloads::MpiJob job(engine, jc);
+      job.start([&engine] { engine.stop(); });
+      engine.run();
 
-    const hw::MappingMix mix = job.final_mapping_mix();
-    const hw::TlbModel tlb(node.spec().tlb);
-    table.add_row({v.label, harness::fixed(job.runtime_seconds(), 2),
-                   harness::with_commas(mix.bytes_4k), harness::with_commas(mix.bytes_2m),
-                   harness::with_commas(mix.bytes_1g),
-                   harness::fixed(tlb.translation_cycles_per_access(mix, jc.app.locality), 3)});
+      const hw::MappingMix mix = job.final_mapping_mix();
+      const hw::TlbModel tlb(node.spec().tlb);
+      return Row{v.label, harness::fixed(job.runtime_seconds(), 2),
+                 harness::with_commas(mix.bytes_4k), harness::with_commas(mix.bytes_2m),
+                 harness::with_commas(mix.bytes_1g),
+                 harness::fixed(tlb.translation_cycles_per_access(mix, jc.app.locality), 3)};
+    });
+  }
+  for (Row& row : harness::BatchRunner(opt.jobs).map(std::move(tasks))) {
+    table.add_row(std::move(row));
   }
   table.print();
   table.write_csv(opt.out_dir + "/ablation_page_size.csv");

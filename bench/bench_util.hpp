@@ -11,6 +11,8 @@
 #include <string>
 #include <sys/stat.h>
 
+#include "harness/batch.hpp"
+
 namespace hpmmap::bench {
 
 struct BenchOptions {
@@ -18,6 +20,9 @@ struct BenchOptions {
   std::uint32_t trials = 3;
   double footprint_scale = 0.15;
   double duration_scale = 0.1;
+  /// Worker threads for the batch runner; 0 = hardware concurrency.
+  /// Results are byte-identical for every value (merged in seed order).
+  unsigned jobs = 0;
   std::string out_dir = "results";
 };
 
@@ -31,25 +36,30 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.duration_scale = 1.0;
     } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
       opt.trials = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opt.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
       opt.out_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--full] [--trials N] [--out-dir DIR]\n"
+      std::printf("usage: %s [--full] [--trials N] [--jobs N] [--out-dir DIR]\n"
                   "  --full   paper scale (12 GB footprints, 10 trials); default is a\n"
-                  "           reduced scale that preserves the figure's shape\n",
+                  "           reduced scale that preserves the figure's shape\n"
+                  "  --jobs   parallel simulation workers (default: all hardware\n"
+                  "           threads; output is identical for any value)\n",
                   argv[0]);
       std::exit(0);
     }
   }
   ::mkdir(opt.out_dir.c_str(), 0755);
+  harness::set_default_jobs(opt.jobs);
   return opt;
 }
 
 inline void print_mode(const BenchOptions& opt, const char* what) {
   std::printf("== %s ==\n", what);
-  std::printf("mode: %s (footprint x%.2f, duration x%.2f, %u trials)\n\n",
+  std::printf("mode: %s (footprint x%.2f, duration x%.2f, %u trials, %u jobs)\n\n",
               opt.full ? "FULL (paper scale)" : "quick", opt.footprint_scale,
-              opt.duration_scale, opt.trials);
+              opt.duration_scale, opt.trials, harness::default_jobs());
 }
 
 } // namespace hpmmap::bench

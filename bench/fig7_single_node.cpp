@@ -39,11 +39,13 @@ int main(int argc, char** argv) {
   double sum_thp_ratio[2] = {0, 0}, sum_htlb_ratio[2] = {0, 0};
   int ratio_n[2] = {0, 0};
 
+  // Enumerate the whole grid, fan every (cell, trial) run out across the
+  // batch runner, then fold in enumeration order — the table is byte-
+  // identical to the serial sweep for any --jobs value.
+  std::vector<harness::SingleNodeRunConfig> cfgs;
   for (const char* app : apps) {
     for (int prof = 0; prof < 2; ++prof) {
       for (const std::uint32_t cores : core_counts) {
-        double mean_by_mgr[3] = {0, 0, 0};
-        int mi = 0;
         for (const harness::Manager mgr : managers) {
           harness::SingleNodeRunConfig cfg;
           cfg.app = app;
@@ -54,7 +56,22 @@ int main(int argc, char** argv) {
           cfg.seed = 1000 + static_cast<std::uint64_t>(prof) * 13 + cores;
           cfg.footprint_scale = fscale;
           cfg.duration_scale = dscale;
-          const harness::SeriesPoint p = harness::run_trials(cfg, trials);
+          cfgs.push_back(cfg);
+        }
+      }
+    }
+  }
+  const std::vector<harness::SeriesPoint> points =
+      harness::run_trials_batch(cfgs, trials, opt.jobs);
+
+  std::size_t ci = 0;
+  for (const char* app : apps) {
+    for (int prof = 0; prof < 2; ++prof) {
+      for (const std::uint32_t cores : core_counts) {
+        double mean_by_mgr[3] = {0, 0, 0};
+        int mi = 0;
+        for (const harness::Manager mgr : managers) {
+          const harness::SeriesPoint& p = points[ci++];
           mean_by_mgr[mi++] = p.mean_seconds;
           table.add_row({app, prof == 0 ? "A" : "B", std::to_string(cores),
                          std::string(name(mgr)), harness::fixed(p.mean_seconds, 2),

@@ -9,6 +9,7 @@
 // through the per-iteration barrier as node count grows.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "harness/experiment.hpp"
@@ -25,11 +26,14 @@ int main(int argc, char** argv) {
   harness::Table table(
       {"App", "Profile", "Nodes", "Ranks", "Manager", "Mean (s)", "Stdev (s)"});
 
+  // Enumerate the full sweep first, fan every (cell, trial) run across
+  // the batch runner, then fold the results in enumeration order — the
+  // printed table is byte-identical to the serial sweep for any --jobs.
+  const std::uint32_t trials = opt.full ? opt.trials : 2;
+  std::vector<harness::ScalingRunConfig> cfgs;
   for (const char* app : apps) {
     for (int prof = 0; prof < 2; ++prof) {
-      double ratio_at_32 = 0.0;
       for (const std::uint32_t nodes : node_counts) {
-        double hpmmap_mean = 0.0;
         for (const harness::Manager mgr :
              {harness::Manager::kHpmmap, harness::Manager::kThp}) {
           harness::ScalingRunConfig cfg;
@@ -41,7 +45,23 @@ int main(int argc, char** argv) {
           cfg.seed = 500 + static_cast<std::uint64_t>(prof) * 29 + nodes;
           cfg.footprint_scale = 1.0; // pressure needs real footprints
           cfg.duration_scale = opt.full ? 1.0 : 0.05;
-          const harness::SeriesPoint p = harness::run_trials(cfg, opt.full ? opt.trials : 2);
+          cfgs.push_back(cfg);
+        }
+      }
+    }
+  }
+  const std::vector<harness::SeriesPoint> points =
+      harness::run_trials_batch(cfgs, trials, opt.jobs);
+
+  std::size_t ci = 0;
+  for (const char* app : apps) {
+    for (int prof = 0; prof < 2; ++prof) {
+      double ratio_at_32 = 0.0;
+      for (const std::uint32_t nodes : node_counts) {
+        double hpmmap_mean = 0.0;
+        for (const harness::Manager mgr :
+             {harness::Manager::kHpmmap, harness::Manager::kThp}) {
+          const harness::SeriesPoint& p = points[ci++];
           if (mgr == harness::Manager::kHpmmap) {
             hpmmap_mean = p.mean_seconds;
           } else if (nodes == 8) {

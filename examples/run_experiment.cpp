@@ -3,7 +3,8 @@
 //
 //   run_experiment --app miniFE --manager hpmmap --profile B --cores 8
 //                  --trials 5 [--nodes 4] [--scale 0.5] [--duration 0.2]
-//                  [--seed 42] [--trace] [--trace-out FILE] [--trace-cat CATS]
+//                  [--seed 42] [--jobs N] [--perf-summary]
+//                  [--trace] [--trace-out FILE] [--trace-cat CATS]
 //
 // With --nodes > 1 the run uses the Sandia 1 GbE cluster model
 // (profiles C/D); otherwise the Dell R415 single-node model
@@ -12,10 +13,12 @@
 // --trace-out writes the run's flight-recorder contents as Chrome
 // trace-event JSON (open in https://ui.perfetto.dev or chrome://tracing)
 // plus a FILE.csv twin, and prints the counter/histogram report.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "harness/batch.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "trace/export.hpp"
@@ -38,6 +41,10 @@ using namespace hpmmap;
       "  --scale F        footprint scale                           (default 1.0)\n"
       "  --duration F     iteration-count scale                     (default 0.1)\n"
       "  --seed N         base RNG seed                             (default 42)\n"
+      "  --jobs N         worker threads for the trial loop; 0 = all hardware\n"
+      "                   threads (default 0; results identical for any value)\n"
+      "  --perf-summary   append one line of simulator throughput (engine\n"
+      "                   events/sec and wall time) after the run\n"
       "  --trace          record the fault trace and print a summary\n"
       "  --trace-out FILE write Chrome trace JSON to FILE and CSV to FILE.csv\n"
       "  --trace-cat CATS categories for --trace-out: comma list or 'all'\n"
@@ -115,14 +122,44 @@ void report_verification(const harness::RunResult& r, bool injected, bool audite
   }
 }
 
+/// Wall-clock scope for --perf-summary: prints host-side throughput
+/// (simulator events per wall second) when it goes out of scope.
+class PerfSummary {
+ public:
+  explicit PerfSummary(bool enabled) : enabled_(enabled) {}
+  void add_events(std::uint64_t n) noexcept { events_ += n; }
+  ~PerfSummary() {
+    if (!enabled_) {
+      return;
+    }
+    const auto wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    std::printf("perf: %llu engine events in %.3f s wall = %.3g events/sec "
+                "(%u jobs)\n",
+                static_cast<unsigned long long>(events_), wall,
+                wall > 0 ? static_cast<double>(events_) / wall : 0.0,
+                harness::default_jobs());
+  }
+  PerfSummary(const PerfSummary&) = delete;
+  PerfSummary& operator=(const PerfSummary&) = delete;
+
+ private:
+  bool enabled_;
+  std::uint64_t events_ = 0;
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+};
+
 } // namespace
 
 int main(int argc, char** argv) {
   std::string app = "HPCCG", manager = "hpmmap", profile = "A";
   std::uint32_t cores = 8, nodes = 1, trials = 3;
+  unsigned jobs = 0;
   double scale = 1.0, duration = 0.1;
   std::uint64_t seed = 42;
   bool trace = false;
+  bool perf_summary = false;
   std::string trace_out;
   std::string trace_cat = "all";
   bool audit = false, audit_on_fire = false;
@@ -153,6 +190,10 @@ int main(int argc, char** argv) {
       duration = std::atof(next());
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      jobs = static_cast<unsigned>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--perf-summary")) {
+      perf_summary = true;
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace = true;
     } else if (!std::strcmp(argv[i], "--trace-out")) {
@@ -171,6 +212,8 @@ int main(int argc, char** argv) {
   }
 
   using namespace hpmmap;
+  harness::set_default_jobs(jobs);
+  PerfSummary perf(perf_summary);
   const harness::Manager mgr = parse_manager(manager);
 
   harness::VerifyConfig verify_cfg;
@@ -216,6 +259,7 @@ int main(int argc, char** argv) {
                 trials);
     if (!trace_out.empty() || verifying) {
       const harness::RunResult r = harness::run_scaling(cfg);
+      perf.add_events(r.events_fired);
       std::printf("runtime: %.2f s\n", r.runtime_seconds);
       report_verification(r, verify_cfg.inject.any(), audit);
       if (!trace_out.empty()) {
@@ -224,6 +268,7 @@ int main(int argc, char** argv) {
       return r.audit_violations == 0 ? 0 : 1;
     }
     const harness::SeriesPoint p = harness::run_trials(cfg, trials);
+    perf.add_events(p.events);
     std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);
     return 0;
   }
@@ -245,6 +290,7 @@ int main(int argc, char** argv) {
 
   if (cfg.trace.on() || verifying) {
     const harness::RunResult r = harness::run_single_node(cfg);
+    perf.add_events(r.events_fired);
     std::printf("runtime: %.2f s\n", r.runtime_seconds);
     if (cfg.trace.on()) {
       harness::Table t({"Kind", "Count", "Avg cycles", "Stdev cycles"});
@@ -266,6 +312,7 @@ int main(int argc, char** argv) {
     return r.audit_violations == 0 ? 0 : 1;
   }
   const harness::SeriesPoint p = harness::run_trials(cfg, trials);
+  perf.add_events(p.events);
   std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);
   return 0;
 }

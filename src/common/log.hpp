@@ -2,6 +2,7 @@
 // terse, prefixed, printf-formatted, and off by default except warnings.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <string_view>
@@ -69,14 +70,15 @@ class LogLimiter {
     }                                                                             \
   } while (0)
 
-/// Warn at most once per call site for the process lifetime.
-#define HPMMAP_LOG_WARN_ONCE(subsystem, ...)          \
-  do {                                                \
-    static bool hpmmap_warned_once = false;           \
-    if (!hpmmap_warned_once) {                        \
-      hpmmap_warned_once = true;                      \
-      ::hpmmap::log_warn(subsystem, __VA_ARGS__);     \
-    }                                                 \
+/// Warn at most once per call site for the process lifetime. Atomic so
+/// batch-runner worker threads hitting the same site race benignly (at
+/// most one wins the exchange and logs).
+#define HPMMAP_LOG_WARN_ONCE(subsystem, ...)                                  \
+  do {                                                                        \
+    static ::std::atomic<bool> hpmmap_warned_once{false};                     \
+    if (!hpmmap_warned_once.exchange(true, ::std::memory_order_relaxed)) {    \
+      ::hpmmap::log_warn(subsystem, __VA_ARGS__);                             \
+    }                                                                         \
   } while (0)
 
 } // namespace hpmmap

@@ -1,0 +1,125 @@
+#include "harness/batch.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace hpmmap::harness {
+
+namespace {
+
+std::atomic<unsigned> g_default_jobs{1};
+
+/// What a trial task returns: enough to fold the SeriesPoint and the
+/// perf summary in deterministic t order on the calling thread.
+struct TrialOutcome {
+  double runtime_seconds = 0.0;
+  std::uint64_t events_fired = 0;
+};
+
+template <typename Config>
+RunResult dispatch(const Config& cfg) {
+  if constexpr (std::is_same_v<Config, SingleNodeRunConfig>) {
+    return run_single_node(cfg);
+  } else {
+    return run_scaling(cfg);
+  }
+}
+
+template <typename Config>
+std::vector<SeriesPoint> trials_batch(const std::vector<Config>& configs,
+                                      std::uint32_t trials, unsigned jobs) {
+  std::vector<std::function<TrialOutcome()>> tasks;
+  tasks.reserve(configs.size() * trials);
+  for (const Config& cfg : configs) {
+    for (const std::uint64_t seed : trial_seeds(cfg.seed, trials)) {
+      Config trial_cfg = cfg;
+      trial_cfg.seed = seed;
+      tasks.push_back([trial_cfg]() -> TrialOutcome {
+        const RunResult r = dispatch(trial_cfg);
+        return TrialOutcome{r.runtime_seconds, r.events_fired};
+      });
+    }
+  }
+  const std::vector<TrialOutcome> outcomes = BatchRunner(jobs).map(std::move(tasks));
+  std::vector<SeriesPoint> points;
+  points.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    RunningStats stats;
+    std::uint64_t events = 0;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const TrialOutcome& o = outcomes[c * trials + t];
+      stats.add(o.runtime_seconds);
+      events += o.events_fired;
+    }
+    points.push_back(SeriesPoint{stats.mean(), stats.stdev(), trials, events});
+  }
+  return points;
+}
+
+template <typename Config>
+std::vector<RunResult> batch(const std::vector<Config>& configs, unsigned jobs) {
+  std::vector<std::function<RunResult()>> tasks;
+  tasks.reserve(configs.size());
+  for (const Config& cfg : configs) {
+    tasks.push_back([cfg] { return dispatch(cfg); });
+  }
+  return BatchRunner(jobs).map(std::move(tasks));
+}
+
+} // namespace
+
+unsigned hardware_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void set_default_jobs(unsigned jobs) noexcept {
+  g_default_jobs.store(jobs == 0 ? hardware_jobs() : jobs, std::memory_order_relaxed);
+}
+
+unsigned default_jobs() noexcept {
+  return g_default_jobs.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> trial_seeds(std::uint64_t base, std::uint32_t trials) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(trials);
+  std::uint64_t s = base;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    s = s * 2654435761ull + t + 1;
+    seeds.push_back(s);
+  }
+  return seeds;
+}
+
+SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials, unsigned jobs) {
+  return trials_batch(std::vector<SingleNodeRunConfig>{std::move(config)}, trials,
+                      jobs)[0];
+}
+
+SeriesPoint run_trials(ScalingRunConfig config, std::uint32_t trials, unsigned jobs) {
+  return trials_batch(std::vector<ScalingRunConfig>{std::move(config)}, trials, jobs)[0];
+}
+
+std::vector<SeriesPoint> run_trials_batch(const std::vector<SingleNodeRunConfig>& configs,
+                                          std::uint32_t trials, unsigned jobs) {
+  return trials_batch(configs, trials, jobs);
+}
+
+std::vector<SeriesPoint> run_trials_batch(const std::vector<ScalingRunConfig>& configs,
+                                          std::uint32_t trials, unsigned jobs) {
+  return trials_batch(configs, trials, jobs);
+}
+
+std::vector<RunResult> run_batch(const std::vector<SingleNodeRunConfig>& configs,
+                                 unsigned jobs) {
+  return batch(configs, jobs);
+}
+
+std::vector<RunResult> run_batch(const std::vector<ScalingRunConfig>& configs,
+                                 unsigned jobs) {
+  return batch(configs, jobs);
+}
+
+} // namespace hpmmap::harness

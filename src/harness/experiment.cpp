@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "cluster/network.hpp"
+#include "harness/batch.hpp"
 #include "common/assert.hpp"
 #include "common/units.hpp"
 #include "os/node.hpp"
@@ -324,6 +326,7 @@ RunResult run_single_node(const SingleNodeRunConfig& config) {
     build->stop();
   }
   RunResult result = collect(job, node, config.trace, job_start, machine.clock_hz);
+  result.events_fired = engine.events_fired();
   verify_session.finish(result, {&node});
   return result;
 }
@@ -391,6 +394,7 @@ RunResult run_scaling(const ScalingRunConfig& config) {
     build->stop();
   }
   RunResult result = collect(job, *nodes.front(), config.trace, job_start, machine.clock_hz);
+  result.events_fired = engine.events_fired();
   std::vector<os::Node*> node_ptrs;
   for (auto& n : nodes) {
     node_ptrs.push_back(n.get());
@@ -400,21 +404,11 @@ RunResult run_scaling(const ScalingRunConfig& config) {
 }
 
 SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials) {
-  RunningStats stats;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    config.seed = config.seed * 2654435761ull + t + 1;
-    stats.add(run_single_node(config).runtime_seconds);
-  }
-  return SeriesPoint{stats.mean(), stats.stdev(), trials};
+  return run_trials(std::move(config), trials, default_jobs());
 }
 
 SeriesPoint run_trials(ScalingRunConfig config, std::uint32_t trials) {
-  RunningStats stats;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    config.seed = config.seed * 2654435761ull + t + 1;
-    stats.add(run_scaling(config).runtime_seconds);
-  }
-  return SeriesPoint{stats.mean(), stats.stdev(), trials};
+  return run_trials(std::move(config), trials, default_jobs());
 }
 
 } // namespace hpmmap::harness

@@ -98,6 +98,9 @@ struct RunResult {
   Cycles trace_t0 = 0; // job start, for normalizing trace time
   std::uint64_t thp_merges = 0;
   std::uint64_t hpmmap_spurious_faults = 0;
+  /// Engine events executed over the whole run (warmup included) — the
+  /// denominator of the events/sec perf summary.
+  std::uint64_t events_fired = 0;
 
   // --- verification (populated when VerifyConfig enabled any of it) ---
   /// Per-point injector counters for the run (calls seen, faults fired).
@@ -173,8 +176,14 @@ struct SeriesPoint {
   double mean_seconds = 0.0;
   double stdev_seconds = 0.0;
   std::uint32_t trials = 0;
+  /// Total engine events executed across the trials (perf summaries).
+  std::uint64_t events = 0;
 };
 
+/// Trial loops run on the batch runner at harness::default_jobs()
+/// parallelism (see harness/batch.hpp; 1 = serial, and any jobs value
+/// produces byte-identical points). Explicit-jobs overloads and
+/// whole-sweep batch fan-out live in batch.hpp.
 [[nodiscard]] SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials);
 [[nodiscard]] SeriesPoint run_trials(ScalingRunConfig config, std::uint32_t trials);
 

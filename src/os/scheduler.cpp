@@ -11,10 +11,30 @@ Scheduler::Scheduler(std::uint32_t cores) : pinned_weight_(cores, 0.0), core_loa
   HPMMAP_ASSERT(cores > 0, "need at least one core");
 }
 
+Scheduler::Thread& Scheduler::checked(ThreadId id, const char* what) {
+  HPMMAP_ASSERT(id.valid() && id.id <= threads_.size(), "bad thread id");
+  Thread& t = threads_[id.id - 1];
+  HPMMAP_ASSERT(t.gen == id.gen, "stale thread id (slot was recycled)");
+  HPMMAP_ASSERT(t.live, what);
+  return t;
+}
+
 Scheduler::ThreadId Scheduler::add_thread(std::int32_t core, double weight) {
   HPMMAP_ASSERT(core < static_cast<std::int32_t>(pinned_weight_.size()), "core out of range");
   HPMMAP_ASSERT(weight >= 0.0 && weight <= 1.0, "weight is a duty cycle");
-  threads_.push_back(Thread{core, weight, true});
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(threads_.size());
+    threads_.push_back(Thread{core, weight, 1, true});
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    Thread& t = threads_[slot];
+    t.core = core;
+    t.weight = weight;
+    t.live = true; // generation was bumped at remove time
+  }
+  ++live_count_;
   if (core >= 0) {
     pinned_weight_[static_cast<std::size_t>(core)] += weight;
   } else {
@@ -23,22 +43,24 @@ Scheduler::ThreadId Scheduler::add_thread(std::int32_t core, double weight) {
   dirty_ = true;
   if (trace::on(trace::Category::kSched)) {
     trace::instant(trace::Category::kSched, "sched.add_thread", 0, core,
-                   {trace::Arg::u64("tid", threads_.size()), trace::Arg::f64("weight", weight)});
+                   {trace::Arg::u64("tid", slot + 1), trace::Arg::f64("weight", weight)});
     trace::counter(trace::Category::kSched, "sched.total_weight", total_weight());
   }
-  return ThreadId{static_cast<std::uint32_t>(threads_.size())};
+  return ThreadId{slot + 1, threads_[slot].gen};
 }
 
 void Scheduler::remove_thread(ThreadId id) {
-  HPMMAP_ASSERT(id.valid() && id.id <= threads_.size(), "bad thread id");
-  Thread& t = threads_[id.id - 1];
-  HPMMAP_ASSERT(t.live, "double remove");
+  Thread& t = checked(id, "double remove");
   if (t.core >= 0) {
     pinned_weight_[static_cast<std::size_t>(t.core)] -= t.weight;
   } else {
     unpinned_weight_ -= t.weight;
   }
   t.live = false;
+  ++t.gen; // invalidate outstanding handles before the slot is reused
+  free_slots_.push_back(id.id - 1);
+  HPMMAP_ASSERT(live_count_ > 0, "remove with no live threads");
+  --live_count_;
   dirty_ = true;
   if (trace::on(trace::Category::kSched)) {
     trace::instant(trace::Category::kSched, "sched.remove_thread", 0, t.core,
@@ -48,9 +70,7 @@ void Scheduler::remove_thread(ThreadId id) {
 }
 
 void Scheduler::set_weight(ThreadId id, double weight) {
-  HPMMAP_ASSERT(id.valid() && id.id <= threads_.size(), "bad thread id");
-  Thread& t = threads_[id.id - 1];
-  HPMMAP_ASSERT(t.live, "weight change on dead thread");
+  Thread& t = checked(id, "weight change on dead thread");
   if (t.core >= 0) {
     pinned_weight_[static_cast<std::size_t>(t.core)] += weight - t.weight;
   } else {

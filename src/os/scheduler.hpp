@@ -21,8 +21,13 @@ class Scheduler {
  public:
   explicit Scheduler(std::uint32_t cores);
 
+  /// Slot index + generation: thread slots are recycled after
+  /// remove_thread (kernel-build churn spawns and retires thousands of
+  /// jobs per run), and the generation check turns a stale handle into a
+  /// hard assert instead of silently aliasing the slot's next tenant.
   struct ThreadId {
-    std::uint32_t id = 0;
+    std::uint32_t id = 0; // 1-based slot; 0 = invalid
+    std::uint32_t gen = 0;
     [[nodiscard]] bool valid() const noexcept { return id != 0; }
   };
 
@@ -45,16 +50,24 @@ class Scheduler {
     return static_cast<std::uint32_t>(pinned_weight_.size());
   }
   [[nodiscard]] double total_weight() const;
+  /// Size of the internal slot table — bounded by peak concurrent
+  /// threads, not by lifetime churn (regression hook for the tests).
+  [[nodiscard]] std::size_t thread_slots() const noexcept { return threads_.size(); }
+  [[nodiscard]] std::size_t live_threads() const noexcept { return live_count_; }
 
  private:
   struct Thread {
     std::int32_t core;
     double weight;
+    std::uint32_t gen;
     bool live;
   };
+  [[nodiscard]] Thread& checked(ThreadId id, const char* what);
   void recompute() const;
 
   std::vector<Thread> threads_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
   std::vector<double> pinned_weight_;      // per-core pinned demand
   double unpinned_weight_ = 0.0;
   mutable std::vector<double> core_load_;  // solved loads

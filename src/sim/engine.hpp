@@ -5,27 +5,40 @@
 // single virtual clock measured in CPU cycles. Determinism is guaranteed
 // by (time, sequence) ordering: two events at the same cycle fire in
 // scheduling order, never in container-iteration order.
+//
+// The hot path is allocation-free: callbacks live inline in the heap
+// entries (EventCallback's small-buffer optimization; rare large
+// captures spill into a recycling bump arena), and cancellation is a
+// generation check against a reusable slot table rather than a tombstone
+// set — cancel() is O(1), fired and cancelled events release their slots
+// immediately, and pending_events() is exact on arbitrarily long runs.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
+#include "sim/arena.hpp"
+#include "sim/event_callback.hpp"
 
 namespace hpmmap::sim {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event: a slot index plus the
+/// generation the slot had when the event was armed. A fired or
+/// cancelled event bumps the generation, so stale handles (including
+/// handles for a slot that has since been reused) can never hit a
+/// successor event.
 struct EventId {
-  std::uint64_t seq = 0;
-  [[nodiscard]] bool valid() const noexcept { return seq != 0; }
+  std::uint32_t slot = 0; // 1-based; 0 = invalid
+  std::uint32_t gen = 0;
+  [[nodiscard]] bool valid() const noexcept { return slot != 0; }
 };
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   /// Registers this engine as the tracing clock, so tracepoints in
   /// components without an engine reference can stamp virtual time.
@@ -37,10 +50,20 @@ class Engine {
   [[nodiscard]] Cycles now() const noexcept { return now_; }
 
   /// Schedule `fn` to run `delay` cycles from now.
-  EventId schedule(Cycles delay, Callback fn);
+  template <typename F>
+  EventId schedule(Cycles delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedule `fn` at absolute time `when` (>= now()).
-  EventId schedule_at(Cycles when, Callback fn);
+  template <typename F>
+  EventId schedule_at(Cycles when, F&& fn) {
+    if constexpr (std::is_same_v<std::decay_t<F>, EventCallback>) {
+      return schedule_entry(when, std::move(fn));
+    } else {
+      return schedule_entry(when, EventCallback(std::forward<F>(fn), &arena_));
+    }
+  }
 
   /// Cancel a pending event. Cancelling an already-fired or invalid id is
   /// a harmless no-op (mirrors timer APIs the actors expect).
@@ -57,30 +80,58 @@ class Engine {
   void stop() noexcept { stopped_ = true; }
   [[nodiscard]] bool stopped() const noexcept { return stopped_; }
 
-  [[nodiscard]] std::size_t pending_events() const noexcept {
-    return heap_.size() - cancelled_.size();
-  }
+  /// Exact count of events armed but neither fired nor cancelled.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+  [[nodiscard]] std::uint64_t events_cancelled() const noexcept { return cancelled_; }
+
+  /// Arena backing out-of-line callbacks and other short-lived event
+  /// payloads; reset at quiescence, never mid-run.
+  [[nodiscard]] BumpArena& arena() noexcept { return arena_; }
 
  private:
+  /// Heap node: ordering key + slot handle only, 24 trivially copyable
+  /// bytes. The callable itself is parked in slots_ and never moves
+  /// during sifts — the single biggest cost of keeping callbacks inside
+  /// heap entries is the relocation storm on every sift.
   struct Entry {
     Cycles when;
     std::uint64_t seq;
-    Callback fn;
+    std::uint32_t slot; // 0-based index into slots_
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-    }
+  /// One armed (or recyclable) event: the callback and the slot's
+  /// current generation. A heap entry is live iff its stored generation
+  /// matches. Slots are recycled through free_slots_ once their entry
+  /// leaves the heap, so the table stays bounded by peak concurrency.
+  struct Slot {
+    EventCallback fn;
+    std::uint32_t gen = 1;
   };
 
+  EventId schedule_entry(Cycles when, EventCallback fn);
+  /// True iff a comes strictly before b in firing order.
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  void pop_min() noexcept;
   bool fire_next(Cycles limit);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  // Declared before the callback stores: outline callbacks free their
+  // blocks back into the arena on destruction, so the arena must be
+  // destroyed after them.
+  BumpArena arena_;
+  // Binary min-heap of PODs ordered by (when, seq).
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t live_ = 0;
   bool stopped_ = false;
 };
 

@@ -1,0 +1,154 @@
+// Small-buffer-optimized, move-only callable for engine events.
+//
+// std::function heap-allocates for any capture larger than two pointers
+// and drags in RTTI plus copy machinery the engine never uses. Every
+// callback in this tree is a tiny lambda ([this], [this, slot], ...),
+// so EventCallback stores callables up to kInlineBytes directly inside
+// the heap entry — scheduling an event performs zero allocations. The
+// rare larger callable spills into the engine's BumpArena (recycled
+// blocks, still no malloc in steady state) or, with no arena, the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/arena.hpp"
+
+namespace hpmmap::sim {
+
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  explicit EventCallback(F&& fn, BumpArena* arena = nullptr) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      void* block = arena != nullptr ? arena->alloc(sizeof(Fn))
+                                     : ::operator new(sizeof(Fn));
+      ::new (block) Fn(std::forward<F>(fn));
+      auto* out = ::new (static_cast<void*>(storage_)) Outline;
+      out->block = block;
+      out->arena = arena;
+      out->size = sizeof(Fn);
+      ops_ = &outline_ops<Fn>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+  [[nodiscard]] bool operator==(std::nullptr_t) const noexcept { return ops_ == nullptr; }
+  [[nodiscard]] bool operator!=(std::nullptr_t) const noexcept { return ops_ != nullptr; }
+
+  /// True when the callable spilled out of the inline buffer (bench/test
+  /// visibility into the allocation behavior).
+  [[nodiscard]] bool out_of_line() const noexcept {
+    return ops_ != nullptr && ops_->outline;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move the callable between storage slots; sources must be nothrow-
+    // movable or out-of-line (where relocation is a pointer copy).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool outline;
+  };
+
+  struct Outline {
+    void* block;
+    BumpArena* arena;
+    std::size_t size;
+  };
+  static_assert(sizeof(Outline) <= kInlineBytes);
+
+  template <typename Fn>
+  [[nodiscard]] static constexpr bool fits_inline() noexcept {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* storage) noexcept { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); },
+      /*outline=*/false,
+  };
+
+  template <typename Fn>
+  static constexpr Ops outline_ops{
+      [](void* storage) {
+        auto* out = std::launder(reinterpret_cast<Outline*>(storage));
+        (*static_cast<Fn*>(out->block))();
+      },
+      [](void* dst, void* src) noexcept {
+        auto* from = std::launder(reinterpret_cast<Outline*>(src));
+        ::new (dst) Outline(*from);
+        from->~Outline();
+      },
+      [](void* storage) noexcept {
+        auto* out = std::launder(reinterpret_cast<Outline*>(storage));
+        static_cast<Fn*>(out->block)->~Fn();
+        if (out->arena != nullptr) {
+          out->arena->free(out->block, out->size);
+        } else {
+          ::operator delete(out->block);
+        }
+        out->~Outline();
+      },
+      /*outline=*/true,
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+} // namespace hpmmap::sim

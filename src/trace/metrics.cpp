@@ -5,7 +5,7 @@
 namespace hpmmap::trace {
 
 MetricRegistry& metrics() noexcept {
-  static MetricRegistry r;
+  static thread_local MetricRegistry r;
   return r;
 }
 

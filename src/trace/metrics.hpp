@@ -76,7 +76,8 @@ class MetricRegistry {
   std::map<std::string, Histogram> histograms_;
 };
 
-/// Process-wide registry, reset per experiment run by the harness.
+/// This thread's registry (per-run context, like trace::recorder()),
+/// reset per experiment run by the harness.
 [[nodiscard]] MetricRegistry& metrics() noexcept;
 
 } // namespace hpmmap::trace

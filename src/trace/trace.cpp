@@ -5,7 +5,7 @@
 namespace hpmmap::trace {
 
 namespace detail {
-std::uint32_t g_enabled_mask = 0;
+thread_local std::uint32_t g_enabled_mask = 0;
 } // namespace detail
 
 namespace {
@@ -15,7 +15,9 @@ struct Clock {
   const void* ctx = nullptr;
 };
 
-Clock g_clock;
+// Per-thread, like the rest of the run context: a worker thread's engine
+// must not stamp (or clobber) another run's clock.
+thread_local Clock g_clock;
 
 constexpr std::array<Category, 10> kAllCategoryList = {
     Category::kFault, Category::kBuddy,  Category::kThp,
@@ -103,7 +105,7 @@ void disable_all() noexcept { detail::g_enabled_mask = 0; }
 std::uint32_t enabled_mask() noexcept { return detail::g_enabled_mask; }
 
 FlightRecorder& recorder() noexcept {
-  static FlightRecorder r;
+  static thread_local FlightRecorder r;
   return r;
 }
 

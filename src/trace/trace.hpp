@@ -163,8 +163,12 @@ class FlightRecorder {
 };
 
 namespace detail {
-/// Global category mask, read inline on every tracepoint.
-extern std::uint32_t g_enabled_mask;
+/// Per-thread category mask, read inline on every tracepoint. Thread-
+/// local because the whole trace registry is a *per-run context*: the
+/// batch runner executes independent simulations on worker threads, and
+/// each run binds the recorder/metrics/clock of the thread it runs on
+/// (see DESIGN.md §8). Single-threaded use is unchanged.
+extern thread_local std::uint32_t g_enabled_mask;
 } // namespace detail
 
 /// The tracepoint guard: one load + AND. Callers wrap argument
@@ -184,12 +188,16 @@ void enable(std::uint32_t mask) noexcept;
 void disable_all() noexcept;
 [[nodiscard]] std::uint32_t enabled_mask() noexcept;
 
-/// Process-wide flight recorder.
+/// This thread's flight recorder (one per run context; the harness
+/// brackets each run, so a worker thread's recorder holds exactly the
+/// events of the run executing on it).
 [[nodiscard]] FlightRecorder& recorder() noexcept;
 
-/// Virtual clock hook. The simulation engine registers itself at
-/// construction; producers without an engine reference (buddy, pools,
-/// scheduler) stamp events through this. Returns 0 with no clock.
+/// Virtual clock hook, one registration per thread. The simulation
+/// engine registers itself at construction; producers without an engine
+/// reference (buddy, pools, scheduler) stamp events through this.
+/// Returns 0 with no clock. Two engines on different threads never see
+/// each other's registration.
 using ClockFn = Cycles (*)(const void* ctx);
 void set_clock(ClockFn fn, const void* ctx) noexcept;
 /// Unregister, but only if `ctx` is still the active clock (a dying

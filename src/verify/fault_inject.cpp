@@ -85,7 +85,7 @@ bool FaultInjector::roll(InjectPoint p) {
 }
 
 FaultInjector& injector() noexcept {
-  static FaultInjector instance;
+  static thread_local FaultInjector instance;
   return instance;
 }
 

@@ -11,9 +11,10 @@
 // by call index or by seeded coin — whether this call fails.
 //
 // Design mirrors the kernel's CONFIG_FAULT_INJECTION + the trace
-// registry's global-singleton idiom: one process-wide injector, disarmed
+// registry's per-run-context idiom: one injector per thread, disarmed
 // by default (boot paths that HPMMAP_ASSERT on success never see it);
-// the harness arms it after node construction and disarms at collect.
+// the harness arms it after node construction and disarms at collect,
+// and concurrent batch runs on worker threads never share a plan.
 #pragma once
 
 #include <array>
@@ -141,9 +142,10 @@ class FaultInjector {
   std::function<void(InjectPoint)> on_fire_;
 };
 
-/// Process-wide injector (the metrics()/recorder() idiom): call sites in
-/// linux_mm/cluster need no plumbing, and boot-time construction runs
-/// against a disarmed instance.
+/// This thread's injector (the metrics()/recorder() per-run-context
+/// idiom): call sites in linux_mm/cluster need no plumbing, boot-time
+/// construction runs against a disarmed instance, and batch-runner
+/// worker threads each arm their own run's injector independently.
 [[nodiscard]] FaultInjector& injector() noexcept;
 
 /// Parse a --inject plan: comma-separated entries, each a point name

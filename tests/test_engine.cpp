@@ -1,6 +1,8 @@
 // Unit tests: discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -133,6 +135,89 @@ TEST(Engine, EventsFiredCountsOnlyExecuted) {
   e.cancel(id);
   e.run();
   EXPECT_EQ(e.events_fired(), 1u);
+}
+
+TEST(Engine, CancelAfterFireIsNoopAndPendingStaysExact) {
+  Engine e;
+  int fired = 0;
+  const EventId id = e.schedule(5, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pending_events(), 0u);
+  e.cancel(id); // stale handle: the event already fired
+  EXPECT_EQ(e.events_cancelled(), 0u);
+  EXPECT_EQ(e.pending_events(), 0u);
+  int later = 0;
+  e.schedule(1, [&] { ++later; });
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run();
+  EXPECT_EQ(later, 1);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, DoubleCancelCountsOnce) {
+  Engine e;
+  const EventId id = e.schedule(5, [] {});
+  e.cancel(id);
+  e.cancel(id);
+  EXPECT_EQ(e.events_cancelled(), 1u);
+  EXPECT_EQ(e.pending_events(), 0u);
+  e.run();
+  EXPECT_EQ(e.events_fired(), 0u);
+}
+
+TEST(Engine, StaleCancelCannotHitRecycledSlot) {
+  Engine e;
+  const EventId id1 = e.schedule(5, [] {});
+  e.run(); // id1 fires; its slot returns to the free list
+  int victim = 0;
+  const EventId id2 = e.schedule(5, [&] { ++victim; });
+  ASSERT_EQ(id2.slot, id1.slot); // the slot was recycled...
+  e.cancel(id1);                 // ...but the stale handle must miss id2
+  e.run();
+  EXPECT_EQ(victim, 1);
+  EXPECT_EQ(e.events_cancelled(), 0u);
+}
+
+TEST(Engine, PendingEventsExactUnderCancelChurn) {
+  Engine e;
+  std::uint64_t want_fired = 0, want_cancelled = 0;
+  for (int round = 0; round < 200; ++round) {
+    EventId ids[10];
+    for (int i = 0; i < 10; ++i) {
+      ids[i] = e.schedule(static_cast<Cycles>(1 + i), [] {});
+    }
+    EXPECT_EQ(e.pending_events(), 10u);
+    for (int i = 0; i < 10; i += 2) {
+      e.cancel(ids[i]);
+    }
+    want_cancelled += 5;
+    EXPECT_EQ(e.pending_events(), 5u);
+    e.run();
+    want_fired += 5;
+    EXPECT_EQ(e.pending_events(), 0u);
+  }
+  EXPECT_EQ(e.events_fired(), want_fired);
+  EXPECT_EQ(e.events_cancelled(), want_cancelled);
+}
+
+TEST(Engine, LargeCaptureSpillsToArenaAndFires) {
+  Engine e;
+  std::array<std::uint64_t, 32> payload{}; // 256 bytes: outgrows the inline buffer
+  payload.front() = 7;
+  payload.back() = 9;
+  std::uint64_t sum = 0;
+  e.schedule(1, [payload, &sum] { sum = payload.front() + payload.back(); });
+  EXPECT_EQ(e.arena().live_blocks(), 1u);
+  e.run();
+  EXPECT_EQ(sum, 16u);
+  EXPECT_EQ(e.arena().live_blocks(), 0u); // freed back to the arena on destroy
+  EXPECT_EQ(e.arena().oversize_allocs(), 0u);
+}
+
+TEST(Engine, SmallCaptureStaysInline) {
+  Engine::Callback cb([] {});
+  EXPECT_FALSE(cb.out_of_line());
 }
 
 TEST(Engine, ScheduleAtAbsoluteTime) {

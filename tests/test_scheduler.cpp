@@ -1,6 +1,8 @@
 // Unit tests: the water-filling CPU contention model.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "os/scheduler.hpp"
 
 namespace hpmmap::os {
@@ -116,7 +118,45 @@ TEST(SchedulerDeath, DoubleRemoveAborts) {
   Scheduler s(4);
   const auto id = s.add_thread(0, 1.0);
   s.remove_thread(id);
-  EXPECT_DEATH(s.remove_thread(id), "double remove");
+  // The generation check catches the stale handle even though the slot
+  // still exists (it was recycled into the free list).
+  EXPECT_DEATH(s.remove_thread(id), "stale thread id");
+}
+
+TEST(Scheduler, SlotTableBoundedUnderChurn) {
+  // Kernel-build churn: thousands of short-lived jobs, never more than 8
+  // alive. The slot table must track peak concurrency, not lifetime count.
+  Scheduler s(12);
+  std::vector<Scheduler::ThreadId> live;
+  for (int i = 0; i < 10000; ++i) {
+    live.push_back(s.add_thread(-1, 0.6));
+    if (live.size() > 8) {
+      s.remove_thread(live.front());
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(s.live_threads(), 8u);
+  EXPECT_LE(s.thread_slots(), 16u); // bounded by peak, not by 10000
+  for (const auto& id : live) {
+    s.remove_thread(id);
+  }
+  EXPECT_EQ(s.live_threads(), 0u);
+  // 10k adds/removes of 0.6 accumulate float dust, not real weight.
+  EXPECT_NEAR(s.total_weight(), 0.0, 1e-9);
+}
+
+TEST(Scheduler, RecycledSlotKeepsAccountingExact) {
+  Scheduler s(4);
+  const auto a = s.add_thread(2, 1.0);
+  s.remove_thread(a);
+  const auto b = s.add_thread(2, 0.5); // reuses a's slot, new generation
+  EXPECT_EQ(b.id, a.id);
+  EXPECT_NE(b.gen, a.gen);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 0.5);
+  s.set_weight(b, 1.0);
+  EXPECT_DOUBLE_EQ(s.dilation(2), 1.0);
+  s.remove_thread(b);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 0.0);
 }
 
 } // namespace

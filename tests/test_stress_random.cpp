@@ -6,6 +6,7 @@
 // machine state, bit for bit.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "harness/batch.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
 #include "verify/audit.hpp"
@@ -140,7 +142,7 @@ std::uint64_t machine_digest(os::Node& node) {
 /// One full random walk; returns the final-state digest. `check` enables
 /// the differential/audit assertions (off for the pure-determinism
 /// replay, which only needs the digest).
-std::uint64_t run_walk(std::uint64_t seed, bool check) {
+std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps) {
   sim::Engine engine;
   os::Node node(engine, stress_config(seed));
   Rng rng = Rng(seed).fork("stress");
@@ -189,7 +191,7 @@ std::uint64_t run_walk(std::uint64_t seed, bool check) {
     ASSERT_GE(vma_bytes, ref.mapped_bytes());
   };
 
-  for (std::size_t op = 0; op < kOps; ++op) {
+  for (std::size_t op = 0; op < ops; ++op) {
     RefProcess& ref = procs[rng.uniform(procs.size())];
     const std::uint64_t draw = rng.uniform(100);
     if (draw < 25) { // mmap
@@ -294,6 +296,31 @@ TEST_P(StressRandomOps, TenThousandOpsStayConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressRandomOps, ::testing::Values(101u, 202u, 303u));
+
+/// The digests of the three stress seeds for a given batch-runner width.
+/// Each walk builds its own engine/node and binds the worker thread's
+/// run context, so walks are free to land on any thread.
+std::vector<std::uint64_t> walk_digests(unsigned jobs, std::size_t ops) {
+  const std::uint64_t seeds[] = {101u, 202u, 303u};
+  std::vector<std::function<std::uint64_t()>> tasks;
+  for (const std::uint64_t seed : seeds) {
+    tasks.emplace_back([seed, ops] { return run_walk(seed, /*check=*/false, ops); });
+  }
+  return harness::BatchRunner(jobs).map(std::move(tasks));
+}
+
+TEST(StressBatch, ParallelReplayIsByteIdenticalToSerial) {
+  // The whole determinism story in one assertion: the three-seed suite
+  // run serially and on four workers must produce identical digests in
+  // identical order. Shorter walks than the main suite keep this fast
+  // enough for the TSan job, which runs it to prove the per-run contexts
+  // really are thread-confined.
+  constexpr std::size_t kBatchOps = 3'000;
+  const std::vector<std::uint64_t> serial = walk_digests(1, kBatchOps);
+  const std::vector<std::uint64_t> parallel = walk_digests(4, kBatchOps);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial.size(), 3u);
+}
 
 } // namespace
 } // namespace hpmmap
