@@ -1,0 +1,445 @@
+// The pre-optimization mm hot-path structures, embedded as the measured
+// baseline for bench_mm_hotpath (the same live-baseline technique as
+// bench_engine_throughput): BuddyAllocator with one std::set<Addr> per
+// order (red-black node per free block, malloc/free on every insert and
+// erase), PageCache with std::list<Block> LRU plus a std::map address
+// index (two more allocations per cached block), and PageTable with
+// unique_ptr-linked nodes holding 24-byte Entry structs (a 12 KiB node,
+// three cache lines touched per slot). These are the shipped
+// implementations before the mem_map/intrusive rework, verbatim except
+// that trace/metrics hooks are stripped (tracing is off in the bench, so
+// the stripped calls would have been `trace::on()` checks — a load and a
+// branch — in the measured loop; removing them slightly *favours* the
+// baseline, keeping the reported ratio honest).
+//
+// Semantics are bit-for-bit those of the current structures: the bench
+// driver runs the identical operation sequence through both stacks and
+// cross-checks final allocator/cache/page-table state, so any divergence
+// fails the bench instead of producing a meaningless ratio.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "hw/tlb.hpp"
+
+namespace hpmmap::bench::legacy {
+
+struct BuddyStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t split_steps = 0;
+  std::uint64_t merge_steps = 0;
+  std::uint64_t failed_allocs = 0;
+};
+
+class BuddyAllocator {
+ public:
+  struct Allocation {
+    Addr addr = 0;
+    unsigned split_steps = 0;
+  };
+
+  BuddyAllocator(Range phys_range, unsigned max_order)
+      : range_(phys_range), max_order_(max_order) {
+    HPMMAP_ASSERT(!range_.empty(), "buddy range must be non-empty");
+    free_lists_.resize(max_order_ + 1);
+    Addr cursor = range_.begin;
+    while (cursor < range_.end) {
+      unsigned order = max_order_;
+      while (order > 0 &&
+             (!is_aligned(cursor - range_.begin, order_bytes(order)) ||
+              cursor + order_bytes(order) > range_.end)) {
+        --order;
+      }
+      free_lists_[order].insert(cursor);
+      free_bytes_ += order_bytes(order);
+      cursor += order_bytes(order);
+    }
+  }
+
+  [[nodiscard]] std::optional<Allocation> alloc(unsigned order) {
+    HPMMAP_ASSERT(order <= max_order_, "order above max_order");
+    unsigned found = order;
+    while (found <= max_order_ && free_lists_[found].empty()) {
+      ++found;
+    }
+    if (found > max_order_) {
+      ++stats_.failed_allocs;
+      return std::nullopt;
+    }
+    const Addr block = *free_lists_[found].begin();
+    free_lists_[found].erase(free_lists_[found].begin());
+    unsigned splits = 0;
+    for (unsigned o = found; o > order; --o) {
+      const Addr upper = block + order_bytes(o - 1);
+      free_lists_[o - 1].insert(upper);
+      ++splits;
+    }
+    free_bytes_ -= order_bytes(order);
+    ++stats_.allocs;
+    stats_.split_steps += splits;
+    return Allocation{block, splits};
+  }
+
+  unsigned free(Addr addr, unsigned order) {
+    HPMMAP_ASSERT(order <= max_order_, "order above max_order");
+    HPMMAP_ASSERT(range_.contains(addr), "free outside buddy range");
+    free_bytes_ += order_bytes(order);
+    ++stats_.frees;
+    unsigned merges = 0;
+    Addr block = addr;
+    unsigned o = order;
+    while (o < max_order_) {
+      const Addr buddy = buddy_of(block, o);
+      if (buddy + order_bytes(o) > range_.end) {
+        break;
+      }
+      auto it = free_lists_[o].find(buddy);
+      if (it == free_lists_[o].end()) {
+        break;
+      }
+      free_lists_[o].erase(it);
+      block = std::min(block, buddy);
+      ++o;
+      ++merges;
+    }
+    free_lists_[o].insert(block);
+    stats_.merge_steps += merges;
+    return merges;
+  }
+
+  [[nodiscard]] std::uint64_t free_bytes() const noexcept { return free_bytes_; }
+  [[nodiscard]] const BuddyStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] unsigned max_order() const noexcept { return max_order_; }
+  [[nodiscard]] Range range() const noexcept { return range_; }
+
+  [[nodiscard]] static constexpr std::uint64_t order_bytes(unsigned order) noexcept {
+    return kSmallPageSize << order;
+  }
+
+ private:
+  [[nodiscard]] Addr buddy_of(Addr addr, unsigned order) const noexcept {
+    return range_.begin + ((addr - range_.begin) ^ order_bytes(order));
+  }
+
+  Range range_;
+  unsigned max_order_;
+  std::uint64_t free_bytes_ = 0;
+  std::vector<std::set<Addr>> free_lists_;
+  BuddyStats stats_;
+};
+
+class PageCache {
+ public:
+  explicit PageCache(BuddyAllocator& buddy, double dirty_fraction = 0.3)
+      : buddy_(buddy), dirty_fraction_(dirty_fraction) {}
+
+  std::uint64_t grow(std::uint64_t bytes, unsigned order, bool dirty) {
+    std::uint64_t grown = 0;
+    const std::uint64_t block_bytes = BuddyAllocator::order_bytes(order);
+    while (grown < bytes) {
+      if (buddy_.free_bytes() < free_floor_ + block_bytes) {
+        break;
+      }
+      auto alloc = buddy_.alloc(order);
+      if (!alloc.has_value()) {
+        break;
+      }
+      const bool is_dirty =
+          dirty || (dirty_fraction_ > 0.0 &&
+                    static_cast<double>(grow_count_ % 100) < dirty_fraction_ * 100.0);
+      ++grow_count_;
+      lru_.push_back(Block{alloc->addr, order, is_dirty});
+      by_addr_.emplace(alloc->addr, std::prev(lru_.end()));
+      grown += block_bytes;
+      cached_bytes_ += block_bytes;
+    }
+    return grown;
+  }
+
+  void set_free_floor(std::uint64_t bytes) noexcept { free_floor_ = bytes; }
+
+  struct ShrinkResult {
+    std::uint64_t bytes_freed = 0;
+    std::uint64_t writeback_blocks = 0;
+    std::uint64_t clean_blocks = 0;
+  };
+
+  ShrinkResult shrink(std::uint64_t bytes) {
+    ShrinkResult result;
+    while (result.bytes_freed < bytes && !lru_.empty()) {
+      const Block block = lru_.front();
+      by_addr_.erase(block.addr);
+      lru_.pop_front();
+      const std::uint64_t block_bytes = BuddyAllocator::order_bytes(block.order);
+      buddy_.free(block.addr, block.order);
+      cached_bytes_ -= block_bytes;
+      result.bytes_freed += block_bytes;
+      if (block.dirty) {
+        ++result.writeback_blocks;
+      } else {
+        ++result.clean_blocks;
+      }
+    }
+    return result;
+  }
+
+  [[nodiscard]] std::optional<std::pair<Addr, unsigned>> block_containing(Addr addr) const {
+    auto it = by_addr_.upper_bound(addr);
+    if (it == by_addr_.begin()) {
+      return std::nullopt;
+    }
+    --it;
+    const Block& block = *it->second;
+    if (addr < block.addr + BuddyAllocator::order_bytes(block.order)) {
+      return std::make_pair(block.addr, block.order);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint64_t cached_bytes() const noexcept { return cached_bytes_; }
+  [[nodiscard]] std::size_t block_count() const noexcept { return lru_.size(); }
+
+ private:
+  struct Block {
+    Addr addr;
+    unsigned order;
+    bool dirty;
+  };
+  BuddyAllocator& buddy_;
+  std::list<Block> lru_;
+  std::map<Addr, std::list<Block>::iterator> by_addr_;
+  std::uint64_t cached_bytes_ = 0;
+  std::uint64_t free_floor_ = 0;
+  double dirty_fraction_;
+  std::uint64_t grow_count_ = 0;
+};
+
+struct Translation {
+  Addr phys = 0;
+  PageSize size = PageSize::k4K;
+  Prot prot = Prot::kNone;
+};
+
+struct PtOpStats {
+  unsigned levels = 0;
+  unsigned tables_allocated = 0;
+  unsigned entries_written = 0;
+};
+
+class PageTable {
+ public:
+  PageTable() : root_(std::make_unique<Node>()) {}
+
+  Errno map(Addr vaddr, Addr paddr, PageSize size, Prot prot, PtOpStats* stats = nullptr) {
+    if (!is_aligned(vaddr, bytes(size)) || !is_aligned(paddr, bytes(size))) {
+      return Errno::kInval;
+    }
+    const unsigned target = leaf_level(size);
+    Node* node = root_.get();
+    PtOpStats local;
+    local.levels = 1;
+    for (unsigned level = 3; level > target; --level) {
+      Entry& e = node->slots[index_at(vaddr, level)];
+      if (e.leaf) {
+        return Errno::kExist;
+      }
+      if (!e.child) {
+        e.child = std::make_unique<Node>();
+        ++node->used;
+        ++table_pages_;
+        ++local.tables_allocated;
+      }
+      node = e.child.get();
+      ++local.levels;
+    }
+    Entry& leaf = node->slots[index_at(vaddr, target)];
+    if (leaf.leaf) {
+      return Errno::kExist;
+    }
+    if (leaf.child) {
+      if (leaf.child->used != 0) {
+        return Errno::kExist;
+      }
+      leaf.child.reset();
+      --table_pages_;
+      --node->used;
+    }
+    leaf.leaf = true;
+    leaf.phys = paddr;
+    leaf.prot = prot;
+    ++node->used;
+    ++local.entries_written;
+    account_map(size, static_cast<std::int64_t>(bytes(size)));
+    if (stats != nullptr) {
+      *stats = local;
+    }
+    return Errno::kOk;
+  }
+
+  Errno unmap(Addr vaddr, PageSize size, PtOpStats* stats = nullptr) {
+    if (!is_aligned(vaddr, bytes(size))) {
+      return Errno::kInval;
+    }
+    const unsigned target = leaf_level(size);
+    Node* node = root_.get();
+    PtOpStats local;
+    local.levels = 1;
+    for (unsigned level = 3; level > target; --level) {
+      Entry& e = node->slots[index_at(vaddr, level)];
+      if (e.leaf || !e.child) {
+        return Errno::kNoEnt;
+      }
+      node = e.child.get();
+      ++local.levels;
+    }
+    Entry& leaf = node->slots[index_at(vaddr, target)];
+    if (!leaf.leaf) {
+      return Errno::kNoEnt;
+    }
+    leaf.leaf = false;
+    leaf.phys = 0;
+    leaf.prot = Prot::kNone;
+    --node->used;
+    ++local.entries_written;
+    account_map(size, -static_cast<std::int64_t>(bytes(size)));
+    if (stats != nullptr) {
+      *stats = local;
+    }
+    return Errno::kOk;
+  }
+
+  [[nodiscard]] std::optional<Translation> walk(Addr vaddr) const {
+    const Node* node = root_.get();
+    for (unsigned level = 3; level > 0; --level) {
+      const Entry& e = node->slots[index_at(vaddr, level)];
+      if (e.leaf) {
+        const PageSize size = level == 1 ? PageSize::k2M : PageSize::k1G;
+        const Addr offset = vaddr & (bytes(size) - 1);
+        return Translation{e.phys + offset, size, e.prot};
+      }
+      if (!e.child) {
+        return std::nullopt;
+      }
+      node = e.child.get();
+    }
+    const Entry& leaf = node->slots[index_at(vaddr, 0)];
+    if (!leaf.leaf) {
+      return std::nullopt;
+    }
+    const Addr offset = vaddr & (kSmallPageSize - 1);
+    return Translation{leaf.phys + offset, PageSize::k4K, leaf.prot};
+  }
+
+  Errno split_large(Addr vaddr, PtOpStats* stats = nullptr) {
+    const Addr base = align_down(vaddr, kLargePageSize);
+    Node* node = root_.get();
+    for (unsigned level = 3; level > 1; --level) {
+      Entry& e = node->slots[index_at(base, level)];
+      if (e.leaf || !e.child) {
+        return Errno::kNoEnt;
+      }
+      node = e.child.get();
+    }
+    Entry& pd = node->slots[index_at(base, 1)];
+    if (!pd.leaf) {
+      return Errno::kNoEnt;
+    }
+    const Addr phys = pd.phys;
+    const Prot prot = pd.prot;
+    pd.leaf = false;
+    pd.child = std::make_unique<Node>();
+    ++table_pages_;
+    Node* pt = pd.child.get();
+    for (unsigned i = 0; i < kFanout; ++i) {
+      Entry& e = pt->slots[i];
+      e.leaf = true;
+      e.phys = phys + static_cast<Addr>(i) * kSmallPageSize;
+      e.prot = prot;
+    }
+    pt->used = kFanout;
+    account_map(PageSize::k2M, -static_cast<std::int64_t>(kLargePageSize));
+    account_map(PageSize::k4K, static_cast<std::int64_t>(kLargePageSize));
+    if (stats != nullptr) {
+      stats->levels = 4;
+      stats->tables_allocated = 1;
+      stats->entries_written = kFanout;
+    }
+    return Errno::kOk;
+  }
+
+  [[nodiscard]] unsigned small_count_in_2m(Addr vaddr) const {
+    const Addr base = align_down(vaddr, kLargePageSize);
+    const Node* node = root_.get();
+    for (unsigned level = 3; level > 1; --level) {
+      const Entry& e = node->slots[index_at(base, level)];
+      if (e.leaf || !e.child) {
+        return 0;
+      }
+      node = e.child.get();
+    }
+    const Entry& pd = node->slots[index_at(base, 1)];
+    if (pd.leaf || !pd.child) {
+      return 0;
+    }
+    return pd.child->used;
+  }
+
+  [[nodiscard]] hw::MappingMix mapping_mix() const noexcept { return mix_; }
+  [[nodiscard]] std::uint64_t table_pages() const noexcept { return table_pages_; }
+
+ private:
+  static constexpr unsigned kFanout = 512;
+  struct Node;
+  struct Entry {
+    std::unique_ptr<Node> child;
+    bool leaf = false;
+    Addr phys = 0;
+    Prot prot = Prot::kNone;
+  };
+  struct Node {
+    std::array<Entry, kFanout> slots;
+    std::uint16_t used = 0;
+  };
+
+  [[nodiscard]] static unsigned index_at(Addr vaddr, unsigned level) noexcept {
+    return static_cast<unsigned>((vaddr >> (12 + 9 * level)) & (kFanout - 1));
+  }
+  [[nodiscard]] static unsigned leaf_level(PageSize size) noexcept {
+    switch (size) {
+      case PageSize::k4K: return 0;
+      case PageSize::k2M: return 1;
+      case PageSize::k1G: return 2;
+    }
+    return 0;
+  }
+
+  void account_map(PageSize size, std::int64_t delta) noexcept {
+    const auto apply = [delta](std::uint64_t& v) {
+      v = static_cast<std::uint64_t>(static_cast<std::int64_t>(v) + delta);
+    };
+    switch (size) {
+      case PageSize::k4K: apply(mix_.bytes_4k); break;
+      case PageSize::k2M: apply(mix_.bytes_2m); break;
+      case PageSize::k1G: apply(mix_.bytes_1g); break;
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  hw::MappingMix mix_;
+  std::uint64_t table_pages_ = 1;
+};
+
+} // namespace hpmmap::bench::legacy

@@ -43,8 +43,10 @@ using namespace hpmmap;
       "  --seed N         base RNG seed                             (default 42)\n"
       "  --jobs N         worker threads for the trial loop; 0 = all hardware\n"
       "                   threads (default 0; results identical for any value)\n"
-      "  --perf-summary   append one line of simulator throughput (engine\n"
-      "                   events/sec and wall time) after the run\n"
+      "  --perf-summary   append simulator throughput after the run: engine\n"
+      "                   events/sec, mm faults/sec, per-kind mm cycle totals,\n"
+      "                   and (when tracing) the mm counters from the metrics\n"
+      "                   registry\n"
       "  --trace          record the fault trace and print a summary\n"
       "  --trace-out FILE write Chrome trace JSON to FILE and CSV to FILE.csv\n"
       "  --trace-cat CATS categories for --trace-out: comma list or 'all'\n"
@@ -123,11 +125,24 @@ void report_verification(const harness::RunResult& r, bool injected, bool audite
 }
 
 /// Wall-clock scope for --perf-summary: prints host-side throughput
-/// (simulator events per wall second) when it goes out of scope.
+/// (simulator events and mm faults per wall second) plus the per-kind mm
+/// cycle accounting when it goes out of scope.
 class PerfSummary {
  public:
   explicit PerfSummary(bool enabled) : enabled_(enabled) {}
   void add_events(std::uint64_t n) noexcept { events_ += n; }
+  void add_faults(const mm::FaultStats& f) noexcept {
+    for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+      fault_counts_[k] += f.count[k];
+      fault_cycles_[k] += f.total_cycles[k];
+    }
+  }
+  void add_series(const harness::SeriesPoint& p) noexcept {
+    for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+      fault_counts_[k] += p.fault_counts[k];
+      fault_cycles_[k] += p.fault_cycles[k];
+    }
+  }
   ~PerfSummary() {
     if (!enabled_) {
       return;
@@ -140,6 +155,39 @@ class PerfSummary {
                 static_cast<unsigned long long>(events_), wall,
                 wall > 0 ? static_cast<double>(events_) / wall : 0.0,
                 harness::default_jobs());
+    std::uint64_t faults = 0;
+    for (const std::uint64_t n : fault_counts_) {
+      faults += n;
+    }
+    if (faults > 0) {
+      std::printf("perf: %llu mm faults = %.3g faults/sec wall; mm cycles by kind:",
+                  static_cast<unsigned long long>(faults),
+                  wall > 0 ? static_cast<double>(faults) / wall : 0.0);
+      for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+        if (fault_counts_[k] == 0) {
+          continue;
+        }
+        std::printf(" %s %s", std::string(mm::name(static_cast<mm::FaultKind>(k))).c_str(),
+                    harness::with_commas(fault_cycles_[k]).c_str());
+      }
+      std::printf("\n");
+    }
+    // Traced runs leave the run's mm counters in the metrics registry;
+    // surface the per-subsystem accounting next to the throughput line.
+    const auto& counters = trace::metrics().counters();
+    bool any = false;
+    for (const auto& [key, value] : counters) {
+      for (const std::string_view prefix :
+           {"buddy.", "mm.", "thp.", "khugepaged.", "hugetlb.", "fault.", "hpmmap."}) {
+        if (key.rfind(prefix, 0) == 0) {
+          std::printf("%s  %s = %s", any ? "" : "perf: mm subsystem counters:\n",
+                      key.c_str(), harness::with_commas(value).c_str());
+          std::printf("\n");
+          any = true;
+          break;
+        }
+      }
+    }
   }
   PerfSummary(const PerfSummary&) = delete;
   PerfSummary& operator=(const PerfSummary&) = delete;
@@ -147,6 +195,8 @@ class PerfSummary {
  private:
   bool enabled_;
   std::uint64_t events_ = 0;
+  std::array<std::uint64_t, mm::kFaultKindCount> fault_counts_{};
+  std::array<std::uint64_t, mm::kFaultKindCount> fault_cycles_{};
   std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
 
@@ -260,6 +310,7 @@ int main(int argc, char** argv) {
     if (!trace_out.empty() || verifying) {
       const harness::RunResult r = harness::run_scaling(cfg);
       perf.add_events(r.events_fired);
+      perf.add_faults(r.faults);
       std::printf("runtime: %.2f s\n", r.runtime_seconds);
       report_verification(r, verify_cfg.inject.any(), audit);
       if (!trace_out.empty()) {
@@ -269,6 +320,7 @@ int main(int argc, char** argv) {
     }
     const harness::SeriesPoint p = harness::run_trials(cfg, trials);
     perf.add_events(p.events);
+    perf.add_series(p);
     std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);
     return 0;
   }
@@ -291,6 +343,7 @@ int main(int argc, char** argv) {
   if (cfg.trace.on() || verifying) {
     const harness::RunResult r = harness::run_single_node(cfg);
     perf.add_events(r.events_fired);
+    perf.add_faults(r.faults);
     std::printf("runtime: %.2f s\n", r.runtime_seconds);
     if (cfg.trace.on()) {
       harness::Table t({"Kind", "Count", "Avg cycles", "Stdev cycles"});
@@ -313,6 +366,7 @@ int main(int argc, char** argv) {
   }
   const harness::SeriesPoint p = harness::run_trials(cfg, trials);
   perf.add_events(p.events);
+  perf.add_series(p);
   std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);
   return 0;
 }

@@ -15,6 +15,7 @@ std::atomic<unsigned> g_default_jobs{1};
 struct TrialOutcome {
   double runtime_seconds = 0.0;
   std::uint64_t events_fired = 0;
+  mm::FaultStats faults{};
 };
 
 template <typename Config>
@@ -37,7 +38,7 @@ std::vector<SeriesPoint> trials_batch(const std::vector<Config>& configs,
       trial_cfg.seed = seed;
       tasks.push_back([trial_cfg]() -> TrialOutcome {
         const RunResult r = dispatch(trial_cfg);
-        return TrialOutcome{r.runtime_seconds, r.events_fired};
+        return TrialOutcome{r.runtime_seconds, r.events_fired, r.faults};
       });
     }
   }
@@ -47,12 +48,21 @@ std::vector<SeriesPoint> trials_batch(const std::vector<Config>& configs,
   for (std::size_t c = 0; c < configs.size(); ++c) {
     RunningStats stats;
     std::uint64_t events = 0;
+    SeriesPoint point;
     for (std::uint32_t t = 0; t < trials; ++t) {
       const TrialOutcome& o = outcomes[c * trials + t];
       stats.add(o.runtime_seconds);
       events += o.events_fired;
+      for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+        point.fault_counts[k] += o.faults.count[k];
+        point.fault_cycles[k] += o.faults.total_cycles[k];
+      }
     }
-    points.push_back(SeriesPoint{stats.mean(), stats.stdev(), trials, events});
+    point.mean_seconds = stats.mean();
+    point.stdev_seconds = stats.stdev();
+    point.trials = trials;
+    point.events = events;
+    points.push_back(point);
   }
   return points;
 }

@@ -178,6 +178,19 @@ struct SeriesPoint {
   std::uint32_t trials = 0;
   /// Total engine events executed across the trials (perf summaries).
   std::uint64_t events = 0;
+  /// App faults handled across the trials, by kind, with the simulated
+  /// mm cycles charged per kind — the per-subsystem cost accounting the
+  /// --perf-summary report breaks down.
+  std::array<std::uint64_t, mm::kFaultKindCount> fault_counts{};
+  std::array<std::uint64_t, mm::kFaultKindCount> fault_cycles{};
+
+  [[nodiscard]] std::uint64_t total_faults() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : fault_counts) {
+      total += n;
+    }
+    return total;
+  }
 };
 
 /// Trial loops run on the batch runner at harness::default_jobs()

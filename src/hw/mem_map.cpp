@@ -1,0 +1,24 @@
+#include "hw/mem_map.hpp"
+
+namespace hpmmap::hw {
+
+void MemMap::rehash(std::size_t new_cap) {
+  HPMMAP_ASSERT((new_cap & (new_cap - 1)) == 0, "link table capacity must be a power of two");
+  if (new_cap <= slots_.size()) {
+    return;
+  }
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_cap, Slot{});
+  for (const Slot& s : old) {
+    if (s.key == kNil) {
+      continue;
+    }
+    std::size_t pos = home(s.key);
+    while (slots_[pos].key != kNil) {
+      pos = (pos + 1) & (new_cap - 1);
+    }
+    slots_[pos] = s;
+  }
+}
+
+} // namespace hpmmap::hw

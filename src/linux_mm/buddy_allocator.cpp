@@ -1,21 +1,25 @@
 #include "linux_mm/buddy_allocator.hpp"
 
 #include <algorithm>
-#include <bit>
 
-#include "common/assert.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace hpmmap::mm {
 
 BuddyAllocator::BuddyAllocator(Range phys_range, unsigned max_order)
-    : range_(phys_range), max_order_(max_order) {
+    : range_(phys_range), max_order_(max_order), map_(phys_range) {
   HPMMAP_ASSERT(!range_.empty(), "buddy range must be non-empty");
   HPMMAP_ASSERT(is_aligned(range_.begin, kSmallPageSize) && is_aligned(range_.end, kSmallPageSize),
                 "buddy range must be page-aligned");
-  HPMMAP_ASSERT(max_order_ < 40, "implausible max order");
-  free_lists_.resize(max_order_ + 1);
+  HPMMAP_ASSERT(max_order_ < 32, "implausible max order");
+  lists_.resize(max_order_ + 1);
+  for (unsigned o = 0; o <= max_order_; ++o) {
+    const std::uint64_t blocks = (range_.size() + order_bytes(o) - 1) / order_bytes(o);
+    const std::size_t words = static_cast<std::size_t>((blocks + 63) / 64);
+    lists_[o].bits.assign(words, 0);
+    lists_[o].summary.assign((words + 63) / 64, 0);
+  }
   // Seed the freelists greedily: the biggest aligned block that fits at
   // the cursor, repeatedly. A section-aligned range seeds straight into
   // max-order blocks.
@@ -28,7 +32,7 @@ BuddyAllocator::BuddyAllocator(Range phys_range, unsigned max_order)
       --order;
     }
     HPMMAP_ASSERT(cursor + order_bytes(order) <= range_.end, "seed block overruns range");
-    free_lists_[order].insert(cursor);
+    insert_block(order, cursor);
     free_bytes_ += order_bytes(order);
     cursor += order_bytes(order);
   }
@@ -46,10 +50,52 @@ Addr BuddyAllocator::buddy_of(Addr addr, unsigned order) const noexcept {
   return range_.begin + ((addr - range_.begin) ^ order_bytes(order));
 }
 
+void BuddyAllocator::insert_block(unsigned order, Addr addr) {
+  OrderList& list = lists_[order];
+  const std::uint64_t idx = block_index(addr, order);
+  const std::size_t w = static_cast<std::size_t>(idx >> 6);
+  list.bits[w] |= std::uint64_t{1} << (idx & 63);
+  list.summary[w >> 6] |= std::uint64_t{1} << (w & 63);
+  ++list.count;
+  list.scan_hint = std::min(list.scan_hint, w >> 6);
+  map_.set_head(map_.index_of(addr), hw::FrameState::kBuddyFree, order);
+}
+
+void BuddyAllocator::remove_block(unsigned order, Addr addr) {
+  OrderList& list = lists_[order];
+  const std::uint64_t idx = block_index(addr, order);
+  const std::size_t w = static_cast<std::size_t>(idx >> 6);
+  list.bits[w] &= ~(std::uint64_t{1} << (idx & 63));
+  if (list.bits[w] == 0) {
+    list.summary[w >> 6] &= ~(std::uint64_t{1} << (w & 63));
+  }
+  --list.count;
+  map_.clear_head(map_.index_of(addr));
+}
+
+std::optional<std::uint64_t> BuddyAllocator::first_block(unsigned order) {
+  OrderList& list = lists_[order];
+  if (list.count == 0) {
+    return std::nullopt;
+  }
+  // scan_hint only ever lags the first set summary bit (pops advance it,
+  // inserts lower it), so one forward pass finds the lowest block.
+  for (std::size_t s = list.scan_hint; s < list.summary.size(); ++s) {
+    if (list.summary[s] != 0) {
+      list.scan_hint = s;
+      const std::size_t w = s * 64 + static_cast<std::size_t>(std::countr_zero(list.summary[s]));
+      return static_cast<std::uint64_t>(w) * 64 +
+             static_cast<std::uint64_t>(std::countr_zero(list.bits[w]));
+    }
+  }
+  HPMMAP_ASSERT(false, "buddy freelist count/summary drift");
+  return std::nullopt;
+}
+
 std::optional<BuddyAllocator::Allocation> BuddyAllocator::alloc(unsigned order) {
   HPMMAP_ASSERT(order <= max_order_, "order above max_order");
   unsigned found = order;
-  while (found <= max_order_ && free_lists_[found].empty()) {
+  while (found <= max_order_ && lists_[found].count == 0) {
     ++found;
   }
   if (found > max_order_) {
@@ -61,13 +107,13 @@ std::optional<BuddyAllocator::Allocation> BuddyAllocator::alloc(unsigned order) 
     }
     return std::nullopt;
   }
-  const Addr block = *free_lists_[found].begin();
-  free_lists_[found].erase(free_lists_[found].begin());
+  const std::uint64_t idx = *first_block(found);
+  const Addr block = range_.begin + (idx << (12 + found));
+  remove_block(found, block);
   // Split down to the requested order, returning the upper halves.
   unsigned splits = 0;
   for (unsigned o = found; o > order; --o) {
-    const Addr upper = block + order_bytes(o - 1);
-    free_lists_[o - 1].insert(upper);
+    insert_block(o - 1, block + order_bytes(o - 1));
     ++splits;
   }
   free_bytes_ -= order_bytes(order);
@@ -88,7 +134,7 @@ unsigned BuddyAllocator::free(Addr addr, unsigned order) {
                 "freed block misaligned for its order");
   free_bytes_ += order_bytes(order);
   ++stats_.frees;
-  // Coalesce upward while the buddy is free.
+  // Coalesce upward while the buddy is free — one bit probe per level.
   unsigned merges = 0;
   Addr block = addr;
   unsigned o = order;
@@ -97,16 +143,15 @@ unsigned BuddyAllocator::free(Addr addr, unsigned order) {
     if (buddy + order_bytes(o) > range_.end) {
       break;
     }
-    auto it = free_lists_[o].find(buddy);
-    if (it == free_lists_[o].end()) {
+    if (!test_bit(o, block_index(buddy, o))) {
       break;
     }
-    free_lists_[o].erase(it);
+    remove_block(o, buddy);
     block = std::min(block, buddy);
     ++o;
     ++merges;
   }
-  free_lists_[o].insert(block);
+  insert_block(o, block);
   stats_.merge_steps += merges;
   if (merges > 0 && trace::on(trace::Category::kBuddy)) {
     trace::instant(trace::Category::kBuddy, "buddy.merge", 0, -1,
@@ -129,16 +174,16 @@ bool BuddyAllocator::reserve_exact(Addr addr, unsigned order) {
       Range{container->first, container->first + order_bytes(container->second)}.contains(want)) {
     Addr block = container->first;
     unsigned o = container->second;
-    free_lists_[o].erase(block);
+    remove_block(o, block);
     while (o > order) {
       --o;
       const Addr lower = block;
       const Addr upper = block + order_bytes(o);
       if (want.begin >= upper) {
-        free_lists_[o].insert(lower);
+        insert_block(o, lower);
         block = upper;
       } else {
-        free_lists_[o].insert(upper);
+        insert_block(o, upper);
         block = lower;
       }
       ++stats_.split_steps;
@@ -156,27 +201,28 @@ bool BuddyAllocator::reserve_exact(Addr addr, unsigned order) {
   std::vector<Piece> cover;
   std::uint64_t covered = 0;
   for (unsigned o = 0; o <= max_order_; ++o) {
-    // Free blocks intersecting [want) at this order.
-    auto it = free_lists_[o].lower_bound(want.begin >= order_bytes(o)
-                                             ? want.begin - order_bytes(o) + kSmallPageSize
-                                             : 0);
-    for (; it != free_lists_[o].end() && *it < want.end; ++it) {
-      const Range blk{*it, *it + order_bytes(o)};
-      if (!blk.overlaps(want)) {
+    const std::uint64_t ob = order_bytes(o);
+    // Free blocks intersecting [want) at this order: the block whose
+    // range contains want.begin through the one containing want.end-1.
+    const std::uint64_t first = (want.begin - range_.begin) / ob;
+    const std::uint64_t last = (want.end - 1 - range_.begin) / ob;
+    for (std::uint64_t idx = first; idx <= last; ++idx) {
+      if (!test_bit(o, idx)) {
         continue;
       }
-      if (!want.contains(blk)) {
+      const Addr a = range_.begin + idx * ob;
+      if (!want.contains(Range{a, a + ob})) {
         return false; // a free block straddles the boundary: cannot take exactly
       }
-      cover.push_back(Piece{*it, o});
-      covered += blk.size();
+      cover.push_back(Piece{a, o});
+      covered += ob;
     }
   }
   if (covered != want.size()) {
     return false; // some of the region is allocated
   }
   for (const Piece& p : cover) {
-    free_lists_[p.order].erase(p.addr);
+    remove_block(p.order, p.addr);
   }
   free_bytes_ -= want.size();
   ++stats_.allocs;
@@ -187,10 +233,11 @@ std::optional<std::pair<Addr, unsigned>> BuddyAllocator::free_block_containing(A
   if (!range_.contains(addr)) {
     return std::nullopt;
   }
+  const std::uint64_t off = addr - range_.begin;
   for (unsigned o = 0; o <= max_order_; ++o) {
-    const Addr base = range_.begin + align_down(addr - range_.begin, order_bytes(o));
-    if (free_lists_[o].contains(base)) {
-      return std::make_pair(base, o);
+    const std::uint64_t idx = off >> (12 + o);
+    if (test_bit(o, idx)) {
+      return std::make_pair(range_.begin + (idx << (12 + o)), o);
     }
   }
   return std::nullopt;
@@ -198,24 +245,36 @@ std::optional<std::pair<Addr, unsigned>> BuddyAllocator::free_block_containing(A
 
 bool BuddyAllocator::take_free_block(Addr addr, unsigned order) {
   HPMMAP_ASSERT(order <= max_order_, "order above max_order");
-  auto it = free_lists_[order].find(addr);
-  if (it == free_lists_[order].end()) {
+  if (!is_free_block(addr, order)) {
     return false;
   }
-  free_lists_[order].erase(it);
+  remove_block(order, addr);
   free_bytes_ -= order_bytes(order);
   ++stats_.allocs;
   return true;
 }
 
+bool BuddyAllocator::is_free_block(Addr addr, unsigned order) const {
+  if (order > max_order_ || !range_.contains(addr) ||
+      !is_aligned(addr - range_.begin, order_bytes(order))) {
+    return false;
+  }
+  return test_bit(order, block_index(addr, order));
+}
+
 std::uint64_t BuddyAllocator::free_blocks(unsigned order) const {
   HPMMAP_ASSERT(order <= max_order_, "order above max_order");
-  return free_lists_[order].size();
+  std::uint64_t n = lists_[order].count;
+  for (const auto& [addr, o] : corrupt_blocks_) {
+    (void)addr;
+    n += o == order ? 1 : 0;
+  }
+  return n;
 }
 
 std::optional<unsigned> BuddyAllocator::largest_free_order() const {
   for (unsigned o = max_order_ + 1; o-- > 0;) {
-    if (!free_lists_[o].empty()) {
+    if (free_blocks(o) != 0) {
       return o;
     }
   }
@@ -229,8 +288,7 @@ double BuddyAllocator::fragmentation() const {
   double weighted = 0.0;
   for (unsigned o = 0; o <= max_order_; ++o) {
     const double share =
-        static_cast<double>(free_lists_[o].size() * order_bytes(o)) /
-        static_cast<double>(free_bytes_);
+        static_cast<double>(free_blocks(o) * order_bytes(o)) / static_cast<double>(free_bytes_);
     weighted += share * static_cast<double>(o);
   }
   return 1.0 - weighted / static_cast<double>(max_order_);
@@ -238,7 +296,7 @@ double BuddyAllocator::fragmentation() const {
 
 bool BuddyAllocator::can_alloc(unsigned order) const {
   for (unsigned o = order; o <= max_order_; ++o) {
-    if (!free_lists_[o].empty()) {
+    if (lists_[o].count != 0) {
       return true;
     }
   }
@@ -247,32 +305,68 @@ bool BuddyAllocator::can_alloc(unsigned order) const {
 
 void BuddyAllocator::corrupt_insert_free_block(Addr addr, unsigned order) {
   HPMMAP_ASSERT(order <= max_order_, "order above max_order");
-  free_lists_[order].insert(addr);
   free_bytes_ += order_bytes(order);
+  const bool representable = range_.contains(addr) &&
+                             addr + order_bytes(order) <= range_.end &&
+                             is_aligned(addr - range_.begin, order_bytes(order));
+  if (!representable) {
+    // The bitmap cannot hold it; park it where for_each_free_block will
+    // still surface it to the auditor.
+    corrupt_blocks_.emplace_back(addr, order);
+    return;
+  }
+  if (test_bit(order, block_index(addr, order))) {
+    // Duplicate insert: like the historical std::set, the entry is
+    // accounted (free_bytes drifts) but not stored twice.
+    return;
+  }
+  insert_block(order, addr);
 }
 
 bool BuddyAllocator::check_consistency() const {
   std::uint64_t bytes = 0;
   std::vector<Range> blocks;
-  for (unsigned o = 0; o <= max_order_; ++o) {
-    for (Addr a : free_lists_[o]) {
-      if (!range_.contains(a) || a + order_bytes(o) > range_.end) {
-        return false;
-      }
-      if (!is_aligned(a - range_.begin, order_bytes(o))) {
-        return false;
-      }
-      blocks.push_back(Range{a, a + order_bytes(o)});
-      bytes += order_bytes(o);
+  bool ok = true;
+  for_each_free_block([&](Addr a, unsigned o) {
+    if (!range_.contains(a) || a + order_bytes(o) > range_.end) {
+      ok = false;
+      return;
     }
-  }
-  if (bytes != free_bytes_) {
+    if (!is_aligned(a - range_.begin, order_bytes(o))) {
+      ok = false;
+      return;
+    }
+    blocks.push_back(Range{a, a + order_bytes(o)});
+    bytes += order_bytes(o);
+    // The mem_map must agree that this frame heads a free block.
+    const std::uint32_t frame = map_.index_of(a);
+    if (map_.state(frame) != hw::FrameState::kBuddyFree || map_.order(frame) != o) {
+      ok = false;
+    }
+  });
+  if (!ok || bytes != free_bytes_) {
     return false;
   }
   std::sort(blocks.begin(), blocks.end());
   for (std::size_t i = 1; i < blocks.size(); ++i) {
     if (blocks[i - 1].end > blocks[i].begin) {
       return false; // overlap
+    }
+  }
+  // Bitmap bookkeeping: per-order popcount matches count, summary
+  // matches the words.
+  for (unsigned o = 0; o <= max_order_; ++o) {
+    const OrderList& list = lists_[o];
+    std::uint64_t pop = 0;
+    for (std::size_t w = 0; w < list.bits.size(); ++w) {
+      pop += static_cast<std::uint64_t>(std::popcount(list.bits[w]));
+      const bool summarized = (list.summary[w >> 6] >> (w & 63)) & 1u;
+      if (summarized != (list.bits[w] != 0)) {
+        return false;
+      }
+    }
+    if (pop != list.count) {
+      return false;
     }
   }
   return true;

@@ -9,16 +9,29 @@
 // Order 0 is one 4 KiB frame. kMaxOrder covers 4 KiB << kMaxOrder; Linux
 // uses 11 (4 MiB); the Kitten instance uses a larger maximum so whole
 // 128 MiB+ offlined blocks stay coalesced.
+//
+// The freelists are per-order bitmaps (bit i = block i of that order is
+// free) with a one-level summary (bit j = word j is non-zero), not node
+// containers: alloc/free/coalesce are O(1) bit flips per level with zero
+// heap traffic, find-first-set pops are address-ordered by construction
+// (the determinism contract: the allocator always returns the
+// lowest-addressed free block of an order), and the buddy-of test that
+// drives coalescing is a single bit probe instead of a set lookup. Head
+// frames are mirrored into the owning hw::MemMap so the auditor — and
+// the page cache and compaction, which share the map — can resolve
+// frame ownership without consulting this class's internals.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
+#include "hw/mem_map.hpp"
 
 namespace hpmmap::mm {
 
@@ -67,6 +80,10 @@ class BuddyAllocator {
   /// inside its target window). Returns false if not free at that order.
   [[nodiscard]] bool take_free_block(Addr addr, unsigned order);
 
+  /// True if the exact block (addr, order) is on the freelist — a single
+  /// bit probe; the auditor's inverse check against mem_map ownership.
+  [[nodiscard]] bool is_free_block(Addr addr, unsigned order) const;
+
   [[nodiscard]] std::uint64_t free_bytes() const noexcept { return free_bytes_; }
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return range_.size(); }
   [[nodiscard]] std::uint64_t free_blocks(unsigned order) const;
@@ -85,13 +102,20 @@ class BuddyAllocator {
   [[nodiscard]] unsigned max_order() const noexcept { return max_order_; }
   [[nodiscard]] Range range() const noexcept { return range_; }
 
+  /// The frame-metadata array for this range. The page cache and hugetlb
+  /// pool thread their intrusive state through it; the auditor
+  /// cross-checks it against the freelists.
+  [[nodiscard]] hw::MemMap& mem_map() noexcept { return map_; }
+  [[nodiscard]] const hw::MemMap& mem_map() const noexcept { return map_; }
+
   [[nodiscard]] static constexpr std::uint64_t order_bytes(unsigned order) noexcept {
     return kSmallPageSize << order;
   }
   [[nodiscard]] static unsigned order_for_bytes(std::uint64_t size) noexcept;
 
   /// Exhaustive invariant check (free blocks disjoint, aligned, inside
-  /// the range; accounting consistent). For tests; O(free blocks).
+  /// the range; accounting consistent; bitmap/summary/mem_map coherent).
+  /// For tests; O(free blocks + bitmap words).
   [[nodiscard]] bool check_consistency() const;
 
   /// Visit every free block as (base, order), ascending order then
@@ -99,8 +123,19 @@ class BuddyAllocator {
   template <typename Fn>
   void for_each_free_block(Fn&& fn) const {
     for (unsigned o = 0; o <= max_order_; ++o) {
-      for (Addr a : free_lists_[o]) {
-        fn(a, o);
+      const OrderList& list = lists_[o];
+      for (std::size_t w = 0; w < list.bits.size(); ++w) {
+        std::uint64_t word = list.bits[w];
+        while (word != 0) {
+          const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+          word &= word - 1;
+          fn(range_.begin + ((static_cast<Addr>(w) * 64 + bit) << (12 + o)), o);
+        }
+      }
+      for (const auto& [addr, corder] : corrupt_blocks_) {
+        if (corder == o) {
+          fn(addr, o);
+        }
       }
     }
   }
@@ -112,15 +147,40 @@ class BuddyAllocator {
   void corrupt_insert_free_block(Addr addr, unsigned order);
 
  private:
+  /// Per-order free bitmap: bit i = block [begin + i*order_bytes(o),
+  /// +order_bytes(o)) is free. `summary` has one bit per bits-word;
+  /// `scan_hint` bounds the summary scan from below (monotone under
+  /// pops, reset by inserts), making repeated pops amortized O(1).
+  struct OrderList {
+    std::vector<std::uint64_t> bits;
+    std::vector<std::uint64_t> summary;
+    std::uint64_t count = 0;
+    std::size_t scan_hint = 0;
+  };
+
   [[nodiscard]] Addr buddy_of(Addr addr, unsigned order) const noexcept;
-  void insert_free(Addr addr, unsigned order);
+  [[nodiscard]] std::uint64_t block_index(Addr addr, unsigned order) const noexcept {
+    return (addr - range_.begin) >> (12 + order);
+  }
+  [[nodiscard]] bool test_bit(unsigned order, std::uint64_t idx) const noexcept {
+    const OrderList& list = lists_[order];
+    const std::uint64_t w = idx >> 6;
+    return w < list.bits.size() && (list.bits[w] >> (idx & 63)) & 1u;
+  }
+  void insert_block(unsigned order, Addr addr);
+  void remove_block(unsigned order, Addr addr);
+  /// Lowest-indexed free block of `order`, or nullopt. Amortized O(1).
+  [[nodiscard]] std::optional<std::uint64_t> first_block(unsigned order);
 
   Range range_;
   unsigned max_order_;
   std::uint64_t free_bytes_ = 0;
-  // Ordered sets keep behaviour deterministic across platforms; the
-  // allocator always pops the lowest-addressed block of an order.
-  std::vector<std::set<Addr>> free_lists_;
+  std::vector<OrderList> lists_;
+  hw::MemMap map_;
+  /// corrupt_insert_free_block() entries the bitmap cannot represent
+  /// (out of range / misaligned): kept aside so the auditor's
+  /// enumeration still sees them. Always empty outside corruption tests.
+  std::vector<std::pair<Addr, unsigned>> corrupt_blocks_;
   BuddyStats stats_;
 };
 

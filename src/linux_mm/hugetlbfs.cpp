@@ -8,6 +8,28 @@
 
 namespace hpmmap::mm {
 
+namespace {
+constexpr std::uint32_t kNil = hw::MemMap::kNil;
+} // namespace
+
+void HugetlbPool::push(ZoneId zone, Addr addr) {
+  hw::MemMap& m = memory_.buddy(zone).mem_map();
+  HPMMAP_ASSERT(m.contains(addr), "pooled page outside its zone");
+  const std::uint32_t idx = m.index_of(addr);
+  // No state assertion here: the auditor, not this push, is responsible
+  // for flagging a page returned while still mapped (leak detection
+  // tests drive exactly that). A page that is already linked — a double
+  // free_page — is only re-accounted, never re-linked: relinking would
+  // cycle the stack, while a count/chain mismatch is exactly what the
+  // auditor's conservation and stack-walk checks exist to catch.
+  m.set_head(idx, hw::FrameState::kHugetlbPool, kLargePageOrder);
+  if (!m.has_link(idx)) {
+    m.set_link(idx, hw::MemMap::Link{pool_[zone].head, kNil});
+    pool_[zone].head = idx;
+  }
+  ++pool_[zone].count;
+}
+
 HugetlbPool::HugetlbPool(MemorySystem& memory, std::uint64_t bytes_per_zone)
     : memory_(memory) {
   const std::uint32_t zones = memory_.zone_count();
@@ -15,11 +37,10 @@ HugetlbPool::HugetlbPool(MemorySystem& memory, std::uint64_t bytes_per_zone)
   total_.assign(zones, 0);
   const std::uint64_t pages = bytes_per_zone / kLargePageSize;
   for (ZoneId z = 0; z < zones; ++z) {
-    pool_[z].reserve(pages);
     for (std::uint64_t i = 0; i < pages; ++i) {
       AllocOutcome out = memory_.alloc_pages(z, kLargePageOrder, /*allow_reclaim=*/true);
       HPMMAP_ASSERT(out.ok, "hugetlb boot reservation failed: zone too small/fragmented");
-      pool_[z].push_back(out.addr);
+      push(z, out.addr);
     }
     total_[z] = pages;
     stats_.pool_pages_total += pages;
@@ -33,7 +54,14 @@ HugetlbPool::~HugetlbPool() {
   // Return whatever is still pooled; outstanding pages die with the
   // simulated machine.
   for (ZoneId z = 0; z < pool_.size(); ++z) {
-    for (Addr addr : pool_[z]) {
+    hw::MemMap& m = memory_.buddy(z).mem_map();
+    while (pool_[z].head != kNil) {
+      const std::uint32_t idx = pool_[z].head;
+      const Addr addr = m.addr_of(idx);
+      pool_[z].head = m.link(idx).next;
+      m.erase_link(idx);
+      m.clear_head(idx);
+      --pool_[z].count;
       memory_.free_pages(z, addr, kLargePageOrder);
     }
   }
@@ -55,19 +83,25 @@ std::optional<std::pair<Addr, ZoneId>> HugetlbPool::alloc_page(ZoneId zone) {
   }
   for (std::uint32_t probe = 0; probe < pool_.size(); ++probe) {
     const ZoneId z = (zone + probe) % static_cast<ZoneId>(pool_.size());
-    if (!pool_[z].empty()) {
-      const Addr addr = pool_[z].back();
-      pool_[z].pop_back();
-      ++stats_.faults_served;
-      if (trace::on(trace::Category::kHugetlb)) {
-        trace::instant(trace::Category::kHugetlb, "hugetlb.alloc", 0, -1,
-                       {trace::Arg::u64("zone", z),
-                        trace::Arg::u64("pool_free", pool_[z].size()),
-                        trace::Arg::u64("spilled", z == zone ? 0 : 1)});
-        ++trace::metrics().counter("hugetlb.pages_served");
-      }
-      return std::make_pair(addr, z);
+    if (pool_[z].head == kNil) {
+      continue;
     }
+    hw::MemMap& m = memory_.buddy(z).mem_map();
+    const std::uint32_t idx = pool_[z].head;
+    const Addr addr = m.addr_of(idx);
+    pool_[z].head = m.link(idx).next;
+    m.erase_link(idx);
+    m.clear_head(idx);
+    --pool_[z].count;
+    ++stats_.faults_served;
+    if (trace::on(trace::Category::kHugetlb)) {
+      trace::instant(trace::Category::kHugetlb, "hugetlb.alloc", 0, -1,
+                     {trace::Arg::u64("zone", z),
+                      trace::Arg::u64("pool_free", pool_[z].count),
+                      trace::Arg::u64("spilled", z == zone ? 0 : 1)});
+      ++trace::metrics().counter("hugetlb.pages_served");
+    }
+    return std::make_pair(addr, z);
   }
   ++stats_.pool_exhausted;
   if (trace::on(trace::Category::kHugetlb)) {
@@ -80,27 +114,22 @@ std::optional<std::pair<Addr, ZoneId>> HugetlbPool::alloc_page(ZoneId zone) {
 
 void HugetlbPool::free_page(ZoneId zone, Addr addr) {
   HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
-  pool_[zone].push_back(addr);
+  push(zone, addr);
   if (trace::on(trace::Category::kHugetlb)) {
     trace::instant(trace::Category::kHugetlb, "hugetlb.free", 0, -1,
                    {trace::Arg::u64("zone", zone),
-                    trace::Arg::u64("pool_free", pool_[zone].size())});
+                    trace::Arg::u64("pool_free", pool_[zone].count)});
   }
 }
 
 std::uint64_t HugetlbPool::free_pages(ZoneId zone) const {
   HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
-  return pool_[zone].size();
+  return pool_[zone].count;
 }
 
 std::uint64_t HugetlbPool::total_pages(ZoneId zone) const {
   HPMMAP_ASSERT(zone < total_.size(), "zone out of range");
   return total_[zone];
-}
-
-const std::vector<Addr>& HugetlbPool::free_pool(ZoneId zone) const {
-  HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
-  return pool_[zone];
 }
 
 } // namespace hpmmap::mm

@@ -5,6 +5,11 @@
 // the normal allocator afterwards. That exclusivity is the double-edged
 // sword Figure 5 documents: hugetlb faults always find memory, while the
 // rest of the system fights over what is left.
+//
+// The free pages are not kept in side vectors: each zone's pool is an
+// intrusive LIFO stack threaded through that zone's hw::MemMap (state
+// kHugetlbPool on the head frame, next-links in the map's link table),
+// so frame ownership has a single home the auditor can cross-check.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "hw/mem_map.hpp"
 #include "linux_mm/memory_system.hpp"
 
 namespace hpmmap::mm {
@@ -43,13 +49,36 @@ class HugetlbPool {
 
   [[nodiscard]] std::uint64_t free_pages(ZoneId zone) const;
   [[nodiscard]] std::uint64_t total_pages(ZoneId zone) const;
-  /// The zone's free stack, for the invariant auditor's frame sweep.
-  [[nodiscard]] const std::vector<Addr>& free_pool(ZoneId zone) const;
   [[nodiscard]] const HugetlbStats& stats() const noexcept { return stats_; }
 
+  /// Visit the zone's free pool pages as (addr), newest first (stack
+  /// order) — the invariant auditor's frame sweep. Bounded by the pool
+  /// count so a corrupted chain still terminates.
+  template <typename Fn>
+  void for_each_pool_page(ZoneId zone, Fn&& fn) const {
+    HPMMAP_ASSERT(zone < pool_.size(), "zone out of range");
+    const hw::MemMap& m = memory_.buddy(zone).mem_map();
+    std::uint32_t idx = pool_[zone].head;
+    for (std::uint64_t n = 0; idx != hw::MemMap::kNil && n < pool_[zone].count; ++n) {
+      fn(m.addr_of(idx));
+      idx = m.link(idx).next;
+    }
+  }
+
  private:
+  /// Intrusive stack push (ctor reservation and free_page share it).
+  void push(ZoneId zone, Addr addr);
+
+  /// One zone's free stack: head frame index into the zone's MemMap.
+  /// A stack only ever holds frames of its own zone (reservation and
+  /// free_page both key by the frame's physical zone).
+  struct ZonePool {
+    std::uint32_t head = hw::MemMap::kNil;
+    std::uint64_t count = 0;
+  };
+
   MemorySystem& memory_;
-  std::vector<std::vector<Addr>> pool_; // per-zone free stacks
+  std::vector<ZonePool> pool_;
   std::vector<std::uint64_t> total_;
   HugetlbStats stats_;
 };

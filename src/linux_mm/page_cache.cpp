@@ -1,12 +1,47 @@
 #include "linux_mm/page_cache.hpp"
 
 #include "common/assert.hpp"
-#include "linux_mm/buddy_allocator.hpp"
 
 namespace hpmmap::mm {
 
+using hw::FrameState;
+using hw::MemMap;
+
 PageCache::PageCache(BuddyAllocator& buddy, double dirty_fraction)
     : buddy_(buddy), dirty_fraction_(dirty_fraction) {}
+
+void PageCache::push_back_block(Addr addr, unsigned order, bool dirty) {
+  MemMap& m = buddy_.mem_map();
+  const std::uint32_t idx = m.index_of(addr);
+  HPMMAP_ASSERT(m.state(idx) == FrameState::kUntracked, "block already cached");
+  m.set_head(idx, dirty ? FrameState::kCacheDirty : FrameState::kCacheClean, order);
+  m.set_link(idx, MemMap::Link{MemMap::kNil, tail_});
+  if (tail_ != MemMap::kNil) {
+    m.set_next(tail_, idx);
+  } else {
+    head_ = idx;
+  }
+  tail_ = idx;
+  ++count_;
+  cached_bytes_ += BuddyAllocator::order_bytes(order);
+}
+
+void PageCache::unlink(std::uint32_t idx) {
+  MemMap& m = buddy_.mem_map();
+  const MemMap::Link l = m.link(idx);
+  if (l.prev != MemMap::kNil) {
+    m.set_next(l.prev, l.next);
+  } else {
+    head_ = l.next;
+  }
+  if (l.next != MemMap::kNil) {
+    m.set_prev(l.next, l.prev);
+  } else {
+    tail_ = l.prev;
+  }
+  m.erase_link(idx);
+  --count_;
+}
 
 std::uint64_t PageCache::grow(std::uint64_t bytes, unsigned order, bool dirty) {
   std::uint64_t grown = 0;
@@ -26,32 +61,31 @@ std::uint64_t PageCache::grow(std::uint64_t bytes, unsigned order, bool dirty) {
         dirty || (dirty_fraction_ > 0.0 &&
                   static_cast<double>(grow_count_ % 100) < dirty_fraction_ * 100.0);
     ++grow_count_;
-    lru_.push_back(Block{alloc->addr, order, is_dirty});
-    by_addr_.emplace(alloc->addr, std::prev(lru_.end()));
+    push_back_block(alloc->addr, order, is_dirty);
     grown += block_bytes;
-    cached_bytes_ += block_bytes;
   }
   return grown;
 }
 
 void PageCache::adopt(Addr addr, unsigned order, bool dirty) {
-  HPMMAP_ASSERT(!by_addr_.contains(addr), "block already cached");
-  lru_.push_back(Block{addr, order, dirty});
-  by_addr_.emplace(addr, std::prev(lru_.end()));
-  cached_bytes_ += BuddyAllocator::order_bytes(order);
+  push_back_block(addr, order, dirty);
 }
 
 PageCache::ShrinkResult PageCache::shrink(std::uint64_t bytes) {
   ShrinkResult result;
-  while (result.bytes_freed < bytes && !lru_.empty()) {
-    const Block block = lru_.front();
-    by_addr_.erase(block.addr);
-    lru_.pop_front();
-    const std::uint64_t block_bytes = BuddyAllocator::order_bytes(block.order);
-    buddy_.free(block.addr, block.order);
+  MemMap& m = buddy_.mem_map();
+  while (result.bytes_freed < bytes && head_ != MemMap::kNil) {
+    const std::uint32_t idx = head_;
+    const Addr addr = m.addr_of(idx);
+    const unsigned order = m.order(idx);
+    const bool dirty = m.state(idx) == FrameState::kCacheDirty;
+    unlink(idx);
+    m.clear_head(idx);
+    const std::uint64_t block_bytes = BuddyAllocator::order_bytes(order);
+    buddy_.free(addr, order);
     cached_bytes_ -= block_bytes;
     result.bytes_freed += block_bytes;
-    if (block.dirty) {
+    if (dirty) {
       ++result.writeback_blocks;
     } else {
       ++result.clean_blocks;
@@ -61,36 +95,47 @@ PageCache::ShrinkResult PageCache::shrink(std::uint64_t bytes) {
 }
 
 void PageCache::clear() {
-  while (!lru_.empty()) {
-    const Block block = lru_.front();
-    by_addr_.erase(block.addr);
-    lru_.pop_front();
-    cached_bytes_ -= BuddyAllocator::order_bytes(block.order);
-    buddy_.free(block.addr, block.order);
+  MemMap& m = buddy_.mem_map();
+  while (head_ != MemMap::kNil) {
+    const std::uint32_t idx = head_;
+    const Addr addr = m.addr_of(idx);
+    const unsigned order = m.order(idx);
+    unlink(idx);
+    m.clear_head(idx);
+    cached_bytes_ -= BuddyAllocator::order_bytes(order);
+    buddy_.free(addr, order);
   }
   HPMMAP_ASSERT(cached_bytes_ == 0, "cache accounting drift");
 }
 
-std::optional<std::pair<Addr, unsigned>> PageCache::block_containing(Addr addr) const {
-  auto it = by_addr_.upper_bound(addr);
-  if (it == by_addr_.begin()) {
-    return std::nullopt;
-  }
-  --it;
-  const Block& block = *it->second;
-  if (addr < block.addr + BuddyAllocator::order_bytes(block.order)) {
-    return std::make_pair(block.addr, block.order);
-  }
-  return std::nullopt;
-}
-
 void PageCache::relocate(Addr old_addr, Addr new_addr) {
-  auto it = by_addr_.find(old_addr);
-  HPMMAP_ASSERT(it != by_addr_.end(), "relocate of a block the cache does not own");
-  auto lru_it = it->second;
-  by_addr_.erase(it);
-  lru_it->addr = new_addr;
-  by_addr_.emplace(new_addr, lru_it);
+  MemMap& m = buddy_.mem_map();
+  const std::uint32_t io = m.index_of(old_addr);
+  const FrameState st = m.state(io);
+  HPMMAP_ASSERT(st == FrameState::kCacheClean || st == FrameState::kCacheDirty,
+                "relocate of a block the cache does not own");
+  const unsigned order = m.order(io);
+  const MemMap::Link l = m.link(io);
+  m.erase_link(io);
+  m.clear_head(io);
+  const std::uint32_t in = m.index_of(new_addr);
+  // The target is normally a freshly-allocated (untracked) block, but
+  // only another cache block is an outright error: compaction tests
+  // relocate onto raw free space without reserving it first.
+  HPMMAP_ASSERT(m.state(in) != FrameState::kCacheClean && m.state(in) != FrameState::kCacheDirty,
+                "relocate target already cached");
+  m.set_head(in, st, order);
+  m.set_link(in, l);
+  if (l.prev != MemMap::kNil) {
+    m.set_next(l.prev, in);
+  } else {
+    head_ = in;
+  }
+  if (l.next != MemMap::kNil) {
+    m.set_prev(l.next, in);
+  } else {
+    tail_ = in;
+  }
 }
 
 } // namespace hpmmap::mm

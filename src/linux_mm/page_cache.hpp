@@ -8,21 +8,26 @@
 // load" behaviour.
 //
 // Cache blocks are *movable* in the kernel's sense: compaction may
-// relocate them to assemble contiguous 2M regions, so the cache keeps an
-// address index and supports relocation.
+// relocate them to assemble contiguous 2M regions, so the cache supports
+// address lookup and relocation.
+//
+// There is no per-block heap state: the LRU is an intrusive list
+// threaded through the buddy's hw::MemMap link table, dirtiness and
+// order live in the per-frame meta byte (kCacheClean/kCacheDirty heads),
+// and block_containing() is an O(orders) align-down probe of that meta
+// instead of an ordered-map search — grow/shrink/relocate touch no
+// allocator and stay O(1) per block.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <map>
 #include <optional>
 #include <utility>
 
 #include "common/types.hpp"
+#include "hw/mem_map.hpp"
+#include "linux_mm/buddy_allocator.hpp"
 
 namespace hpmmap::mm {
-
-class BuddyAllocator;
 
 class PageCache {
  public:
@@ -59,7 +64,9 @@ class PageCache {
   void clear();
 
   /// The cache block containing `addr`, if any, as (block base, order).
-  [[nodiscard]] std::optional<std::pair<Addr, unsigned>> block_containing(Addr addr) const;
+  [[nodiscard]] std::optional<std::pair<Addr, unsigned>> block_containing(Addr addr) const {
+    return buddy_.mem_map().block_containing(addr, hw::kCacheStates, buddy_.max_order());
+  }
 
   /// Compaction support: the block at `old_addr` now lives at
   /// `new_addr`. LRU position and dirtiness are preserved.
@@ -67,27 +74,43 @@ class PageCache {
 
   /// Visit every cached block as (base, order, dirty) in ascending
   /// address order (deterministic; the invariant auditor's sweep).
+  /// O(frames) meta scan — audits, not the hot path.
   template <typename Fn>
   void for_each_block(Fn&& fn) const {
-    for (const auto& [addr, it] : by_addr_) {
-      fn(addr, it->order, it->dirty);
+    buddy_.mem_map().for_each_head([&](Addr a, hw::FrameState st, unsigned o) {
+      if (st == hw::FrameState::kCacheClean || st == hw::FrameState::kCacheDirty) {
+        fn(a, o, st == hw::FrameState::kCacheDirty);
+      }
+    });
+  }
+
+  /// Visit the LRU chain front (oldest) to back as (base, order, dirty)
+  /// — the auditor's linkage walk. Bounded by block_count() so a
+  /// corrupted (cyclic) chain still terminates.
+  template <typename Fn>
+  void for_each_lru(Fn&& fn) const {
+    const hw::MemMap& m = buddy_.mem_map();
+    std::uint32_t idx = head_;
+    for (std::size_t n = 0; idx != hw::MemMap::kNil && n < count_; ++n) {
+      fn(m.addr_of(idx), m.order(idx), m.state(idx) == hw::FrameState::kCacheDirty);
+      idx = m.link(idx).next;
     }
   }
 
   [[nodiscard]] std::uint64_t cached_bytes() const noexcept { return cached_bytes_; }
-  [[nodiscard]] std::size_t block_count() const noexcept { return lru_.size(); }
+  [[nodiscard]] std::size_t block_count() const noexcept { return count_; }
   [[nodiscard]] double dirty_fraction() const noexcept { return dirty_fraction_; }
   void set_dirty_fraction(double f) noexcept { dirty_fraction_ = f; }
 
  private:
-  struct Block {
-    Addr addr;
-    unsigned order;
-    bool dirty;
-  };
+  void push_back_block(Addr addr, unsigned order, bool dirty);
+  /// Unlink `idx` from the LRU chain (meta untouched).
+  void unlink(std::uint32_t idx);
+
   BuddyAllocator& buddy_;
-  std::list<Block> lru_; // front = oldest (reclaimed first)
-  std::map<Addr, std::list<Block>::iterator> by_addr_;
+  std::uint32_t head_ = hw::MemMap::kNil; // oldest (reclaimed first)
+  std::uint32_t tail_ = hw::MemMap::kNil; // newest
+  std::size_t count_ = 0;
   std::uint64_t cached_bytes_ = 0;
   std::uint64_t free_floor_ = 0;
   double dirty_fraction_;

@@ -1,13 +1,31 @@
 #include "linux_mm/page_table.hpp"
 
-#include "common/assert.hpp"
+#include <algorithm>
 
 namespace hpmmap::mm {
 
-PageTable::PageTable() : root_(std::make_unique<Node>()) {}
-PageTable::~PageTable() = default;
-PageTable::PageTable(PageTable&&) noexcept = default;
-PageTable& PageTable::operator=(PageTable&&) noexcept = default;
+PageTable::PageTable() {
+  nodes_.push_back(Node{});
+  used_.push_back(0);
+}
+
+std::uint32_t PageTable::alloc_node() {
+  if (!free_nodes_.empty()) {
+    const std::uint32_t idx = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[idx].slots.fill(0);
+    used_[idx] = 0;
+    return idx;
+  }
+  nodes_.push_back(Node{});
+  used_.push_back(0);
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void PageTable::free_node(std::uint32_t idx) {
+  HPMMAP_ASSERT(idx != kRoot, "cannot free the root table");
+  free_nodes_.push_back(idx);
+}
 
 unsigned PageTable::leaf_level(PageSize size) noexcept {
   switch (size) {
@@ -34,42 +52,44 @@ Errno PageTable::map(Addr vaddr, Addr paddr, PageSize size, Prot prot, PtOpStats
     return Errno::kInval;
   }
   const unsigned target = leaf_level(size);
-  Node* node = root_.get();
+  std::uint32_t node = kRoot;
   PtOpStats local;
   local.levels = 1;
   for (unsigned level = 3; level > target; --level) {
-    Entry& e = node->slots[index_at(vaddr, level)];
-    if (e.leaf) {
+    // deque references survive alloc_node()'s push_back.
+    std::uint64_t& e = nodes_[node].slots[index_at(vaddr, level)];
+    if (is_leaf(e)) {
       return Errno::kExist; // a larger mapping already covers this address
     }
-    if (!e.child) {
-      e.child = std::make_unique<Node>();
-      ++node->used;
+    if (!has_child(e)) {
+      const std::uint32_t child = alloc_node();
+      e = make_child(child);
+      ++used_[node];
       ++table_pages_;
       ++local.tables_allocated;
     }
-    node = e.child.get();
+    node = child_index(e);
     ++local.levels;
   }
-  Entry& leaf = node->slots[index_at(vaddr, target)];
-  if (leaf.leaf) {
+  std::uint64_t& leaf = nodes_[node].slots[index_at(vaddr, target)];
+  if (is_leaf(leaf)) {
     return Errno::kExist;
   }
-  if (leaf.child) {
+  if (has_child(leaf)) {
     // A child table exists from earlier small mappings. If it is empty
     // (all PTEs unmapped — the khugepaged collapse path), free it and
     // install the large leaf in its place; otherwise the range is busy.
-    if (leaf.child->used != 0) {
+    const std::uint32_t child = child_index(leaf);
+    if (used_[child] != 0) {
       return Errno::kExist;
     }
-    leaf.child.reset();
+    free_node(child);
     --table_pages_;
-    --node->used;
+    --used_[node];
+    leaf = 0;
   }
-  leaf.leaf = true;
-  leaf.phys = paddr;
-  leaf.prot = prot;
-  ++node->used;
+  leaf = make_leaf(paddr, prot);
+  ++used_[node];
   ++local.entries_written;
   account_map(size, static_cast<std::int64_t>(bytes(size)));
   if (stats != nullptr) {
@@ -83,25 +103,23 @@ Errno PageTable::unmap(Addr vaddr, PageSize size, PtOpStats* stats) {
     return Errno::kInval;
   }
   const unsigned target = leaf_level(size);
-  Node* node = root_.get();
+  std::uint32_t node = kRoot;
   PtOpStats local;
   local.levels = 1;
   for (unsigned level = 3; level > target; --level) {
-    Entry& e = node->slots[index_at(vaddr, level)];
-    if (e.leaf || !e.child) {
+    const std::uint64_t e = nodes_[node].slots[index_at(vaddr, level)];
+    if (is_leaf(e) || !has_child(e)) {
       return Errno::kNoEnt;
     }
-    node = e.child.get();
+    node = child_index(e);
     ++local.levels;
   }
-  Entry& leaf = node->slots[index_at(vaddr, target)];
-  if (!leaf.leaf) {
+  std::uint64_t& leaf = nodes_[node].slots[index_at(vaddr, target)];
+  if (!is_leaf(leaf)) {
     return Errno::kNoEnt;
   }
-  leaf.leaf = false;
-  leaf.phys = 0;
-  leaf.prot = Prot::kNone;
-  --node->used;
+  leaf = 0;
+  --used_[node];
   ++local.entries_written;
   account_map(size, -static_cast<std::int64_t>(bytes(size)));
   // Interior tables are retained (Linux frees them lazily too); the
@@ -114,72 +132,70 @@ Errno PageTable::unmap(Addr vaddr, PageSize size, PtOpStats* stats) {
 
 Errno PageTable::protect(Addr vaddr, PageSize size, Prot prot) {
   const unsigned target = leaf_level(size);
-  Node* node = root_.get();
+  std::uint32_t node = kRoot;
   for (unsigned level = 3; level > target; --level) {
-    Entry& e = node->slots[index_at(vaddr, level)];
-    if (e.leaf || !e.child) {
+    const std::uint64_t e = nodes_[node].slots[index_at(vaddr, level)];
+    if (is_leaf(e) || !has_child(e)) {
       return Errno::kNoEnt;
     }
-    node = e.child.get();
+    node = child_index(e);
   }
-  Entry& leaf = node->slots[index_at(vaddr, target)];
-  if (!leaf.leaf) {
+  std::uint64_t& leaf = nodes_[node].slots[index_at(vaddr, target)];
+  if (!is_leaf(leaf)) {
     return Errno::kNoEnt;
   }
-  leaf.prot = prot;
+  leaf = make_leaf(leaf_phys(leaf), prot);
   return Errno::kOk;
 }
 
 std::optional<Translation> PageTable::walk(Addr vaddr) const {
-  const Node* node = root_.get();
+  std::uint32_t node = kRoot;
   for (unsigned level = 3; level > 0; --level) {
-    const Entry& e = node->slots[index_at(vaddr, level)];
-    if (e.leaf) {
+    const std::uint64_t e = nodes_[node].slots[index_at(vaddr, level)];
+    if (is_leaf(e)) {
       const PageSize size = level == 1 ? PageSize::k2M : PageSize::k1G;
       const Addr offset = vaddr & (bytes(size) - 1);
-      return Translation{e.phys + offset, size, e.prot};
+      return Translation{leaf_phys(e) + offset, size, leaf_prot(e)};
     }
-    if (!e.child) {
+    if (!has_child(e)) {
       return std::nullopt;
     }
-    node = e.child.get();
+    node = child_index(e);
   }
-  const Entry& leaf = node->slots[index_at(vaddr, 0)];
-  if (!leaf.leaf) {
+  const std::uint64_t leaf = nodes_[node].slots[index_at(vaddr, 0)];
+  if (!is_leaf(leaf)) {
     return std::nullopt;
   }
   const Addr offset = vaddr & (kSmallPageSize - 1);
-  return Translation{leaf.phys + offset, PageSize::k4K, leaf.prot};
+  return Translation{leaf_phys(leaf) + offset, PageSize::k4K, leaf_prot(leaf)};
 }
 
 Errno PageTable::split_large(Addr vaddr, PtOpStats* stats) {
   const Addr base = align_down(vaddr, kLargePageSize);
-  Node* node = root_.get();
+  std::uint32_t node = kRoot;
   for (unsigned level = 3; level > 1; --level) {
-    Entry& e = node->slots[index_at(base, level)];
-    if (e.leaf || !e.child) {
+    const std::uint64_t e = nodes_[node].slots[index_at(base, level)];
+    if (is_leaf(e) || !has_child(e)) {
       return Errno::kNoEnt;
     }
-    node = e.child.get();
+    node = child_index(e);
   }
-  Entry& pd = node->slots[index_at(base, 1)];
-  if (!pd.leaf) {
+  const unsigned pd_slot = index_at(base, 1);
+  const std::uint64_t pd = nodes_[node].slots[pd_slot];
+  if (!is_leaf(pd)) {
     return Errno::kNoEnt;
   }
-  const Addr phys = pd.phys;
-  const Prot prot = pd.prot;
+  const Addr phys = leaf_phys(pd);
+  const Prot prot = leaf_prot(pd);
   // Replace the 2M leaf with a PT of 512 4K leaves over the same frames.
-  pd.leaf = false;
-  pd.child = std::make_unique<Node>();
+  const std::uint32_t pt = alloc_node();
+  nodes_[node].slots[pd_slot] = make_child(pt);
   ++table_pages_;
-  Node* pt = pd.child.get();
+  Node& child = nodes_[pt];
   for (unsigned i = 0; i < kFanout; ++i) {
-    Entry& e = pt->slots[i];
-    e.leaf = true;
-    e.phys = phys + static_cast<Addr>(i) * kSmallPageSize;
-    e.prot = prot;
+    child.slots[i] = make_leaf(phys + static_cast<Addr>(i) * kSmallPageSize, prot);
   }
-  pt->used = kFanout;
+  used_[pt] = kFanout;
   account_map(PageSize::k2M, -static_cast<std::int64_t>(kLargePageSize));
   account_map(PageSize::k4K, static_cast<std::int64_t>(kLargePageSize));
   if (stats != nullptr) {
@@ -192,19 +208,19 @@ Errno PageTable::split_large(Addr vaddr, PtOpStats* stats) {
 
 unsigned PageTable::small_count_in_2m(Addr vaddr) const {
   const Addr base = align_down(vaddr, kLargePageSize);
-  const Node* node = root_.get();
+  std::uint32_t node = kRoot;
   for (unsigned level = 3; level > 1; --level) {
-    const Entry& e = node->slots[index_at(base, level)];
-    if (e.leaf || !e.child) {
+    const std::uint64_t e = nodes_[node].slots[index_at(base, level)];
+    if (is_leaf(e) || !has_child(e)) {
       return 0;
     }
-    node = e.child.get();
+    node = child_index(e);
   }
-  const Entry& pd = node->slots[index_at(base, 1)];
-  if (pd.leaf || !pd.child) {
+  const std::uint64_t pd = nodes_[node].slots[index_at(base, 1)];
+  if (is_leaf(pd) || !has_child(pd)) {
     return 0;
   }
-  return pd.child->used;
+  return used_[child_index(pd)];
 }
 
 bool PageTable::large_leaf_at(Addr vaddr) const {

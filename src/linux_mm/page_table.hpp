@@ -6,13 +6,23 @@
 // 48-bit address space (§III-B). The structure is real — walks descend
 // real levels, splits really replace a leaf with 512 children — while
 // costs are charged by the caller from the step counts returned here.
+//
+// Entries are packed 8-byte words, like the hardware's: bit 0 = leaf,
+// bit 1 = child present, bits 2-4 = protection, and the 4K-aligned
+// payload from bit 12 (a physical frame for leaves, a node-pool index
+// for children). Nodes are exactly 4 KiB (512 words) and live in an
+// index-addressed pool with a free list, so a walk touches one cache
+// line per level and map/unmap never call the heap once the pool is
+// warm.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <memory>
+#include <deque>
 #include <optional>
+#include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 #include "hw/tlb.hpp"
 
@@ -35,9 +45,9 @@ struct PtOpStats {
 class PageTable {
  public:
   PageTable();
-  ~PageTable();
-  PageTable(PageTable&&) noexcept;
-  PageTable& operator=(PageTable&&) noexcept;
+  ~PageTable() = default;
+  PageTable(PageTable&&) noexcept = default;
+  PageTable& operator=(PageTable&&) noexcept = default;
   PageTable(const PageTable&) = delete;
   PageTable& operator=(const PageTable&) = delete;
 
@@ -79,23 +89,41 @@ class PageTable {
   /// Visit every leaf as (vaddr, Translation); deterministic order.
   template <typename Fn>
   void for_each_leaf(Fn&& fn) const {
-    visit_leaves(root_.get(), 0, 3, fn);
+    visit_leaves(kRoot, 0, 3, fn);
   }
 
  private:
   static constexpr unsigned kFanout = 512;
-  struct Node;
-  struct Entry {
-    // Either a child table (interior) or a leaf translation.
-    std::unique_ptr<Node> child;
-    bool leaf = false;
-    Addr phys = 0;
-    Prot prot = Prot::kNone;
-  };
+  static constexpr std::uint32_t kRoot = 0;
+  static constexpr std::uint64_t kLeafBit = 1;
+  static constexpr std::uint64_t kChildBit = 2;
+
+  /// A table page: 512 packed entry words, exactly 4 KiB.
   struct Node {
-    std::array<Entry, kFanout> slots;
-    std::uint16_t used = 0;
+    std::array<std::uint64_t, kFanout> slots;
   };
+
+  [[nodiscard]] static constexpr bool is_leaf(std::uint64_t e) noexcept {
+    return (e & kLeafBit) != 0;
+  }
+  [[nodiscard]] static constexpr bool has_child(std::uint64_t e) noexcept {
+    return (e & kChildBit) != 0;
+  }
+  [[nodiscard]] static constexpr Addr leaf_phys(std::uint64_t e) noexcept {
+    return e & ~Addr{0xFFF};
+  }
+  [[nodiscard]] static constexpr Prot leaf_prot(std::uint64_t e) noexcept {
+    return static_cast<Prot>((e >> 2) & 0x7u);
+  }
+  [[nodiscard]] static constexpr std::uint64_t make_leaf(Addr phys, Prot prot) noexcept {
+    return phys | (static_cast<std::uint64_t>(prot) << 2) | kLeafBit;
+  }
+  [[nodiscard]] static constexpr std::uint32_t child_index(std::uint64_t e) noexcept {
+    return static_cast<std::uint32_t>(e >> 12);
+  }
+  [[nodiscard]] static constexpr std::uint64_t make_child(std::uint32_t idx) noexcept {
+    return (static_cast<std::uint64_t>(idx) << 12) | kChildBit;
+  }
 
   /// Index of `vaddr` at `level` (level 3 = PML4 ... level 0 = PT).
   [[nodiscard]] static unsigned index_at(Addr vaddr, unsigned level) noexcept {
@@ -105,27 +133,30 @@ class PageTable {
   [[nodiscard]] static unsigned leaf_level(PageSize size) noexcept;
 
   template <typename Fn>
-  void visit_leaves(const Node* node, Addr base, unsigned level, Fn&& fn) const {
-    if (node == nullptr) {
-      return;
-    }
+  void visit_leaves(std::uint32_t node, Addr base, unsigned level, Fn&& fn) const {
     for (unsigned i = 0; i < kFanout; ++i) {
-      const Entry& e = node->slots[i];
+      const std::uint64_t e = nodes_[node].slots[i];
       const Addr va = base | (static_cast<Addr>(i) << (12 + 9 * level));
-      if (e.leaf) {
+      if (is_leaf(e)) {
         const PageSize size = level == 0   ? PageSize::k4K
                               : level == 1 ? PageSize::k2M
                                            : PageSize::k1G;
-        fn(va, Translation{e.phys, size, e.prot});
-      } else if (e.child) {
-        visit_leaves(e.child.get(), va, level - 1, fn);
+        fn(va, Translation{leaf_phys(e), size, leaf_prot(e)});
+      } else if (has_child(e)) {
+        visit_leaves(child_index(e), va, level - 1, fn);
       }
     }
   }
 
+  [[nodiscard]] std::uint32_t alloc_node();
+  void free_node(std::uint32_t idx);
   void account_map(PageSize size, std::int64_t delta) noexcept;
 
-  std::unique_ptr<Node> root_;
+  // deque: stable addresses across alloc_node() while holding slot
+  // references, one 4 KiB chunk per node.
+  std::deque<Node> nodes_;
+  std::vector<std::uint16_t> used_;      // live entries per node
+  std::vector<std::uint32_t> free_nodes_; // recycled pool indices
   hw::MappingMix mix_;
   std::uint64_t table_pages_ = 1; // the root
 };

@@ -52,6 +52,7 @@ std::string AuditReport::summary() const {
 void audit_buddy(const mm::BuddyAllocator& buddy, std::string_view label, AuditReport& report) {
   const std::string who{label};
   const Range range = buddy.range();
+  const hw::MemMap& map = buddy.mem_map();
   struct Block {
     Addr addr;
     unsigned order;
@@ -70,6 +71,19 @@ void audit_buddy(const mm::BuddyAllocator& buddy, std::string_view label, AuditR
     if (!is_aligned(a - range.begin, size)) {
       report.add("buddy.misaligned",
                  who + ": free block " + hex(a) + " misaligned for order " + num(o));
+    }
+    // The mem_map must mark this frame as the head of a free block of
+    // exactly this order (freelist -> mem_map direction).
+    if (range.contains(a)) {
+      const std::uint32_t frame = map.index_of(a);
+      ++report.checks;
+      if (map.state(frame) != hw::FrameState::kBuddyFree || map.order(frame) != o) {
+        report.add("buddy.memmap_state",
+                   who + ": free block " + hex(a) + " order " + num(o) +
+                       " has mem_map state " +
+                       num(static_cast<std::uint64_t>(map.state(frame))) + " order " +
+                       num(map.order(frame)));
+      }
     }
     // Uncoalesced pair: this block's buddy is free at the same order, so
     // free() should have merged them. Report each pair once (a < buddy).
@@ -103,11 +117,75 @@ void audit_buddy(const mm::BuddyAllocator& buddy, std::string_view label, AuditR
                      " overlaps " + hex(cur.addr) + " order " + num(cur.order));
     }
   }
+  // mem_map -> freelist direction: every kBuddyFree head must be an
+  // actual freelist entry (an orphan means a stale or forged mem_map
+  // annotation).
+  map.for_each_head([&](Addr a, hw::FrameState st, unsigned o) {
+    if (st != hw::FrameState::kBuddyFree) {
+      return;
+    }
+    ++report.checks;
+    if (!buddy.is_free_block(a, o)) {
+      report.add("buddy.memmap_orphan",
+                 who + ": mem_map marks " + hex(a) + " order " + num(o) +
+                     " buddy-free but the freelist bitmap disagrees");
+    }
+  });
+}
+
+void audit_page_cache(const mm::BuddyAllocator& buddy, const mm::PageCache& cache,
+                      std::string_view label, AuditReport& report) {
+  const std::string who{label};
+  const hw::MemMap& map = buddy.mem_map();
+  std::uint64_t walked = 0;
+  std::uint64_t bytes = 0;
+  cache.for_each_lru([&](Addr a, unsigned o, bool dirty) {
+    (void)dirty;
+    ++walked;
+    bytes += mm::BuddyAllocator::order_bytes(o);
+    const hw::FrameState st = map.state(map.index_of(a));
+    ++report.checks;
+    if (st != hw::FrameState::kCacheClean && st != hw::FrameState::kCacheDirty) {
+      report.add("cache.memmap_state",
+                 who + ": LRU block " + hex(a) + " order " + num(o) +
+                     " has non-cache mem_map state " +
+                     num(static_cast<std::uint64_t>(st)));
+    }
+  });
+  ++report.checks;
+  if (walked != cache.block_count()) {
+    report.add("cache.lru_broken",
+               who + ": LRU walk reaches " + num(walked) + " blocks, cache counts " +
+                   num(cache.block_count()));
+  }
+  ++report.checks;
+  if (bytes != cache.cached_bytes()) {
+    report.add("cache.accounting",
+               who + ": LRU byte total " + num(bytes) + " != accounted cached_bytes " +
+                   num(cache.cached_bytes()));
+  }
+  // mem_map -> LRU direction: the meta sweep must find exactly the
+  // cache's blocks (an extra cache-state head is unreachable by
+  // reclaim; a missing one hides a block from compaction).
+  std::uint64_t heads = 0;
+  cache.for_each_block([&](Addr a, unsigned o, bool dirty) {
+    (void)a;
+    (void)o;
+    (void)dirty;
+    ++heads;
+  });
+  ++report.checks;
+  if (heads != cache.block_count()) {
+    report.add("cache.memmap_orphan",
+               who + ": mem_map holds " + num(heads) + " cache heads, cache counts " +
+                   num(cache.block_count()));
+  }
 }
 
 AuditReport MmAuditor::run() {
   AuditReport report;
   audit_buddies(report);
+  audit_caches(report);
   audit_vmas(report);
   audit_page_tables(report);
   audit_frames(report);
@@ -132,6 +210,13 @@ void MmAuditor::audit_buddies(AuditReport& report) {
     module->allocator().for_each_buddy([&](ZoneId z, const mm::BuddyAllocator& buddy) {
       audit_buddy(buddy, "kitten zone " + num(z) + " @" + hex(buddy.range().begin), report);
     });
+  }
+}
+
+void MmAuditor::audit_caches(AuditReport& report) {
+  mm::MemorySystem& memory = node_.memory();
+  for (ZoneId z = 0; z < memory.zone_count(); ++z) {
+    audit_page_cache(memory.buddy(z), memory.cache(z), "zone " + num(z), report);
   }
 }
 
@@ -267,9 +352,9 @@ void MmAuditor::audit_frames(AuditReport& report) {
   }
   if (const mm::HugetlbPool* pool = node_.hugetlb(); pool != nullptr) {
     for (ZoneId z = 0; z < memory.zone_count(); ++z) {
-      for (Addr a : pool->free_pool(z)) {
+      pool->for_each_pool_page(z, [&](Addr a) {
         frames.push_back(Interval{a, a + kLargePageSize, "hugetlb_pool", 0});
-      }
+      });
     }
   }
   if (const core::HpmmapModule* module = node_.hpmmap_module(); module != nullptr) {
@@ -321,12 +406,35 @@ void MmAuditor::audit_hugetlb(AuditReport& report) {
   if (pool == nullptr) {
     return;
   }
-  const mm::MemorySystem& memory = node_.memory();
+  mm::MemorySystem& memory = node_.memory();
   std::uint64_t total = 0;
   std::uint64_t free = 0;
   for (ZoneId z = 0; z < memory.zone_count(); ++z) {
     total += pool->total_pages(z);
     free += pool->free_pages(z);
+    // The intrusive stack must walk to exactly the counted pages, each
+    // marked kHugetlbPool in its zone's mem_map.
+    const hw::MemMap& map = memory.buddy(z).mem_map();
+    std::uint64_t walked = 0;
+    pool->for_each_pool_page(z, [&](Addr a) {
+      ++walked;
+      const std::uint32_t frame = map.index_of(a);
+      ++report.checks;
+      if (map.state(frame) != hw::FrameState::kHugetlbPool ||
+          map.order(frame) != mm::kLargePageOrder) {
+        report.add("hugetlb.memmap_state",
+                   "zone " + num(z) + ": pooled page " + hex(a) +
+                       " has mem_map state " +
+                       num(static_cast<std::uint64_t>(map.state(frame))) + " order " +
+                       num(map.order(frame)));
+      }
+    });
+    ++report.checks;
+    if (walked != pool->free_pages(z)) {
+      report.add("hugetlb.stack",
+                 "zone " + num(z) + ": pool stack walks to " + num(walked) +
+                     " pages, counter says " + num(pool->free_pages(z)));
+    }
   }
   // Pages leave the pool only by being mapped into a hugetlb VMA; count
   // those leaves and demand conservation (global, because alloc_page

@@ -8,8 +8,16 @@
 //
 //   buddy      free blocks in-range, aligned, non-overlapping, no
 //              duplicates; every mergeable buddy pair coalesced;
-//              accounted free_bytes equals the sum over the freelists
+//              accounted free_bytes equals the sum over the freelists;
+//              freelist and mem_map agree in both directions (every
+//              free block heads a kBuddyFree mem_map entry, every
+//              kBuddyFree entry is on the freelist bitmap)
 //              (same checks for the Kitten heaps over offlined memory);
+//   cache      the intrusive LRU chain is sound: walking the links
+//              visits exactly block_count() blocks whose byte total is
+//              cached_bytes, every visited head carries a cache state
+//              in the mem_map, and the mem_map holds no cache-state
+//              head the LRU does not reach;
 //   vma        every per-process VMA tree (Linux and HPMMAP's own
 //              region lists) passes its structural invariants;
 //   pte        every mapped leaf falls wholly inside exactly one VMA of
@@ -26,7 +34,9 @@
 //              owners or double-mapped across processes, and every
 //              frame lies inside physical RAM;
 //   hugetlb    pool pages are conserved: free + mapped-as-hugetlb
-//              equals the boot reservation.
+//              equals the boot reservation; each zone's intrusive pool
+//              stack walks to exactly free_pages() entries, all marked
+//              kHugetlbPool in the mem_map.
 //
 // The auditor only reads; it reports violations instead of asserting so
 // tests can drive it over deliberately corrupted state.
@@ -39,6 +49,7 @@
 
 namespace hpmmap::mm {
 class BuddyAllocator;
+class PageCache;
 }
 namespace hpmmap::os {
 class Node;
@@ -72,8 +83,14 @@ struct AuditReport {
 
 /// Audit one buddy allocator in isolation (no Node needed): blocks
 /// in-range, aligned, non-overlapping, no duplicates, no uncoalesced
-/// buddy pairs, free_bytes consistent. `label` prefixes diagnostics.
+/// buddy pairs, free_bytes consistent, mem_map ownership coherent in
+/// both directions. `label` prefixes diagnostics.
 void audit_buddy(const mm::BuddyAllocator& buddy, std::string_view label, AuditReport& report);
+
+/// Audit one page cache in isolation: LRU linkage, byte accounting and
+/// mem_map cache-state agreement (see the `cache` block above).
+void audit_page_cache(const mm::BuddyAllocator& buddy, const mm::PageCache& cache,
+                      std::string_view label, AuditReport& report);
 
 class MmAuditor {
  public:
@@ -85,6 +102,7 @@ class MmAuditor {
 
  private:
   void audit_buddies(AuditReport& report);
+  void audit_caches(AuditReport& report);
   void audit_vmas(AuditReport& report);
   void audit_page_tables(AuditReport& report);
   void audit_frames(AuditReport& report);

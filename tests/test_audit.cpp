@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "common/units.hpp"
 #include "harness/experiment.hpp"
+#include "hw/mem_map.hpp"
 #include "linux_mm/buddy_allocator.hpp"
+#include "linux_mm/page_cache.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
 #include "verify/audit.hpp"
@@ -257,6 +260,99 @@ TEST(Audit, DetectsHugetlbPoolLeak) {
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(has_violation(r, "hugetlb.conservation") || has_violation(r, "frame.double_owner"))
       << r.summary();
+}
+
+// --- mem_map cross-check corruption ---------------------------------------
+//
+// The intrusive rework gave every owner (buddy freelists, cache LRU,
+// hugetlb stacks) a second, independent record of ownership in the
+// zone's mem_map; each case below desynchronizes one direction of that
+// agreement and expects the named violation.
+
+TEST(Audit, DetectsFreeBlockMissingFromMemMap) {
+  mm::BuddyAllocator buddy(Range{0, 1 * MiB}, 8);
+  // The freelist says the max-order block is free; wipe its mem_map head
+  // so the metadata array disagrees.
+  buddy.mem_map().clear_head(0);
+  verify::AuditReport r;
+  verify::audit_buddy(buddy, "test", r);
+  EXPECT_TRUE(has_violation(r, "buddy.memmap_state")) << r.summary();
+}
+
+TEST(Audit, DetectsForgedBuddyFreeMark) {
+  mm::BuddyAllocator buddy(Range{0, 1 * MiB}, 8);
+  const auto block = buddy.alloc(2);
+  ASSERT_TRUE(block.has_value());
+  // The block is allocated, but something re-marks it free in the
+  // mem_map (a lost clear, a stray write): the reverse sweep must catch
+  // the orphan mark with no matching freelist entry.
+  buddy.mem_map().set_head(buddy.mem_map().index_of(block->addr), hw::FrameState::kBuddyFree, 2);
+  verify::AuditReport r;
+  verify::audit_buddy(buddy, "test", r);
+  EXPECT_TRUE(has_violation(r, "buddy.memmap_orphan")) << r.summary();
+}
+
+TEST(Audit, DetectsCacheBlockStateDrift) {
+  mm::BuddyAllocator buddy(Range{0, 4 * MiB}, 8);
+  mm::PageCache cache(buddy);
+  ASSERT_GT(cache.grow(64 * KiB, 0, false), 0u);
+  Addr first = 0;
+  bool got = false;
+  cache.for_each_block([&](Addr a, unsigned, bool) {
+    if (!got) {
+      first = a;
+      got = true;
+    }
+  });
+  ASSERT_TRUE(got);
+  // Flip a cached block's mem_map entry to a non-cache state: the LRU
+  // walk sees the bad state, and the reverse head-count no longer
+  // matches the cache's block count.
+  buddy.mem_map().set_head(buddy.mem_map().index_of(first), hw::FrameState::kBuddyFree, 0);
+  verify::AuditReport r;
+  verify::audit_page_cache(buddy, cache, "test", r);
+  EXPECT_TRUE(has_violation(r, "cache.memmap_state")) << r.summary();
+  EXPECT_TRUE(has_violation(r, "cache.memmap_orphan")) << r.summary();
+}
+
+TEST(Audit, DetectsBrokenLruChain) {
+  mm::BuddyAllocator buddy(Range{0, 4 * MiB}, 8);
+  mm::PageCache cache(buddy);
+  ASSERT_GT(cache.grow(64 * KiB, 0, false), 0u);
+  std::vector<Addr> blocks;
+  cache.for_each_block([&](Addr a, unsigned, bool) { blocks.push_back(a); });
+  ASSERT_GE(blocks.size(), 3u);
+  // Truncate the chain mid-way: the walk visits fewer blocks than the
+  // cache accounts for, and the byte totals drift with it.
+  buddy.mem_map().set_next(buddy.mem_map().index_of(blocks[1]), hw::MemMap::kNil);
+  verify::AuditReport r;
+  verify::audit_page_cache(buddy, cache, "test", r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "cache.lru_broken") || has_violation(r, "cache.accounting"))
+      << r.summary();
+}
+
+TEST(Audit, DetectsHugetlbPoolPageStateDrift) {
+  sim::Engine engine;
+  os::NodeConfig cfg = small_config();
+  cfg.hugetlb_pool_per_zone = 64 * MiB;
+  os::Node node(engine, cfg);
+  Addr pooled = 0;
+  bool got = false;
+  node.hugetlb()->for_each_pool_page(0, [&](Addr a) {
+    if (!got) {
+      pooled = a;
+      got = true;
+    }
+  });
+  ASSERT_TRUE(got);
+  // A pool page whose mem_map entry was wiped: the stack walk must flag
+  // the state mismatch.
+  node.memory().buddy(0).mem_map().clear_head(node.memory().buddy(0).mem_map().index_of(pooled));
+  verify::MmAuditor auditor(node);
+  const verify::AuditReport r = auditor.run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "hugetlb.memmap_state")) << r.summary();
 }
 
 TEST(Audit, ViolationDiagnosticsNameTheScene) {

@@ -8,13 +8,16 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "harness/batch.hpp"
+#include "linux_mm/buddy_allocator.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
 #include "verify/audit.hpp"
@@ -307,6 +310,115 @@ std::vector<std::uint64_t> walk_digests(unsigned jobs, std::size_t ops) {
     tasks.emplace_back([seed, ops] { return run_walk(seed, /*check=*/false, ops); });
   }
   return harness::BatchRunner(jobs).map(std::move(tasks));
+}
+
+/// Differential buddy stress: the bitmap-freelist allocator against an
+/// ordered-set reference model (the pre-rework data structure) through a
+/// long random walk of alloc/free/take/probe ops across multiple seeds.
+/// Both models pop the lowest-addressed block, so every returned address
+/// — not just the aggregate accounting — must match.
+TEST(StressBuddy, DifferentialVsSetModel) {
+  constexpr unsigned kMaxOrd = 10;
+  constexpr std::uint64_t kBytes = 128 * MiB;
+  for (const std::uint64_t seed : {0xA110Cull, 0xB0DDull, 0xF4EEull}) {
+    const Range range{8 * MiB, 8 * MiB + kBytes};
+    mm::BuddyAllocator buddy(range, kMaxOrd);
+    // Reference freelists with the same seeding/pop/coalesce policy.
+    std::vector<std::set<Addr>> ref(kMaxOrd + 1);
+    std::uint64_t ref_free = kBytes;
+    ref[kMaxOrd].clear();
+    for (Addr c = range.begin; c < range.end; c += mm::BuddyAllocator::order_bytes(kMaxOrd)) {
+      ref[kMaxOrd].insert(c);
+    }
+    const auto ref_alloc = [&](unsigned order) -> std::optional<Addr> {
+      unsigned found = order;
+      while (found <= kMaxOrd && ref[found].empty()) {
+        ++found;
+      }
+      if (found > kMaxOrd) {
+        return std::nullopt;
+      }
+      Addr block = *ref[found].begin();
+      ref[found].erase(ref[found].begin());
+      for (unsigned o = found; o > order; --o) {
+        ref[o - 1].insert(block + mm::BuddyAllocator::order_bytes(o - 1));
+      }
+      ref_free -= mm::BuddyAllocator::order_bytes(order);
+      return block;
+    };
+    const auto ref_release = [&](Addr addr, unsigned order) {
+      ref_free += mm::BuddyAllocator::order_bytes(order);
+      Addr block = addr;
+      unsigned o = order;
+      while (o < kMaxOrd) {
+        const Addr buddy_addr =
+            range.begin + ((block - range.begin) ^ mm::BuddyAllocator::order_bytes(o));
+        if (!ref[o].contains(buddy_addr)) {
+          break;
+        }
+        ref[o].erase(buddy_addr);
+        block = std::min(block, buddy_addr);
+        ++o;
+      }
+      ref[o].insert(block);
+    };
+
+    Rng rng(seed);
+    std::vector<std::pair<Addr, unsigned>> held;
+    for (std::size_t i = 0; i < 50'000; ++i) {
+      const std::uint64_t roll = rng.uniform(100);
+      if (roll < 50) {
+        const unsigned order = static_cast<unsigned>(rng.uniform(kMaxOrd + 1));
+        const auto a = buddy.alloc(order);
+        const auto r = ref_alloc(order);
+        ASSERT_EQ(a.has_value(), r.has_value()) << "seed " << seed << " op " << i;
+        if (a.has_value()) {
+          ASSERT_EQ(a->addr, *r) << "seed " << seed << " op " << i;
+          held.emplace_back(a->addr, order);
+        }
+      } else if (roll < 88 && !held.empty()) {
+        const std::size_t k = rng.uniform(held.size());
+        buddy.free(held[k].first, held[k].second);
+        ref_release(held[k].first, held[k].second);
+        held[k] = held.back();
+        held.pop_back();
+      } else {
+        // Probe a random address: free_block_containing must agree with
+        // an exhaustive scan of the reference freelists.
+        const Addr probe = range.begin + align_down(rng.uniform(kBytes), kSmallPageSize);
+        const auto got = buddy.free_block_containing(probe);
+        std::optional<std::pair<Addr, unsigned>> want;
+        for (unsigned o = 0; o <= kMaxOrd && !want.has_value(); ++o) {
+          const Addr base =
+              range.begin + align_down(probe - range.begin, mm::BuddyAllocator::order_bytes(o));
+          if (ref[o].contains(base)) {
+            want = std::make_pair(base, o);
+          }
+        }
+        ASSERT_EQ(got, want) << "seed " << seed << " op " << i;
+      }
+      if (i % 10'000 == 0) {
+        ASSERT_EQ(buddy.free_bytes(), ref_free) << "seed " << seed << " op " << i;
+        ASSERT_TRUE(buddy.check_consistency()) << "seed " << seed << " op " << i;
+        verify::AuditReport rep;
+        verify::audit_buddy(buddy, "stress", rep);
+        ASSERT_TRUE(rep.ok()) << rep.summary();
+      }
+    }
+    // Final state: per-order populations identical, enumeration identical.
+    for (unsigned o = 0; o <= kMaxOrd; ++o) {
+      ASSERT_EQ(buddy.free_blocks(o), ref[o].size()) << "seed " << seed << " order " << o;
+    }
+    std::vector<std::pair<Addr, unsigned>> got_blocks;
+    buddy.for_each_free_block([&](Addr a, unsigned o) { got_blocks.emplace_back(a, o); });
+    std::vector<std::pair<Addr, unsigned>> want_blocks;
+    for (unsigned o = 0; o <= kMaxOrd; ++o) {
+      for (const Addr a : ref[o]) {
+        want_blocks.emplace_back(a, o);
+      }
+    }
+    ASSERT_EQ(got_blocks, want_blocks) << "seed " << seed;
+  }
 }
 
 TEST(StressBatch, ParallelReplayIsByteIdenticalToSerial) {
