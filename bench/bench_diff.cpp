@@ -1,0 +1,148 @@
+// bench_diff: compare BENCH_*.json self-reports and fail on regression.
+//
+//   bench_diff [--threshold F] BASELINE CURRENT
+//
+// BASELINE and CURRENT are either two JSON files or two directories; in
+// directory mode every BENCH_*.json present in BASELINE is diffed
+// against the file of the same name in CURRENT (a missing current file
+// is a failure — a bench that stopped reporting is a regression too).
+//
+// Gated metrics (keys ending in improvement_ratio / speedup, or the
+// --gate list) fail the run when current < baseline * (1 - threshold);
+// absolute throughput numbers are reported but not gated, since they
+// measure the runner as much as the code. Exit 0 = pass, 1 = regression,
+// 2 = usage/parse error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "introspect/bench_diff.hpp"
+
+namespace {
+
+using namespace hpmmap;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--threshold F] [--gate KEY[,KEY...]] BASELINE CURRENT\n"
+               "  BASELINE/CURRENT: two BENCH_*.json files, or two directories\n"
+               "                    (every BENCH_*.json in BASELINE is compared)\n"
+               "  --threshold F     allowed relative drop in gated metrics (default 0.10)\n"
+               "  --gate KEYS       gate exactly these dotted keys instead of the\n"
+               "                    default improvement_ratio/speedup set\n");
+  std::exit(2);
+}
+
+bool is_dir(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::optional<introspect::BenchDoc> load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream body;
+  body << f.rdbuf();
+  auto doc = introspect::parse_bench_json(body.str());
+  if (!doc) {
+    std::fprintf(stderr, "bench_diff: malformed JSON in %s\n", path.c_str());
+  }
+  return doc;
+}
+
+/// BENCH_*.json names in `dir`, sorted for a stable report order.
+std::vector<std::string> bench_files(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return names;
+  }
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Diff one baseline/current file pair; returns pass/fail (parse errors
+/// count as failure so CI can't silently skip a corrupt report).
+bool diff_pair(const std::string& base_path, const std::string& cur_path, double threshold,
+               const std::vector<std::string>& gates, const std::string& title) {
+  const auto base = load(base_path);
+  const auto cur = load(cur_path);
+  if (!base || !cur) {
+    return false;
+  }
+  const introspect::DiffResult r = introspect::diff_bench(*base, *cur, threshold, gates);
+  std::printf("%s", introspect::format_diff(r, title).c_str());
+  return r.pass;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  std::vector<std::string> gates;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threshold") && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--gate") && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) {
+          gates.push_back(list.substr(start, end - start));
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    } else if (argv[i][0] == '-') {
+      usage();
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    usage();
+  }
+  const std::string& baseline = paths[0];
+  const std::string& current = paths[1];
+
+  bool pass = true;
+  if (is_dir(baseline) && is_dir(current)) {
+    const std::vector<std::string> names = bench_files(baseline);
+    if (names.empty()) {
+      std::fprintf(stderr, "bench_diff: no BENCH_*.json under %s\n", baseline.c_str());
+      return 2;
+    }
+    for (const std::string& name : names) {
+      pass = diff_pair(baseline + "/" + name, current + "/" + name, threshold, gates, name) &&
+             pass;
+    }
+  } else {
+    pass = diff_pair(baseline, current, threshold, gates, current);
+  }
+  std::printf("bench_diff: %s (threshold %.0f%%)\n", pass ? "PASS" : "FAIL",
+              threshold * 100.0);
+  return pass ? 0 : 1;
+}

@@ -249,17 +249,6 @@ bool identical(const std::vector<harness::SeriesPoint>& a,
   return true;
 }
 
-bool write_json(const std::string& path, const std::string& body) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return false;
-  }
-  std::fputs(body.c_str(), f);
-  std::fclose(f);
-  return true;
-}
-
 std::string num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.6g", v);
@@ -306,7 +295,7 @@ int main(int argc, char** argv) {
   ej += "  },\n";
   ej += "  \"improvement_ratio\": " + num(ratio) + "\n";
   ej += "}\n";
-  if (!write_json(opt.out_dir + "/BENCH_engine.json", ej)) {
+  if (!bench::write_bench_json(opt, "BENCH_engine.json", ej)) {
     return 1;
   }
 
@@ -339,10 +328,8 @@ int main(int argc, char** argv) {
   bj += std::string("  \"deterministic_match\": ") + (match ? "true" : "false") +
         "\n";
   bj += "}\n";
-  if (!write_json(opt.out_dir + "/BENCH_batch.json", bj)) {
+  if (!bench::write_bench_json(opt, "BENCH_batch.json", bj)) {
     return 1;
   }
-  std::printf("wrote %s/BENCH_engine.json and %s/BENCH_batch.json\n",
-              opt.out_dir.c_str(), opt.out_dir.c_str());
   return match ? 0 : 1;
 }

@@ -243,17 +243,6 @@ StormResult run_storm(std::uint64_t faults, std::uint64_t zone_bytes) {
   return result;
 }
 
-bool write_json(const std::string& path, const std::string& body) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return false;
-  }
-  std::fputs(body.c_str(), f);
-  std::fclose(f);
-  return true;
-}
-
 std::string num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.6g", v);
@@ -319,7 +308,7 @@ int main(int argc, char** argv) {
   j += "  },\n";
   j += "  \"improvement_ratio\": " + num(ratio) + "\n";
   j += "}\n";
-  if (!write_json(opt.out_dir + "/BENCH_mm.json", j)) {
+  if (!bench::write_bench_json(opt, "BENCH_mm.json", j)) {
     return 1;
   }
   return 0;

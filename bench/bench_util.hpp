@@ -55,6 +55,32 @@ inline BenchOptions parse_options(int argc, char** argv) {
   return opt;
 }
 
+/// Write a BENCH_*.json self-report into --out-dir and mirror it at the
+/// current directory (the repo root in CI), which is where the committed
+/// regression baselines live and where the CI gate and bench_diff read.
+inline bool write_bench_json(const BenchOptions& opt, const std::string& name,
+                             const std::string& body) {
+  const auto write = [&](const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs(body.c_str(), f);
+    std::fclose(f);
+    return true;
+  };
+  if (!write(opt.out_dir + "/" + name)) {
+    return false;
+  }
+  if (opt.out_dir != "." && !write(name)) {
+    return false;
+  }
+  std::printf("wrote %s/%s (mirrored at ./%s)\n", opt.out_dir.c_str(), name.c_str(),
+              name.c_str());
+  return true;
+}
+
 inline void print_mode(const BenchOptions& opt, const char* what) {
   std::printf("== %s ==\n", what);
   std::printf("mode: %s (footprint x%.2f, duration x%.2f, %u trials, %u jobs)\n\n",

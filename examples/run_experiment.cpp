@@ -13,6 +13,11 @@
 // --trace-out writes the run's flight-recorder contents as Chrome
 // trace-event JSON (open in https://ui.perfetto.dev or chrome://tracing)
 // plus a FILE.csv twin, and prints the counter/histogram report.
+//
+// --sample-interval/--metrics-out add engine-driven telemetry sampling:
+// OpenMetrics text + CSV twin on disk, and Perfetto counter tracks
+// spliced into the --trace-out JSON when both are given. --procfs-dump
+// prints the kernel-style /proc view of every node at run end.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +26,7 @@
 #include "harness/batch.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
+#include "introspect/export.hpp"
 #include "trace/export.hpp"
 #include "trace/metrics.hpp"
 #include "verify/fault_inject.hpp"
@@ -48,9 +54,21 @@ using namespace hpmmap;
       "                   and (when tracing) the mm counters from the metrics\n"
       "                   registry\n"
       "  --trace          record the fault trace and print a summary\n"
-      "  --trace-out FILE write Chrome trace JSON to FILE and CSV to FILE.csv\n"
+      "  --trace-out FILE write Chrome trace JSON to FILE and CSV to FILE.csv;\n"
+      "                   with sampling on, telemetry counter tracks are spliced\n"
+      "                   into the JSON as Perfetto counters\n"
       "  --trace-cat CATS categories for --trace-out: comma list or 'all'\n"
       "                   (fault,buddy,thp,hugetlb,module,sched,net,app,harness,verify)\n"
+      "  --sample-interval N  sample mm telemetry every N virtual cycles\n"
+      "                   (0 = off; sampling never perturbs results)\n"
+      "  --metrics-out FILE   write sampled telemetry as OpenMetrics text to\n"
+      "                   FILE plus a FILE.csv twin (implies a 50M-cycle\n"
+      "                   interval if --sample-interval is unset); trial runs\n"
+      "                   merge with trial=\"N\" labels, byte-identical for\n"
+      "                   any --jobs value\n"
+      "  --procfs-dump    print /proc-style snapshots (buddyinfo, meminfo,\n"
+      "                   vmstat, pagetypeinfo, per-process smaps, hpmmap) at\n"
+      "                   run end\n"
       "  --audit          run the mm invariant auditor at run end and print its report\n"
       "  --audit-on-fire  with --inject: also audit at every injection instant\n"
       "  --inject SPEC    arm fault injection; SPEC is comma-separated entries\n"
@@ -78,12 +96,13 @@ harness::Manager parse_manager(const std::string& s) {
   std::exit(1);
 }
 
-/// Export one traced run: Perfetto-loadable JSON, CSV twin, metric report.
+/// Export one traced run: Perfetto-loadable JSON (with telemetry counter
+/// tracks when the run sampled), CSV twin, metric report.
 void dump_trace(const harness::RunResult& r, const std::string& path) {
   trace::ExportOptions eopt;
   eopt.clock_hz = r.clock_hz;
   eopt.t0 = r.trace_t0;
-  if (!trace::write_chrome_json(path, r.events, eopt)) {
+  if (!introspect::write_chrome_json_with_counters(path, r.events, r.telemetry, eopt)) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
     std::exit(1);
   }
@@ -95,6 +114,38 @@ void dump_trace(const harness::RunResult& r, const std::string& path) {
               r.events.size(), path.c_str(),
               static_cast<unsigned long long>(r.trace_dropped));
   std::printf("%s", trace::metrics().report().c_str());
+}
+
+/// Write the telemetry exports: OpenMetrics text plus a CSV twin. t0 and
+/// clock come from the run (trials of one config share both).
+void write_metrics(const std::vector<introspect::TimeSeries>& series,
+                   const std::string& path, double clock_hz, hpmmap::Cycles t0) {
+  if (path.empty()) {
+    return;
+  }
+  trace::ExportOptions eopt;
+  eopt.clock_hz = clock_hz;
+  eopt.t0 = t0;
+  if (!introspect::write_openmetrics(path, series, eopt) ||
+      !introspect::write_telemetry_csv(path + ".csv", series, eopt)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::uint64_t samples = 0;
+  for (const introspect::TimeSeries& s : series) {
+    samples += s.points.size();
+  }
+  std::printf("telemetry: %zu series, %llu samples -> %s (+.csv)\n", series.size(),
+              static_cast<unsigned long long>(samples), path.c_str());
+}
+
+/// Introspection output for a single (traced/verified) run.
+void report_introspection(const harness::RunResult& r, const std::string& metrics_out,
+                          bool procfs) {
+  write_metrics(r.telemetry, metrics_out, r.clock_hz, r.trace_t0);
+  if (procfs) {
+    std::printf("%s", r.procfs_text.c_str());
+  }
 }
 
 /// Print what a verified run observed: per-point injector counters and
@@ -200,6 +251,36 @@ class PerfSummary {
   std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
 
+/// Trials with introspection on run per-config through run_batch (same
+/// seed derivation as run_trials, same submission-order merge) so the
+/// exported telemetry is byte-identical for any --jobs value.
+template <typename Config>
+int run_introspected_trials(const Config& cfg, std::uint32_t trials, unsigned jobs,
+                            const std::string& metrics_out, bool procfs,
+                            PerfSummary& perf) {
+  std::vector<Config> cfgs;
+  for (const std::uint64_t s : harness::trial_seeds(cfg.seed, trials)) {
+    cfgs.push_back(cfg);
+    cfgs.back().seed = s;
+  }
+  const std::vector<harness::RunResult> runs = harness::run_batch(cfgs, jobs);
+  RunningStats stats;
+  for (const harness::RunResult& r : runs) {
+    stats.add(r.runtime_seconds);
+    perf.add_events(r.events_fired);
+    perf.add_faults(r.faults);
+  }
+  std::printf("runtime: %.2f s  (stdev %.2f)\n", stats.mean(), stats.stdev());
+  write_metrics(harness::merged_telemetry(runs), metrics_out, runs.front().clock_hz,
+                runs.front().trace_t0);
+  if (procfs) {
+    // The /proc view of trial 0 (each trial tears its node down; later
+    // trials differ only by seed).
+    std::printf("%s", runs.front().procfs_text.c_str());
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +295,9 @@ int main(int argc, char** argv) {
   std::string trace_cat = "all";
   bool audit = false, audit_on_fire = false;
   std::string inject_spec;
+  std::uint64_t sample_interval = 0;
+  std::string metrics_out;
+  bool procfs_dump = false;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -256,6 +340,12 @@ int main(int argc, char** argv) {
       audit_on_fire = true;
     } else if (!std::strcmp(argv[i], "--inject")) {
       inject_spec = next();
+    } else if (!std::strcmp(argv[i], "--sample-interval")) {
+      sample_interval = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      metrics_out = next();
+    } else if (!std::strcmp(argv[i], "--procfs-dump")) {
+      procfs_dump = true;
     } else {
       usage(argv[0]);
     }
@@ -278,6 +368,14 @@ int main(int argc, char** argv) {
     verify_cfg.inject = *plan;
   }
   const bool verifying = audit || verify_cfg.inject.any();
+
+  harness::IntrospectConfig introspect_cfg;
+  if (!metrics_out.empty() && sample_interval == 0) {
+    sample_interval = 50'000'000; // ~23 ms of virtual time on the R415
+  }
+  introspect_cfg.sample_interval = sample_interval;
+  introspect_cfg.procfs_dump = procfs_dump;
+  const bool introspecting = introspect_cfg.sampling() || procfs_dump;
 
   harness::TraceConfig trace_cfg;
   if (!trace_out.empty()) {
@@ -304,6 +402,7 @@ int main(int argc, char** argv) {
     cfg.footprint_scale = scale;
     cfg.duration_scale = duration;
     cfg.verify = verify_cfg;
+    cfg.introspect = introspect_cfg;
     std::printf("%s on %u nodes (%u ranks), %s, profile %s, %u trials\n", app.c_str(), nodes,
                 nodes * cfg.ranks_per_node, name(mgr).data(), cfg.commodity.name.c_str(),
                 trials);
@@ -313,10 +412,14 @@ int main(int argc, char** argv) {
       perf.add_faults(r.faults);
       std::printf("runtime: %.2f s\n", r.runtime_seconds);
       report_verification(r, verify_cfg.inject.any(), audit);
+      report_introspection(r, metrics_out, procfs_dump);
       if (!trace_out.empty()) {
         dump_trace(r, trace_out);
       }
       return r.audit_violations == 0 ? 0 : 1;
+    }
+    if (introspecting || !metrics_out.empty()) {
+      return run_introspected_trials(cfg, trials, jobs, metrics_out, procfs_dump, perf);
     }
     const harness::SeriesPoint p = harness::run_trials(cfg, trials);
     perf.add_events(p.events);
@@ -337,6 +440,7 @@ int main(int argc, char** argv) {
   cfg.footprint_scale = scale;
   cfg.duration_scale = duration;
   cfg.verify = verify_cfg;
+  cfg.introspect = introspect_cfg;
   std::printf("%s on %u cores, %s, profile %s, %u trials\n", app.c_str(), cores,
               name(mgr).data(), cfg.commodity.name.c_str(), trials);
 
@@ -359,10 +463,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.thp_merges));
     }
     report_verification(r, verify_cfg.inject.any(), audit);
+    report_introspection(r, metrics_out, procfs_dump);
     if (!trace_out.empty()) {
       dump_trace(r, trace_out);
     }
     return r.audit_violations == 0 ? 0 : 1;
+  }
+  if (introspecting || !metrics_out.empty()) {
+    return run_introspected_trials(cfg, trials, jobs, metrics_out, procfs_dump, perf);
   }
   const harness::SeriesPoint p = harness::run_trials(cfg, trials);
   perf.add_events(p.events);

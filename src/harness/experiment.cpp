@@ -8,6 +8,7 @@
 #include "harness/batch.hpp"
 #include "common/assert.hpp"
 #include "common/units.hpp"
+#include "introspect/procfs.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
 #include "trace/metrics.hpp"
@@ -318,6 +319,15 @@ RunResult run_single_node(const SingleNodeRunConfig& config) {
   jc.ranks = placements(node, config.app_cores);
   workloads::MpiJob job(engine, jc);
   const Cycles job_start = engine.now();
+  // Sampling brackets the job: the first sample lands at job_start
+  // (= trace_t0), and daemon scheduling means the sampler never extends
+  // the run past job completion.
+  introspect::TelemetrySampler sampler(
+      engine, {config.introspect.sample_interval, config.introspect.max_samples});
+  sampler.add_node(node);
+  if (config.introspect.sampling()) {
+    sampler.start();
+  }
   job.start([&engine] { engine.stop(); });
   engine.run();
   HPMMAP_ASSERT(job.done(), "engine drained before the job completed");
@@ -327,6 +337,10 @@ RunResult run_single_node(const SingleNodeRunConfig& config) {
   }
   RunResult result = collect(job, node, config.trace, job_start, machine.clock_hz);
   result.events_fired = engine.events_fired();
+  result.telemetry = sampler.take();
+  if (config.introspect.procfs_dump) {
+    result.procfs_text = introspect::procfs_dump(node);
+  }
   verify_session.finish(result, {&node});
   return result;
 }
@@ -386,6 +400,14 @@ RunResult run_scaling(const ScalingRunConfig& config) {
 
   workloads::MpiJob job(engine, jc);
   const Cycles job_start = engine.now();
+  introspect::TelemetrySampler sampler(
+      engine, {config.introspect.sample_interval, config.introspect.max_samples});
+  for (auto& n : nodes) {
+    sampler.add_node(*n);
+  }
+  if (config.introspect.sampling()) {
+    sampler.start();
+  }
   job.start([&engine] { engine.stop(); });
   engine.run();
   HPMMAP_ASSERT(job.done(), "engine drained before the job completed");
@@ -395,12 +417,31 @@ RunResult run_scaling(const ScalingRunConfig& config) {
   }
   RunResult result = collect(job, *nodes.front(), config.trace, job_start, machine.clock_hz);
   result.events_fired = engine.events_fired();
+  result.telemetry = sampler.take();
+  if (config.introspect.procfs_dump) {
+    for (auto& n : nodes) {
+      result.procfs_text += introspect::procfs_dump(*n);
+    }
+  }
   std::vector<os::Node*> node_ptrs;
   for (auto& n : nodes) {
     node_ptrs.push_back(n.get());
   }
   verify_session.finish(result, node_ptrs);
   return result;
+}
+
+std::vector<introspect::TimeSeries> merged_telemetry(const std::vector<RunResult>& runs) {
+  std::vector<introspect::TimeSeries> out;
+  for (std::size_t t = 0; t < runs.size(); ++t) {
+    const std::string trial = "trial=\"" + std::to_string(t) + "\"";
+    for (const introspect::TimeSeries& s : runs[t].telemetry) {
+      introspect::TimeSeries copy = s;
+      copy.labels = s.labels.empty() ? trial : s.labels + "," + trial;
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
 }
 
 SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials) {

@@ -12,6 +12,7 @@
 #include "common/assert.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "introspect/sampler.hpp"
 #include "linux_mm/fault.hpp"
 #include "trace/trace.hpp"
 #include "verify/fault_inject.hpp"
@@ -63,6 +64,24 @@ struct VerifyConfig {
   bool audit_on_injection = false;
 };
 
+/// Introspection knobs shared by both run shapes. Sampling starts at
+/// job launch (trace_t0) and reads pure observers only — a sampled run
+/// is byte-identical to an unsampled one in every other output (the
+/// contract tests/test_introspect.cpp pins). Telemetry rides per-run
+/// state, so BatchRunner's submission-order merge keeps `--jobs N`
+/// byte-identical too.
+struct IntrospectConfig {
+  /// Virtual cycles between telemetry samples; 0 = sampling off.
+  Cycles sample_interval = 0;
+  /// Ring capacity per series (oldest samples overwritten beyond).
+  std::size_t max_samples = 4096;
+  /// Capture the full procfs view (RunResult::procfs_text) at run end,
+  /// before the node is torn down.
+  bool procfs_dump = false;
+
+  [[nodiscard]] bool sampling() const noexcept { return sample_interval > 0; }
+};
+
 struct SingleNodeRunConfig {
   std::string app = "miniMD";
   Manager manager = Manager::kThp;
@@ -74,6 +93,7 @@ struct SingleNodeRunConfig {
   double footprint_scale = 1.0;
   double duration_scale = 1.0;
   VerifyConfig verify{};
+  IntrospectConfig introspect{};
 };
 
 /// Per-kind fault-cost distribution, as Figure 2/3 tabulates.
@@ -116,6 +136,13 @@ struct RunResult {
   std::uint64_t thp_fault_fallbacks = 0;
   std::uint64_t thp_merges_aborted = 0;
   std::uint64_t hugetlb_pool_exhausted = 0;
+
+  // --- introspection (populated when IntrospectConfig enabled any of it) ---
+  /// Telemetry time series sampled over the job (t0 = trace_t0), one
+  /// fixed-order block per node. Empty unless sampling was on.
+  std::vector<introspect::TimeSeries> telemetry;
+  /// Full procfs rendering of every node at run end (before teardown).
+  std::string procfs_text;
 
   [[nodiscard]] std::uint64_t injected_total() const noexcept {
     std::uint64_t total = 0;
@@ -166,6 +193,7 @@ struct ScalingRunConfig {
   double footprint_scale = 1.0;
   double duration_scale = 1.0;
   VerifyConfig verify{};
+  IntrospectConfig introspect{};
 };
 
 /// Run one multi-node trial (Sandia Xeon cluster model, 1 GbE).
@@ -199,5 +227,12 @@ struct SeriesPoint {
 /// whole-sweep batch fan-out live in batch.hpp.
 [[nodiscard]] SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials);
 [[nodiscard]] SeriesPoint run_trials(ScalingRunConfig config, std::uint32_t trials);
+
+/// Flatten per-trial telemetry into one export-ready stream: each trial's
+/// series gain a `trial="N"` label (N = submission index), concatenated in
+/// trial order. Because batch trials merge in submission order, the result
+/// is byte-identical for any --jobs value once exported.
+[[nodiscard]] std::vector<introspect::TimeSeries> merged_telemetry(
+    const std::vector<RunResult>& runs);
 
 } // namespace hpmmap::harness

@@ -1,0 +1,188 @@
+#include "introspect/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
+namespace hpmmap::introspect {
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    return false;
+  }
+  f.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return f.good();
+}
+
+/// Deterministic value formatting: integral values (the common case)
+/// print exactly, everything else with enough digits to round-trip.
+void append_value(std::string& out, double v) {
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  out += buf;
+}
+
+void append_seconds(std::string& out, Cycles ts, const trace::ExportOptions& opts) {
+  const Cycles rel = ts >= opts.t0 ? ts - opts.t0 : 0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9f", static_cast<double>(rel) / opts.clock_hz);
+  out += buf;
+}
+
+/// `node="n0",zone="0"` -> `node=n0;zone=0` (CSV- and track-name-safe).
+std::string flat_labels(std::string_view labels) {
+  std::string out;
+  out.reserve(labels.size());
+  for (const char c : labels) {
+    if (c == '"') {
+      continue;
+    }
+    out += c == ',' ? ';' : c;
+  }
+  return out;
+}
+
+/// OpenMetrics metric family name: the sample name minus any `_total`
+/// suffix (counter samples carry the suffix, the family does not).
+std::string_view family_name(const TimeSeries& s) {
+  std::string_view name = s.metric;
+  if (std::string_view{s.type} == "counter" && name.ends_with("_total")) {
+    name.remove_suffix(6);
+  }
+  return name;
+}
+
+} // namespace
+
+std::string openmetrics(const std::vector<TimeSeries>& series, const trace::ExportOptions& opts) {
+  std::string out;
+  std::vector<std::string_view> declared;
+  for (const TimeSeries& s : series) {
+    const std::string_view family = family_name(s);
+    bool seen = false;
+    for (const std::string_view d : declared) {
+      seen = seen || d == family;
+    }
+    if (!seen) {
+      declared.push_back(family);
+      out += "# TYPE ";
+      out += family;
+      out += ' ';
+      out += s.type;
+      out += '\n';
+    }
+    for (const TimePoint& p : s.ordered()) {
+      out += s.metric;
+      if (!s.labels.empty()) {
+        out += '{';
+        out += s.labels;
+        out += '}';
+      }
+      out += ' ';
+      append_value(out, p.value);
+      out += ' ';
+      append_seconds(out, p.ts, opts);
+      out += '\n';
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool write_openmetrics(const std::string& path, const std::vector<TimeSeries>& series,
+                       const trace::ExportOptions& opts) {
+  return write_file(path, openmetrics(series, opts));
+}
+
+std::string telemetry_csv(const std::vector<TimeSeries>& series,
+                          const trace::ExportOptions& opts) {
+  std::string out = "metric,labels,ts_cycles,t_seconds,value\n";
+  char buf[40];
+  for (const TimeSeries& s : series) {
+    const std::string labels = flat_labels(s.labels);
+    for (const TimePoint& p : s.ordered()) {
+      out += s.metric;
+      out += ',';
+      out += labels;
+      std::snprintf(buf, sizeof(buf), ",%" PRIu64 ",", p.ts);
+      out += buf;
+      append_seconds(out, p.ts, opts);
+      out += ',';
+      append_value(out, p.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool write_telemetry_csv(const std::string& path, const std::vector<TimeSeries>& series,
+                         const trace::ExportOptions& opts) {
+  return write_file(path, telemetry_csv(series, opts));
+}
+
+std::string chrome_json_with_counters(const std::vector<trace::Event>& events,
+                                      const std::vector<TimeSeries>& series,
+                                      const trace::ExportOptions& opts) {
+  std::string counters;
+  const double us_per_cycle = 1e6 / opts.clock_hz;
+  char buf[64];
+  bool first = true;
+  for (const TimeSeries& s : series) {
+    std::string track = s.metric;
+    const std::string labels = flat_labels(s.labels);
+    if (!labels.empty()) {
+      track += '{';
+      track += labels;
+      track += '}';
+    }
+    for (const TimePoint& p : s.ordered()) {
+      if (!first) {
+        counters += ",\n";
+      }
+      first = false;
+      const Cycles rel = p.ts >= opts.t0 ? p.ts - opts.t0 : 0;
+      counters += "{\"name\":\"";
+      counters += track; // metric names and flat labels need no escaping
+      std::snprintf(buf, sizeof(buf), "\",\"cat\":\"telemetry\",\"ph\":\"C\",\"ts\":%.3f",
+                    static_cast<double>(rel) * us_per_cycle);
+      counters += buf;
+      counters += ",\"pid\":0,\"tid\":0,\"args\":{\"value\":";
+      append_value(counters, p.value);
+      counters += "}}";
+    }
+  }
+  std::string out = trace::chrome_json(events, opts);
+  if (counters.empty()) {
+    return out;
+  }
+  // chrome_json() emits "[\n<events>\n]\n"; splice the counter objects
+  // in before the closing bracket.
+  const std::size_t close = out.rfind("\n]\n");
+  if (close == std::string::npos) {
+    return out; // unexpected tail: leave the valid event array alone
+  }
+  const bool has_events = !events.empty();
+  std::string merged = out.substr(0, close);
+  merged += has_events ? ",\n" : "";
+  merged += counters;
+  merged += "\n]\n";
+  return merged;
+}
+
+bool write_chrome_json_with_counters(const std::string& path,
+                                     const std::vector<trace::Event>& events,
+                                     const std::vector<TimeSeries>& series,
+                                     const trace::ExportOptions& opts) {
+  return write_file(path, chrome_json_with_counters(events, series, opts));
+}
+
+} // namespace hpmmap::introspect

@@ -1,0 +1,50 @@
+// Telemetry exporters: OpenMetrics text, flat CSV, and Perfetto counter
+// tracks spliced into the existing Chrome trace-event export so the
+// fragmentation/pool/fault-rate curves render alongside the tracepoint
+// streams of src/trace.
+//
+// All numeric formatting is locale-independent and exact for integral
+// values (the common case — byte totals and counters), so exported text
+// is byte-identical for identical series: the `--jobs` determinism
+// contract extends through the files on disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "introspect/sampler.hpp"
+#include "trace/export.hpp"
+
+namespace hpmmap::introspect {
+
+/// OpenMetrics exposition text: one `# TYPE` line per metric family
+/// (first-appearance order), every sample with a timestamp in seconds
+/// of virtual time since `opts.t0`, terminated by `# EOF`.
+[[nodiscard]] std::string openmetrics(const std::vector<TimeSeries>& series,
+                                      const trace::ExportOptions& opts = {});
+
+bool write_openmetrics(const std::string& path, const std::vector<TimeSeries>& series,
+                       const trace::ExportOptions& opts = {});
+
+/// CSV with header `metric,labels,ts_cycles,t_seconds,value`; labels
+/// flatten to `;`-joined `key=value` pairs so the field stays
+/// comma-free.
+[[nodiscard]] std::string telemetry_csv(const std::vector<TimeSeries>& series,
+                                        const trace::ExportOptions& opts = {});
+
+bool write_telemetry_csv(const std::string& path, const std::vector<TimeSeries>& series,
+                         const trace::ExportOptions& opts = {});
+
+/// trace::chrome_json() plus one Perfetto counter track per series
+/// ("ph":"C", track name `metric{labels}`): open the file in Perfetto
+/// and the telemetry curves draw above the event tracks.
+[[nodiscard]] std::string chrome_json_with_counters(const std::vector<trace::Event>& events,
+                                                    const std::vector<TimeSeries>& series,
+                                                    const trace::ExportOptions& opts = {});
+
+bool write_chrome_json_with_counters(const std::string& path,
+                                     const std::vector<trace::Event>& events,
+                                     const std::vector<TimeSeries>& series,
+                                     const trace::ExportOptions& opts = {});
+
+} // namespace hpmmap::introspect

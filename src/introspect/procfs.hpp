@@ -1,0 +1,54 @@
+// Kernel-faithful procfs text rendering over introspect/snapshot.hpp
+// records.
+//
+// Formats follow the kernel files they emulate (column widths, kB
+// units, field order) so existing eyeballs and scripts transfer:
+//   /proc/buddyinfo       per-zone per-order free block counts
+//   /proc/meminfo         byte totals, rendered in kB
+//   /proc/vmstat          cumulative event counters
+//   /proc/pagetypeinfo    block-head counts by owner state and order
+//   /proc/<pid>/smaps     per-VMA RSS breakdown by backing page size
+// plus two files the real HPMMAP module would expose through procfs:
+//   /proc/hpmmap          module + Kitten allocator stats
+//   khugepaged/hugetlb    daemon and pool stats
+//
+// Fidelity notes live in DESIGN.md §10; everything rendered here is
+// integral (counts, kB), so the text is bit-stable across compilers —
+// the golden-file contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "introspect/snapshot.hpp"
+
+namespace hpmmap::os {
+class Node;
+class Process;
+}
+
+namespace hpmmap::introspect {
+
+// --- renderers over captured records -----------------------------------
+[[nodiscard]] std::string render_buddyinfo(const std::vector<BuddyinfoZone>& zones);
+[[nodiscard]] std::string render_meminfo(const Meminfo& info);
+[[nodiscard]] std::string render_vmstat(const Vmstat& stats);
+[[nodiscard]] std::string render_pagetypeinfo(const std::vector<PagetypeinfoZone>& zones);
+[[nodiscard]] std::string render_smaps(const SmapsProcess& proc);
+
+// --- capture + render in one step ---------------------------------------
+[[nodiscard]] std::string buddyinfo_text(os::Node& node);
+[[nodiscard]] std::string meminfo_text(os::Node& node);
+[[nodiscard]] std::string vmstat_text(os::Node& node);
+[[nodiscard]] std::string pagetypeinfo_text(os::Node& node);
+[[nodiscard]] std::string smaps_text(os::Node& node, const os::Process& proc);
+/// Module/daemon stats: /proc/hpmmap analog (empty string when the
+/// module is not loaded), khugepaged and hugetlb pool counters.
+[[nodiscard]] std::string hpmmap_text(os::Node& node);
+
+/// The whole procfs view of a node: every file above plus smaps for
+/// every live process, concatenated with `==> path <==` headers (the
+/// `tail -n +1 /proc/*` idiom).
+[[nodiscard]] std::string procfs_dump(os::Node& node);
+
+} // namespace hpmmap::introspect

@@ -1,0 +1,164 @@
+#include "introspect/sampler.hpp"
+
+#include <utility>
+
+#include "core/kitten_allocator.hpp"
+#include "core/module.hpp"
+#include "linux_mm/buddy_allocator.hpp"
+#include "linux_mm/fault.hpp"
+#include "linux_mm/hugetlbfs.hpp"
+#include "linux_mm/memory_system.hpp"
+#include "linux_mm/page_cache.hpp"
+#include "linux_mm/thp.hpp"
+#include "os/node.hpp"
+#include "os/process.hpp"
+
+namespace hpmmap::introspect {
+
+namespace {
+
+std::string zone_labels(const std::string& node_name, ZoneId zone) {
+  return "node=\"" + node_name + "\",zone=\"" + std::to_string(zone) + "\"";
+}
+
+std::string node_labels(const std::string& node_name) {
+  return "node=\"" + node_name + "\"";
+}
+
+} // namespace
+
+void TelemetrySampler::add_node(os::Node& node) {
+  if (!config_.on()) {
+    return;
+  }
+  NodeEntry entry;
+  entry.node = &node;
+  entry.first_series = series_.size();
+  const std::string& name = node.config().name;
+  const auto add = [&](std::string metric, std::string labels, const char* type) {
+    TimeSeries s;
+    s.metric = std::move(metric);
+    s.labels = std::move(labels);
+    s.type = type;
+    s.capacity = config_.max_samples;
+    s.points.reserve(config_.max_samples);
+    series_.push_back(std::move(s));
+  };
+  const std::uint32_t zones = node.memory().zone_count();
+  for (ZoneId z = 0; z < zones; ++z) {
+    add("hpmmap_zone_free_bytes", zone_labels(name, z), "gauge");
+    add("hpmmap_zone_cached_bytes", zone_labels(name, z), "gauge");
+    add("hpmmap_zone_fragmentation", zone_labels(name, z), "gauge");
+    add("hpmmap_zone_free_blocks",
+        zone_labels(name, z) + ",order=\"9\"", "gauge");
+  }
+  if (node.hugetlb() != nullptr) {
+    for (ZoneId z = 0; z < zones; ++z) {
+      add("hpmmap_hugetlb_free_pages", zone_labels(name, z), "gauge");
+    }
+  }
+  add("hpmmap_pgfault_total", node_labels(name), "counter");
+  add("hpmmap_pgfault_per_second", node_labels(name), "gauge");
+  add("hpmmap_pswpout_total", node_labels(name), "counter");
+  add("hpmmap_rss_bytes", node_labels(name), "gauge");
+  if (node.thp() != nullptr) {
+    add("hpmmap_thp_collapse_total", node_labels(name), "counter");
+    add("hpmmap_thp_fault_fallback_total", node_labels(name), "counter");
+  }
+  if (node.hpmmap_module() != nullptr) {
+    add("hpmmap_module_free_bytes", node_labels(name), "gauge");
+    add("hpmmap_module_bytes_mapped", node_labels(name), "gauge");
+  }
+  nodes_.push_back(entry);
+}
+
+void TelemetrySampler::start() {
+  if (!config_.on() || nodes_.empty()) {
+    return;
+  }
+  tick();
+}
+
+void TelemetrySampler::stop() {
+  if (pending_.valid()) {
+    engine_.cancel(pending_);
+    pending_ = sim::EventId{};
+  }
+}
+
+std::vector<TimeSeries> TelemetrySampler::take() {
+  stop();
+  nodes_.clear();
+  return std::move(series_);
+}
+
+void TelemetrySampler::tick() {
+  for (NodeEntry& entry : nodes_) {
+    sample(entry);
+  }
+  ++samples_;
+  pending_ = engine_.schedule_daemon(config_.interval, [this] { tick(); });
+}
+
+void TelemetrySampler::sample(NodeEntry& entry) {
+  os::Node& node = *entry.node;
+  const Cycles now = engine_.now();
+  std::size_t i = entry.first_series;
+  const auto emit = [&](double value) { series_[i++].append(now, value); };
+
+  mm::MemorySystem& mem = node.memory();
+  const std::uint32_t zones = mem.zone_count();
+  for (ZoneId z = 0; z < zones; ++z) {
+    const mm::BuddyAllocator& buddy = mem.buddy(z);
+    emit(static_cast<double>(buddy.free_bytes()));
+    emit(static_cast<double>(mem.cache(z).cached_bytes()));
+    emit(buddy.fragmentation());
+    emit(static_cast<double>(buddy.free_blocks(mm::kLargePageOrder)));
+  }
+  if (const mm::HugetlbPool* pool = node.hugetlb()) {
+    for (ZoneId z = 0; z < zones; ++z) {
+      emit(static_cast<double>(pool->free_pages(z)));
+    }
+  }
+  std::uint64_t pgfault = 0;
+  std::uint64_t rss = 0;
+  node.for_each_process([&](const os::Process& p) {
+    const mm::FaultStats& fs = p.fault_stats();
+    for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+      pgfault += fs.count[k];
+    }
+    if (p.alive()) {
+      rss += p.address_space().rss_bytes();
+    }
+  });
+  emit(static_cast<double>(pgfault));
+  // vmstat-style derived rate: faults per simulated second over the
+  // last interval. The first sample has no interval behind it.
+  double rate = 0.0;
+  if (entry.primed) {
+    const double interval_s = node.seconds(config_.interval);
+    rate = interval_s > 0.0
+               ? static_cast<double>(pgfault - entry.last_pgfault) / interval_s
+               : 0.0;
+  }
+  emit(rate);
+  entry.last_pgfault = pgfault;
+  entry.primed = true;
+  emit(static_cast<double>(node.swapped_out_total()));
+  emit(static_cast<double>(rss));
+  if (const mm::ThpService* thp = node.thp()) {
+    emit(static_cast<double>(thp->stats().merges_completed));
+    emit(static_cast<double>(thp->stats().fault_huge_fallback));
+  }
+  if (const core::HpmmapModule* mod = node.hpmmap_module()) {
+    const core::KittenAllocator& kitten = mod->allocator();
+    std::uint64_t free = 0;
+    for (ZoneId z = 0; z < kitten.zone_count(); ++z) {
+      free += kitten.free_bytes(z);
+    }
+    emit(static_cast<double>(free));
+    emit(static_cast<double>(mod->stats().bytes_mapped));
+  }
+}
+
+} // namespace hpmmap::introspect

@@ -1,0 +1,128 @@
+// Engine-driven telemetry sampler: bounded ring-buffered time series of
+// mm state, captured at a configurable virtual-time interval.
+//
+// The sampler schedules itself as a *daemon* event on the simulation
+// engine (sim::Engine::schedule_daemon): ticks fire on the virtual
+// clock between real events but never keep the engine alive or extend a
+// run. Each tick reads O(zones + processes) cheap accessors — free
+// bytes, fragmentation, cumulative counters — and appends one point per
+// series into preallocated rings; it consumes no randomness, charges no
+// cycles, emits no trace events and takes no locks, so a sampled run is
+// byte-identical to an unsampled one in every other output (trace
+// streams, golden tables, results). That is the determinism contract
+// tests/test_introspect.cpp pins.
+//
+// Series live on the sampler (per run, on the run's thread), so
+// BatchRunner's submission-order merge gives byte-identical telemetry
+// for any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace hpmmap::os {
+class Node;
+}
+
+namespace hpmmap::introspect {
+
+struct TimePoint {
+  Cycles ts = 0; // absolute virtual time (subtract the run's t0)
+  double value = 0.0;
+};
+
+/// One metric instance: an OpenMetrics-style (name, label set) pair
+/// with a bounded ring of samples. Oldest points are overwritten once
+/// `capacity` is reached (`dropped` counts them), like the trace
+/// subsystem's flight recorder.
+struct TimeSeries {
+  std::string metric;      // e.g. "hpmmap_zone_free_bytes"
+  std::string labels;      // rendered pairs: node="n0",zone="0" (may be "")
+  const char* type = "gauge"; // OpenMetrics family type: "gauge" | "counter"
+  std::vector<TimePoint> points; // ring storage; oldest at ring_start
+  std::size_t ring_start = 0;
+  std::size_t capacity = 0;
+  std::uint64_t dropped = 0;
+
+  void append(Cycles ts, double value) {
+    if (points.size() < capacity) {
+      points.push_back(TimePoint{ts, value});
+      return;
+    }
+    if (capacity == 0) {
+      ++dropped;
+      return;
+    }
+    points[ring_start] = TimePoint{ts, value};
+    ring_start = (ring_start + 1) % capacity;
+    ++dropped;
+  }
+
+  /// Chronological copy (unwinds the ring).
+  [[nodiscard]] std::vector<TimePoint> ordered() const {
+    std::vector<TimePoint> out;
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out.push_back(points[(ring_start + i) % points.size()]);
+    }
+    return out;
+  }
+};
+
+struct SamplerConfig {
+  /// Virtual cycles between samples; 0 disables the sampler entirely.
+  Cycles interval = 0;
+  /// Ring capacity per series; oldest samples are overwritten beyond.
+  std::size_t max_samples = 4096;
+
+  [[nodiscard]] bool on() const noexcept { return interval > 0; }
+};
+
+class TelemetrySampler {
+ public:
+  TelemetrySampler(sim::Engine& engine, SamplerConfig config)
+      : engine_(engine), config_(config) {}
+  ~TelemetrySampler() { stop(); }
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Register a node to sample; pre-creates its series (fixed set, fixed
+  /// order — the determinism anchor). Call before start().
+  void add_node(os::Node& node);
+
+  /// Take the first sample now and tick every `interval` cycles from
+  /// here on daemon events. No-op when the config is off.
+  void start();
+
+  /// Cancel the pending tick (idempotent; destructor calls it).
+  void stop();
+
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept { return samples_; }
+
+  /// Stop and move the collected series out (sampler becomes empty).
+  [[nodiscard]] std::vector<TimeSeries> take();
+
+ private:
+  struct NodeEntry {
+    os::Node* node = nullptr;
+    std::size_t first_series = 0; // index into series_
+    std::uint64_t last_pgfault = 0; // for the vmstat-style derived rate
+    bool primed = false;
+  };
+
+  void tick();
+  void sample(NodeEntry& entry);
+
+  sim::Engine& engine_;
+  SamplerConfig config_;
+  std::vector<TimeSeries> series_;
+  std::vector<NodeEntry> nodes_;
+  sim::EventId pending_{};
+  std::uint64_t samples_ = 0;
+};
+
+} // namespace hpmmap::introspect

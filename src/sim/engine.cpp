@@ -14,7 +14,7 @@ Engine::Engine() {
 
 Engine::~Engine() { trace::clear_clock(this); }
 
-EventId Engine::schedule_entry(Cycles when, EventCallback fn) {
+EventId Engine::schedule_entry(Cycles when, EventCallback fn, bool daemon) {
   HPMMAP_ASSERT(when >= now_, "cannot schedule an event in the past");
   HPMMAP_ASSERT(fn != nullptr, "event callback must be callable");
   std::uint32_t slot;
@@ -27,9 +27,13 @@ EventId Engine::schedule_entry(Cycles when, EventCallback fn) {
   }
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
+  s.daemon = daemon;
   heap_.push_back(Entry{when, next_seq_++, slot, s.gen});
   sift_up(heap_.size() - 1);
   ++live_;
+  if (daemon) {
+    ++daemon_live_;
+  }
   return EventId{slot + 1, s.gen};
 }
 
@@ -47,6 +51,11 @@ void Engine::cancel(EventId id) {
   // are released at cancel time, not when the stale entry drains.
   ++slots_[slot].gen;
   slots_[slot].fn = EventCallback{};
+  if (slots_[slot].daemon) {
+    slots_[slot].daemon = false;
+    HPMMAP_ASSERT(daemon_live_ > 0, "cancel with no live daemons");
+    --daemon_live_;
+  }
   ++cancelled_;
   HPMMAP_ASSERT(live_ > 0, "cancel with no live events");
   --live_;
@@ -100,6 +109,12 @@ void Engine::pop_min() noexcept {
 
 bool Engine::fire_next(Cycles limit) {
   while (!heap_.empty()) {
+    // A queue holding only daemon events is drained: background
+    // observers (sampler ticks) must not keep the simulation alive or
+    // advance time past the last piece of real work.
+    if (live_ == daemon_live_) {
+      return false;
+    }
     const Entry e = heap_.front();
     if (e.when > limit) {
       return false;
@@ -114,6 +129,11 @@ bool Engine::fire_next(Cycles limit) {
       continue;
     }
     ++s.gen;
+    if (s.daemon) {
+      s.daemon = false;
+      HPMMAP_ASSERT(daemon_live_ > 0, "firing with no live daemons");
+      --daemon_live_;
+    }
     // Move the callback out before invoking: the callback may schedule,
     // growing slots_ and invalidating s — and may immediately reuse this
     // very slot, which is released below.
@@ -121,7 +141,9 @@ bool Engine::fire_next(Cycles limit) {
     free_slots_.push_back(e.slot);
     HPMMAP_ASSERT(live_ > 0, "firing with no live events");
     --live_;
-    now_ = e.when;
+    // max(): a daemon entry can sit below now_ if a run_until() window
+    // ended while only daemons remained; time never moves backward.
+    now_ = e.when > now_ ? e.when : now_;
     ++fired_;
     fn();
     return true;

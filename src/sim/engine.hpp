@@ -65,6 +65,28 @@ class Engine {
     }
   }
 
+  /// Schedule `fn` as a *daemon* event `delay` cycles from now. Daemon
+  /// events fire like any other while real work is pending, but they do
+  /// not keep the engine alive: run() treats a queue holding only daemon
+  /// events as drained. This is what periodic background activity (the
+  /// telemetry sampler) needs — a self-rescheduling observer must never
+  /// turn a terminating simulation into an infinite one.
+  template <typename F>
+  EventId schedule_daemon(Cycles delay, F&& fn) {
+    return schedule_daemon_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Daemon variant of schedule_at (see schedule_daemon).
+  template <typename F>
+  EventId schedule_daemon_at(Cycles when, F&& fn) {
+    if constexpr (std::is_same_v<std::decay_t<F>, EventCallback>) {
+      return schedule_entry(when, std::move(fn), /*daemon=*/true);
+    } else {
+      return schedule_entry(when, EventCallback(std::forward<F>(fn), &arena_),
+                            /*daemon=*/true);
+    }
+  }
+
   /// Cancel a pending event. Cancelling an already-fired or invalid id is
   /// a harmless no-op (mirrors timer APIs the actors expect).
   void cancel(EventId id);
@@ -82,6 +104,8 @@ class Engine {
 
   /// Exact count of events armed but neither fired nor cancelled.
   [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
+  /// How many of those are daemon events (they never keep run() alive).
+  [[nodiscard]] std::size_t pending_daemons() const noexcept { return daemon_live_; }
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
   [[nodiscard]] std::uint64_t events_cancelled() const noexcept { return cancelled_; }
 
@@ -107,9 +131,10 @@ class Engine {
   struct Slot {
     EventCallback fn;
     std::uint32_t gen = 1;
+    bool daemon = false;
   };
 
-  EventId schedule_entry(Cycles when, EventCallback fn);
+  EventId schedule_entry(Cycles when, EventCallback fn, bool daemon = false);
   /// True iff a comes strictly before b in firing order.
   [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
     return a.when != b.when ? a.when < b.when : a.seq < b.seq;
@@ -132,6 +157,7 @@ class Engine {
   std::uint64_t fired_ = 0;
   std::uint64_t cancelled_ = 0;
   std::size_t live_ = 0;
+  std::size_t daemon_live_ = 0;
   bool stopped_ = false;
 };
 

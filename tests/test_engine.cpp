@@ -228,6 +228,88 @@ TEST(Engine, ScheduleAtAbsoluteTime) {
   EXPECT_EQ(seen, 40u);
 }
 
+TEST(EngineDaemon, DaemonAloneNeverKeepsRunAlive) {
+  Engine e;
+  int fired = 0;
+  (void)e.schedule_daemon(10, [&] { ++fired; });
+  e.run(); // only daemon work pending: the queue counts as drained
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_EQ(e.pending_daemons(), 1u);
+}
+
+TEST(EngineDaemon, DaemonFiresBetweenRealEvents) {
+  Engine e;
+  std::vector<Cycles> ticks;
+  // Self-rescheduling daemon every 10 cycles; one real event at 35.
+  // The daemon fires at 10/20/30 (before the event) but cannot extend
+  // the run past 35.
+  struct Ticker {
+    Engine& e;
+    std::vector<Cycles>& ticks;
+    void tick() {
+      ticks.push_back(e.now());
+      (void)e.schedule_daemon(10, [this] { tick(); });
+    }
+  } ticker{e, ticks};
+  (void)e.schedule_daemon(10, [&ticker] { ticker.tick(); });
+  bool ran = false;
+  e.schedule(35, [&] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(e.now(), 35u);
+  EXPECT_EQ(ticks, (std::vector<Cycles>{10, 20, 30}));
+  EXPECT_EQ(e.pending_daemons(), 1u); // the 40-tick stays parked
+}
+
+TEST(EngineDaemon, CancelClearsDaemonAccounting) {
+  Engine e;
+  const EventId id = e.schedule_daemon(10, [] {});
+  EXPECT_EQ(e.pending_daemons(), 1u);
+  e.cancel(id);
+  EXPECT_EQ(e.pending_daemons(), 0u);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(EngineDaemon, StaleDaemonDoesNotRewindClock) {
+  Engine e;
+  // Daemon parked at t=10; run_until(100) must not fire it after
+  // jumping the clock forward, and a later real event keeps time
+  // monotonic.
+  int fired = 0;
+  (void)e.schedule_daemon(10, [&] { ++fired; });
+  e.run_until(100);
+  EXPECT_EQ(e.now(), 100u);
+  bool ran = false;
+  e.schedule(5, [&] { ran = true; }); // relative: fires at 105
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(fired, 1); // stale daemon drains before the event...
+  EXPECT_EQ(e.now(), 105u); // ...without rewinding now()
+}
+
+TEST(EngineDaemon, MixedDrainStopsWhenOnlyDaemonsRemain) {
+  Engine e;
+  int daemon_fires = 0;
+  struct Resampler {
+    Engine& e;
+    int& fires;
+    void tick() {
+      ++fires;
+      (void)e.schedule_daemon(1, [this] { tick(); });
+    }
+  } r{e, daemon_fires};
+  (void)e.schedule_daemon(1, [&r] { r.tick(); });
+  for (Cycles t = 1; t <= 5; ++t) {
+    e.schedule(t * 100, [] {});
+  }
+  e.run();
+  EXPECT_EQ(e.now(), 500u);
+  // One fire per cycle 1..499; at t=500 the real event (earlier seq)
+  // fires first, after which only daemon work remains and the run ends.
+  EXPECT_EQ(daemon_fires, 499);
+}
+
 TEST(EngineDeath, SchedulingInPastAborts) {
   Engine e;
   e.schedule(100, [&] {
