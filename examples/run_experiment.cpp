@@ -20,10 +20,12 @@
 // prints the kernel-style /proc view of every node at run end.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "harness/batch.hpp"
+#include "hw/machine.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "introspect/export.hpp"
@@ -38,6 +40,9 @@ using namespace hpmmap;
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
+      "  --experiment E   hpc | server                              (default hpc)\n"
+      "                   server: open-loop request/response service with\n"
+      "                   tail-latency SLO accounting (see --rate/--shape/--slo)\n"
       "  --app NAME       HPCCG | CoMD | miniMD | miniFE | LAMMPS   (default HPCCG)\n"
       "  --manager M      thp | hugetlbfs | hpmmap                  (default hpmmap)\n"
       "  --profile P      none | A | B (single node) | C | D (cluster) (default A)\n"
@@ -47,6 +52,11 @@ using namespace hpmmap;
       "  --scale F        footprint scale                           (default 1.0)\n"
       "  --duration F     iteration-count scale                     (default 0.1)\n"
       "  --seed N         base RNG seed                             (default 42)\n"
+      "  --rate RPS       server: mean request rate                 (default 2000)\n"
+      "  --shape S        server: poisson | bursty | diurnal        (default poisson)\n"
+      "  --workers N      server: worker processes (= cores)        (default 4)\n"
+      "  --queue-depth N  server: admission queue capacity          (default 64)\n"
+      "  --slo MS[,MS..]  server: latency budgets in milliseconds   (default 2,10)\n"
       "  --jobs N         worker threads for the trial loop; 0 = all hardware\n"
       "                   threads (default 0; results identical for any value)\n"
       "  --perf-summary   append simulator throughput after the run: engine\n"
@@ -97,8 +107,10 @@ harness::Manager parse_manager(const std::string& s) {
 }
 
 /// Export one traced run: Perfetto-loadable JSON (with telemetry counter
-/// tracks when the run sampled), CSV twin, metric report.
-void dump_trace(const harness::RunResult& r, const std::string& path) {
+/// tracks when the run sampled), CSV twin, metric report. Templated so
+/// serving runs (ServerRunResult) export identically.
+template <typename R>
+void dump_trace(const R& r, const std::string& path) {
   trace::ExportOptions eopt;
   eopt.clock_hz = r.clock_hz;
   eopt.t0 = r.trace_t0;
@@ -140,7 +152,8 @@ void write_metrics(const std::vector<introspect::TimeSeries>& series,
 }
 
 /// Introspection output for a single (traced/verified) run.
-void report_introspection(const harness::RunResult& r, const std::string& metrics_out,
+template <typename R>
+void report_introspection(const R& r, const std::string& metrics_out,
                           bool procfs) {
   write_metrics(r.telemetry, metrics_out, r.clock_hz, r.trace_t0);
   if (procfs) {
@@ -281,6 +294,99 @@ int run_introspected_trials(const Config& cfg, std::uint32_t trials, unsigned jo
   return 0;
 }
 
+/// Parse "--slo 2,10" (milliseconds) into cycle budgets on the R415
+/// clock. Empty result on a malformed spec.
+std::vector<serving::SloBudget> parse_slo_spec(const std::string& spec, double clock_hz) {
+  std::vector<serving::SloBudget> budgets;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string part = spec.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double ms = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0' || ms <= 0.0) {
+      return {};
+    }
+    serving::SloBudget b;
+    b.label = "lat<" + part + "ms";
+    b.budget = static_cast<hpmmap::Cycles>(ms * 1e-3 * clock_hz);
+    budgets.push_back(std::move(b));
+    pos = comma + 1;
+  }
+  return budgets;
+}
+
+/// The serving experiment: per-trial tail/SLO table plus totals. All
+/// output derives from run_server_trials' submission-order results, so
+/// it is byte-identical for any --jobs value.
+int run_server_mode(const harness::ServerRunConfig& cfg, std::uint32_t trials,
+                    unsigned jobs, const std::string& trace_out,
+                    const std::string& metrics_out, bool procfs_dump, bool audit,
+                    PerfSummary& perf) {
+  const bool single = !trace_out.empty() || procfs_dump;
+  const std::vector<harness::ServerRunResult> runs =
+      single ? std::vector<harness::ServerRunResult>{harness::run_server(cfg)}
+             : harness::run_server_trials(cfg, trials, jobs);
+
+  harness::Table t({"Trial", "Completed", "Shed", "p50 us", "p95 us", "p99 us",
+                    "p99.9 us", "SLO violations"});
+  std::uint64_t total_violations = 0, total_shed = 0, total_completed = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const harness::ServerRunResult& r = runs[i];
+    perf.add_events(r.events_fired);
+    perf.add_faults(r.faults);
+    total_violations += r.slo_total;
+    total_shed += r.server.shed_queue + r.server.shed_timeout;
+    total_completed += r.server.completed;
+    t.add_row({std::to_string(i), harness::with_commas(r.server.completed),
+               harness::with_commas(r.server.shed_queue + r.server.shed_timeout),
+               std::to_string(static_cast<std::uint64_t>(r.tail.p50_us)),
+               std::to_string(static_cast<std::uint64_t>(r.tail.p95_us)),
+               std::to_string(static_cast<std::uint64_t>(r.tail.p99_us)),
+               std::to_string(static_cast<std::uint64_t>(r.tail.p999_us)),
+               harness::with_commas(r.slo_total)});
+  }
+  t.print();
+  for (const harness::SloOutcome& o : runs.front().slo) {
+    std::uint64_t v = 0;
+    for (const harness::ServerRunResult& r : runs) {
+      for (const harness::SloOutcome& ro : r.slo) {
+        if (ro.label == o.label) {
+          v += ro.violations;
+        }
+      }
+    }
+    std::printf("slo %s: %s violations across %zu trial(s)\n", o.label.c_str(),
+                harness::with_commas(v).c_str(), runs.size());
+  }
+  std::printf("total: %s completed, %s shed, %s SLO violations\n",
+              harness::with_commas(total_completed).c_str(),
+              harness::with_commas(total_shed).c_str(),
+              harness::with_commas(total_violations).c_str());
+  const harness::ServerRunResult& first = runs.front();
+  std::printf("cache: %s hits / %s misses; slab: %s allocs (%s recycled), %s chunks\n",
+              harness::with_commas(first.server.cache_hits).c_str(),
+              harness::with_commas(first.server.cache_misses).c_str(),
+              harness::with_commas(first.server.slab.objects_allocated).c_str(),
+              harness::with_commas(first.server.slab.objects_recycled).c_str(),
+              harness::with_commas(first.server.slab.chunks_mapped).c_str());
+  if (audit) {
+    std::printf("%s", first.audit_report.c_str());
+    if (!first.audit_report.empty() && first.audit_report.back() != '\n') {
+      std::printf("\n");
+    }
+  }
+  report_introspection(first, metrics_out, procfs_dump);
+  if (!trace_out.empty()) {
+    dump_trace(first, trace_out);
+  }
+  std::uint64_t audit_violations = 0;
+  for (const harness::ServerRunResult& r : runs) {
+    audit_violations += r.audit_violations;
+  }
+  return audit_violations == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +404,11 @@ int main(int argc, char** argv) {
   std::uint64_t sample_interval = 0;
   std::string metrics_out;
   bool procfs_dump = false;
+  std::string experiment = "hpc";
+  double rate = 2000.0;
+  std::string shape = "poisson";
+  std::uint32_t workers = 4, queue_depth = 64;
+  std::string slo_spec = "2,10";
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -308,6 +419,18 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--app")) {
       app = next();
+    } else if (!std::strcmp(argv[i], "--experiment")) {
+      experiment = next();
+    } else if (!std::strcmp(argv[i], "--rate")) {
+      rate = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--shape")) {
+      shape = next();
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      workers = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--queue-depth")) {
+      queue_depth = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--slo")) {
+      slo_spec = next();
     } else if (!std::strcmp(argv[i], "--manager")) {
       manager = next();
     } else if (!std::strcmp(argv[i], "--profile")) {
@@ -386,7 +509,51 @@ int main(int argc, char** argv) {
     }
     trace_cfg.categories = *mask;
   } else if (trace) {
-    trace_cfg.categories = static_cast<std::uint32_t>(trace::Category::kFault);
+    trace_cfg.categories = static_cast<std::uint32_t>(
+        experiment == "server" ? trace::Category::kServer : trace::Category::kFault);
+  }
+
+  if (experiment == "server") {
+    harness::ServerRunConfig cfg;
+    cfg.manager = mgr;
+    cfg.commodity = profile == "A"   ? workloads::profile_a(workers)
+                    : profile == "B" ? workloads::profile_b(workers)
+                                     : workloads::no_competition();
+    cfg.service.workers = workers;
+    cfg.service.queue_depth = queue_depth;
+    cfg.arrival.mean_rps = rate;
+    if (!serving::parse_shape(shape, cfg.arrival.shape)) {
+      std::fprintf(stderr, "unknown arrival shape '%s' (poisson|bursty|diurnal)\n",
+                   shape.c_str());
+      return 1;
+    }
+    cfg.service.budgets = parse_slo_spec(slo_spec, hw::dell_r415().clock_hz);
+    if (cfg.service.budgets.empty()) {
+      std::fprintf(stderr, "bad --slo spec '%s' (comma-separated milliseconds)\n",
+                   slo_spec.c_str());
+      return 1;
+    }
+    cfg.seed = seed;
+    cfg.trace = trace_cfg;
+    cfg.duration_scale = duration;
+    cfg.verify = verify_cfg;
+    cfg.introspect = introspect_cfg;
+    std::printf("server: %s @ %.0f rps, %u workers, %s, profile %s, %u trials\n",
+                shape.c_str(), rate, workers, name(mgr).data(),
+                cfg.commodity.name.c_str(), trials);
+    return run_server_mode(cfg, trials, jobs, trace_out, metrics_out, procfs_dump,
+                           audit, perf);
+  }
+  if (experiment != "hpc") {
+    std::fprintf(stderr, "unknown experiment '%s' (hpc|server)\n", experiment.c_str());
+    return 1;
+  }
+  // Validate the app name up front: a typo should print the known list,
+  // not surface as an exception out of a worker thread.
+  if (!workloads::try_profile_by_name(app, hw::dell_r415().clock_hz)) {
+    std::fprintf(stderr, "unknown app '%s' (known: %s)\n", app.c_str(),
+                 std::string(workloads::known_profile_names()).c_str());
+    return 1;
   }
 
   if (nodes > 1) {

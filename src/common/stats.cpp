@@ -199,6 +199,21 @@ double P2Quantile::value() const noexcept {
   return heights_[2];
 }
 
+TailQuantiles::TailQuantiles()
+    : q_{P2Quantile(kQuantiles[0]), P2Quantile(kQuantiles[1]), P2Quantile(kQuantiles[2]),
+         P2Quantile(kQuantiles[3])} {}
+
+void TailQuantiles::add(double x) noexcept {
+  for (P2Quantile& q : q_) {
+    q.add(x);
+  }
+  stats_.add(x);
+}
+
+double TailQuantiles::value(std::size_t i) const noexcept {
+  return i < kCount ? q_[i].value() : 0.0;
+}
+
 void Log2Histogram::add(std::uint64_t x) noexcept {
   const unsigned bucket = x == 0 ? 0 : static_cast<unsigned>(std::bit_width(x) - 1);
   ++buckets_[bucket < kBuckets ? bucket : kBuckets - 1];

@@ -132,4 +132,26 @@ std::vector<RunResult> run_batch(const std::vector<ScalingRunConfig>& configs,
   return batch(configs, jobs);
 }
 
+std::vector<ServerRunResult> run_server_trials(const ServerRunConfig& config,
+                                               std::uint32_t trials, unsigned jobs) {
+  std::vector<std::function<ServerRunResult()>> tasks;
+  tasks.reserve(trials);
+  for (const std::uint64_t seed : trial_seeds(config.seed, trials)) {
+    ServerRunConfig trial_cfg = config;
+    trial_cfg.seed = seed;
+    tasks.push_back([trial_cfg] { return run_server(trial_cfg); });
+  }
+  return BatchRunner(jobs).map(std::move(tasks));
+}
+
+std::vector<ServerRunResult> run_server_batch(const std::vector<ServerRunConfig>& configs,
+                                              unsigned jobs) {
+  std::vector<std::function<ServerRunResult()>> tasks;
+  tasks.reserve(configs.size());
+  for (const ServerRunConfig& cfg : configs) {
+    tasks.push_back([cfg] { return run_server(cfg); });
+  }
+  return BatchRunner(jobs).map(std::move(tasks));
+}
+
 } // namespace hpmmap::harness

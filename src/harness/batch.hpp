@@ -130,4 +130,12 @@ class BatchRunner {
 [[nodiscard]] std::vector<RunResult> run_batch(
     const std::vector<ScalingRunConfig>& configs, unsigned jobs = 0);
 
+/// Serving runs fan out the same way: full per-trial results in
+/// (config, trial-seed) submission order, byte-identical for any jobs
+/// value. Trial t of config c uses trial_seeds(c.seed, trials)[t].
+[[nodiscard]] std::vector<ServerRunResult> run_server_trials(
+    const ServerRunConfig& config, std::uint32_t trials, unsigned jobs = 0);
+[[nodiscard]] std::vector<ServerRunResult> run_server_batch(
+    const std::vector<ServerRunConfig>& configs, unsigned jobs = 0);
+
 } // namespace hpmmap::harness

@@ -205,7 +205,10 @@ class VerifySession {
 
   /// End-of-run accounting into `result`: injector counters, the final
   /// audit over every node, and whatever the on-fire audits saw.
-  void finish(RunResult& result, const std::vector<os::Node*>& nodes) {
+  /// Templated over the result shape — RunResult and ServerRunResult
+  /// share the verification fields.
+  template <typename R>
+  void finish(R& result, const std::vector<os::Node*>& nodes) {
     if (cfg_.inject.any()) {
       result.injected = verify::injector().all_stats();
     }
@@ -428,6 +431,121 @@ RunResult run_scaling(const ScalingRunConfig& config) {
     node_ptrs.push_back(n.get());
   }
   verify_session.finish(result, node_ptrs);
+  return result;
+}
+
+ServerRunResult run_server(const ServerRunConfig& config) {
+  sim::Engine engine;
+  const hw::MachineSpec machine = hw::dell_r415();
+  begin_tracing(config.trace, config.seed);
+  // Same reservation split as the single-node runs: the serving side
+  // gets the 12 GB pool/offline region, the commodity side keeps 4 GB.
+  const std::uint64_t pool = 6 * GiB;
+  os::Node node(engine,
+                node_config_for(config.manager, machine, pool, config.seed, "r415"));
+  VerifySession verify_session(config.verify, config.seed);
+  verify_session.audit_on_fire(node);
+
+  // Commodity competition, same warmup contract as run_single_node.
+  std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
+  Rng rng(config.seed);
+  for (std::uint32_t b = 0; b < config.commodity.builds; ++b) {
+    workloads::KernelBuildConfig bc;
+    bc.jobs = config.commodity.jobs_per_build;
+    builds.push_back(std::make_unique<workloads::KernelBuild>(
+        node, bc, rng.fork("build").fork(b)));
+    builds.back()->start();
+  }
+  const double warmup = config.commodity.builds > 0 ? 1.5 : 0.1;
+  engine.run_until(machine.cycles(warmup));
+
+  // The schedule is generated before anything serves: a pure function of
+  // (arrival config, clock, seed), so every manager replays the same one.
+  serving::ArrivalConfig arrival = config.arrival;
+  arrival.duration_seconds *= config.duration_scale;
+  std::vector<serving::ScheduledRequest> schedule =
+      serving::generate_schedule(arrival, machine.clock_hz, rng.fork("arrival"));
+
+  workloads::ServerConfig service = config.service;
+  service.policy = policy_for(config.manager);
+  service.zone = 0;
+  if (service.budgets.empty()) {
+    service.budgets = {
+        {"lat<2ms", machine.cycles(0.002)},
+        {"lat<10ms", machine.cycles(0.010)},
+    };
+  }
+  workloads::ServerApp server(engine, node, std::move(service), std::move(schedule),
+                              rng.fork("server"));
+
+  const Cycles t0 = engine.now();
+  introspect::TelemetrySampler sampler(
+      engine, {config.introspect.sample_interval, config.introspect.max_samples});
+  sampler.add_node(node);
+  // Service-side probes: pure observers on the actor, so sampling stays
+  // byte-identical-off-vs-on like every other telemetry source.
+  const std::string labels = "node=\"" + node.config().name + "\"";
+  sampler.add_probe("hpmmap_server_queue_depth", labels, "gauge",
+                    [&server] { return server.queue_depth_now(); });
+  sampler.add_probe("hpmmap_server_in_flight", labels, "gauge",
+                    [&server] { return server.in_flight_now(); });
+  sampler.add_probe("hpmmap_server_shed_total", labels, "counter",
+                    [&server] { return server.shed_total(); });
+  sampler.add_probe("hpmmap_server_completed_total", labels, "counter",
+                    [&server] { return server.completed_total(); });
+  if (config.introspect.sampling()) {
+    sampler.start();
+  }
+  server.start([&engine] { engine.stop(); });
+  engine.run();
+  HPMMAP_ASSERT(server.done(), "engine drained before the service completed");
+
+  for (auto& build : builds) {
+    build->stop();
+  }
+
+  ServerRunResult result;
+  result.runtime_seconds = machine.seconds(engine.now() - t0);
+  result.clock_hz = machine.clock_hz;
+  result.server = server.stats();
+  result.faults = server.aggregate_faults();
+  result.trace_t0 = t0;
+  result.events_fired = engine.events_fired();
+
+  const serving::LatencyRecorder& lat = server.latency();
+  result.tail.p50_us = lat.tails().p50();
+  result.tail.p95_us = lat.tails().p95();
+  result.tail.p99_us = lat.tails().p99();
+  result.tail.p999_us = lat.tails().p999();
+  result.tail.exact_p50_us = lat.reservoir().quantile(0.50);
+  result.tail.exact_p99_us = lat.reservoir().quantile(0.99);
+  result.tail.exact_p999_us = lat.reservoir().quantile(0.999);
+  result.tail.mean_us = lat.tails().mean();
+  result.tail.max_us = lat.tails().max();
+  result.tail.samples = lat.tails().count();
+
+  const serving::SloAccountant& slo = server.slo();
+  for (std::size_t i = 0; i < slo.budget_count(); ++i) {
+    SloOutcome o;
+    o.label = slo.budget(i).label;
+    o.budget_us = machine.seconds(slo.budget(i).budget) * 1e6;
+    o.violations = slo.violations(i);
+    result.slo.push_back(std::move(o));
+  }
+  result.slo_total = slo.total_violations();
+
+  if (config.trace.on()) {
+    trace::instant(trace::Category::kHarness, "run.end", 0, -1,
+                   {trace::Arg::u64("completed", result.server.completed)});
+    trace::disable_all();
+    result.events = trace::recorder().snapshot();
+    result.trace_dropped = trace::recorder().dropped();
+  }
+  result.telemetry = sampler.take();
+  if (config.introspect.procfs_dump) {
+    result.procfs_text = introspect::procfs_dump(node);
+  }
+  verify_session.finish(result, {&node});
   return result;
 }
 

@@ -14,9 +14,11 @@
 #include "common/types.hpp"
 #include "introspect/sampler.hpp"
 #include "linux_mm/fault.hpp"
+#include "serving/arrival.hpp"
 #include "trace/trace.hpp"
 #include "verify/fault_inject.hpp"
 #include "workloads/profiles.hpp"
+#include "workloads/server_app.hpp"
 
 namespace hpmmap::harness {
 
@@ -220,6 +222,74 @@ struct SeriesPoint {
     return total;
   }
 };
+
+// --- serving runs ----------------------------------------------------------
+
+/// One serving trial: the request/response service co-located with the
+/// commodity profile, driven by an open-loop arrival schedule. The same
+/// schedule (seed-determined) replays against every manager — common
+/// random numbers, so SLO deltas are manager effects, not luck.
+struct ServerRunConfig {
+  Manager manager = Manager::kThp;
+  workloads::ServerConfig service{}; // policy/zone overwritten from `manager`
+  serving::ArrivalConfig arrival{};
+  workloads::CommodityProfile commodity{};
+  std::uint64_t seed = 1;
+  TraceConfig trace{};
+  /// Scales the arrival window (quick modes for tests).
+  double duration_scale = 1.0;
+  VerifyConfig verify{};
+  IntrospectConfig introspect{};
+};
+
+/// Latency tails in microseconds: streaming P² estimates plus the exact
+/// reservoir cross-check (serving/slo.hpp).
+struct ServerTailSummary {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double exact_p50_us = 0.0;
+  double exact_p99_us = 0.0;
+  double exact_p999_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  std::uint64_t samples = 0;
+};
+
+struct SloOutcome {
+  std::string label;
+  double budget_us = 0.0;
+  std::uint64_t violations = 0;
+};
+
+struct ServerRunResult {
+  /// Serving window wall time (arrival epoch to last drain).
+  double runtime_seconds = 0.0;
+  double clock_hz = 0.0;
+  workloads::ServerStats server;
+  ServerTailSummary tail;
+  std::vector<SloOutcome> slo;
+  std::uint64_t slo_total = 0; // violations summed over budgets
+  mm::FaultStats faults;
+
+  std::vector<trace::Event> events;
+  std::uint64_t trace_dropped = 0;
+  Cycles trace_t0 = 0;
+  std::uint64_t events_fired = 0;
+
+  std::array<verify::PointStats, verify::kInjectPointCount> injected{};
+  std::uint64_t audit_checks = 0;
+  std::uint64_t audit_violations = 0;
+  std::string audit_report;
+
+  std::vector<introspect::TimeSeries> telemetry;
+  std::string procfs_text;
+};
+
+/// Run one serving trial (Dell R415 model). Budgets default to 2 ms and
+/// 10 ms when `config.service.budgets` is empty.
+[[nodiscard]] ServerRunResult run_server(const ServerRunConfig& config);
 
 /// Trial loops run on the batch runner at harness::default_jobs()
 /// parallelism (see harness/batch.hpp; 1 = serial, and any jobs value

@@ -72,8 +72,26 @@ void TelemetrySampler::add_node(os::Node& node) {
   nodes_.push_back(entry);
 }
 
+void TelemetrySampler::add_probe(std::string metric, std::string labels, const char* type,
+                                 std::function<double()> read) {
+  if (!config_.on()) {
+    return;
+  }
+  TimeSeries s;
+  s.metric = std::move(metric);
+  s.labels = std::move(labels);
+  s.type = type;
+  s.capacity = config_.max_samples;
+  s.points.reserve(config_.max_samples);
+  Probe p;
+  p.series = series_.size();
+  p.read = std::move(read);
+  series_.push_back(std::move(s));
+  probes_.push_back(std::move(p));
+}
+
 void TelemetrySampler::start() {
-  if (!config_.on() || nodes_.empty()) {
+  if (!config_.on() || (nodes_.empty() && probes_.empty())) {
     return;
   }
   tick();
@@ -89,12 +107,17 @@ void TelemetrySampler::stop() {
 std::vector<TimeSeries> TelemetrySampler::take() {
   stop();
   nodes_.clear();
+  probes_.clear();
   return std::move(series_);
 }
 
 void TelemetrySampler::tick() {
   for (NodeEntry& entry : nodes_) {
     sample(entry);
+  }
+  const Cycles now = engine_.now();
+  for (Probe& p : probes_) {
+    series_[p.series].append(now, p.read());
   }
   ++samples_;
   pending_ = engine_.schedule_daemon(config_.interval, [this] { tick(); });

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,16 @@ class TelemetrySampler {
   /// order — the determinism anchor). Call before start().
   void add_node(os::Node& node);
 
+  /// Register a custom probe: `read` is called once per tick, after the
+  /// node series, in registration order. Probes must be pure observers —
+  /// read a counter, consume no randomness, mutate nothing — the same
+  /// contract the node accessors follow. This is how workloads expose
+  /// their own state (queue depth, in-flight requests, shed totals)
+  /// without the sampler knowing their types. Call before start(); the
+  /// probe must outlive the sampler's last tick.
+  void add_probe(std::string metric, std::string labels, const char* type,
+                 std::function<double()> read);
+
   /// Take the first sample now and tick every `interval` cycles from
   /// here on daemon events. No-op when the config is off.
   void start();
@@ -114,6 +125,11 @@ class TelemetrySampler {
     bool primed = false;
   };
 
+  struct Probe {
+    std::size_t series = 0; // index into series_
+    std::function<double()> read;
+  };
+
   void tick();
   void sample(NodeEntry& entry);
 
@@ -121,6 +137,7 @@ class TelemetrySampler {
   SamplerConfig config_;
   std::vector<TimeSeries> series_;
   std::vector<NodeEntry> nodes_;
+  std::vector<Probe> probes_;
   sim::EventId pending_{};
   std::uint64_t samples_ = 0;
 };

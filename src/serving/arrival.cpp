@@ -1,0 +1,114 @@
+#include "serving/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hpmmap::serving {
+namespace {
+
+/// Peak instantaneous rate of a config — the thinning envelope for the
+/// non-homogeneous shapes.
+double peak_rate(const ArrivalConfig& c) {
+  switch (c.shape) {
+    case ArrivalShape::kPoisson: return c.mean_rps;
+    case ArrivalShape::kBursty:  return c.mean_rps * c.burst_factor;
+    case ArrivalShape::kDiurnal: return c.mean_rps * c.diurnal_peak_factor;
+  }
+  return c.mean_rps;
+}
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Instantaneous diurnal rate at time t (seconds into the window): a
+/// sine swinging (peak_factor - 1) around the mean, clamped at zero so
+/// deep troughs go quiet instead of negative.
+double diurnal_rate(const ArrivalConfig& c, double t) {
+  const double amplitude = c.mean_rps * (c.diurnal_peak_factor - 1.0);
+  const double phase = 2.0 * kPi * static_cast<double>(std::max(1u, c.diurnal_periods)) *
+                       t / c.duration_seconds;
+  // Start at the trough so a demo window ramps up into its "day".
+  return std::max(0.0, c.mean_rps - amplitude * std::cos(phase));
+}
+
+} // namespace
+
+bool parse_shape(std::string_view text, ArrivalShape& out) noexcept {
+  for (const ArrivalShape s :
+       {ArrivalShape::kPoisson, ArrivalShape::kBursty, ArrivalShape::kDiurnal}) {
+    if (text == name(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ScheduledRequest> generate_schedule(const ArrivalConfig& config,
+                                                double clock_hz, Rng rng) {
+  HPMMAP_ASSERT(config.mean_rps > 0.0, "arrival rate must be positive");
+  HPMMAP_ASSERT(config.duration_seconds > 0.0, "arrival window must be positive");
+  std::vector<ScheduledRequest> schedule;
+  schedule.reserve(static_cast<std::size_t>(config.mean_rps * config.duration_seconds * 1.2));
+
+  // Independent streams: arrival instants never perturb per-request work
+  // draws, so changing the load shape leaves request contents untouched.
+  Rng gaps = rng.fork("arrival.gaps");
+  Rng work = rng.fork("arrival.work");
+  Rng phases = rng.fork("arrival.phases");
+
+  double t = 0.0; // seconds into the window
+  // Bursty state: alternate exponential on/off phases. Off-phase rate is
+  // derived so the long-run mean holds:
+  //   on_frac * factor * r_off_base + (1 - on_frac) * r_off = mean.
+  bool burst_on = false;
+  double phase_ends = 0.0;
+  const double mean_off_seconds =
+      config.mean_burst_seconds * (1.0 - config.burst_fraction) /
+      std::max(1e-9, config.burst_fraction);
+  const double off_rate =
+      config.mean_rps * std::max(0.0, 1.0 - config.burst_fraction * config.burst_factor) /
+      std::max(1e-9, 1.0 - config.burst_fraction);
+
+  const double envelope = peak_rate(config);
+  while (true) {
+    // Thinning (Lewis & Shedler): candidate gaps at the envelope rate,
+    // accepted with probability rate(t)/envelope. For the homogeneous
+    // and bursty shapes the acceptance test is exact too.
+    t += gaps.exponential(1.0 / envelope);
+    if (t >= config.duration_seconds) {
+      break;
+    }
+    double rate = envelope;
+    switch (config.shape) {
+      case ArrivalShape::kPoisson:
+        rate = config.mean_rps;
+        break;
+      case ArrivalShape::kBursty: {
+        while (t >= phase_ends) {
+          burst_on = !burst_on;
+          phase_ends +=
+              phases.exponential(burst_on ? config.mean_burst_seconds : mean_off_seconds);
+        }
+        rate = burst_on ? config.mean_rps * config.burst_factor : off_rate;
+        break;
+      }
+      case ArrivalShape::kDiurnal:
+        rate = diurnal_rate(config, t);
+        break;
+    }
+    if (rate < envelope && !gaps.chance(rate / envelope)) {
+      continue;
+    }
+    ScheduledRequest req;
+    req.arrival = static_cast<Cycles>(t * clock_hz);
+    req.object_key = work.next_u64();
+    req.size_quantile = work.uniform_double();
+    req.work_jitter = work.lognormal_from_moments(1.0, 0.25);
+    schedule.push_back(req);
+  }
+  return schedule;
+}
+
+} // namespace hpmmap::serving

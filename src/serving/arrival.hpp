@@ -1,0 +1,88 @@
+// Open-loop load generation for the serving subsystem.
+//
+// An open-loop generator emits requests on a schedule that does not
+// depend on how fast the service drains them — the datacenter reality
+// ("millions of users" do not slow down because your p99 regressed).
+// That is what makes tail latency and SLO violations the honest metric:
+// under overload, queueing delay and shedding show up instead of the
+// throughput silently stretching, the coordinated-omission artifact of
+// closed-loop benchmarks.
+//
+// The whole schedule is materialized up front as a deterministic pure
+// function of (config, clock, seed): every manager under comparison sees
+// the *same* arrival instants and the *same* per-request work (common
+// random numbers), and the schedule is byte-identical across --jobs
+// values and with telemetry sampling on or off because nothing on the
+// engine consumes from its RNG stream.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hpmmap::serving {
+
+/// Arrival-process shapes. All share the same long-run mean rate; they
+/// differ in how the instantaneous rate moves around it.
+enum class ArrivalShape : std::uint8_t {
+  kPoisson, // homogeneous Poisson: exponential gaps at the mean rate
+  kBursty,  // Markov-modulated Poisson: exponential on/off bursts
+  kDiurnal, // sinusoidal rate (a day compressed into the window)
+};
+
+[[nodiscard]] constexpr std::string_view name(ArrivalShape s) noexcept {
+  switch (s) {
+    case ArrivalShape::kPoisson: return "poisson";
+    case ArrivalShape::kBursty:  return "bursty";
+    case ArrivalShape::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+/// Parse "poisson" / "bursty" / "diurnal"; false on an unknown name.
+[[nodiscard]] bool parse_shape(std::string_view text, ArrivalShape& out) noexcept;
+
+struct ArrivalConfig {
+  ArrivalShape shape = ArrivalShape::kPoisson;
+  /// Long-run mean request rate (requests per simulated second).
+  double mean_rps = 2000.0;
+  /// Open-loop window length; requests arriving inside it are emitted.
+  double duration_seconds = 1.0;
+
+  // --- bursty (Markov-modulated Poisson) -----------------------------------
+  /// Instantaneous-rate multiplier while a burst is on. The off-phase
+  /// rate is derived so the long-run mean stays `mean_rps`.
+  double burst_factor = 4.0;
+  /// Long-run fraction of time spent bursting.
+  double burst_fraction = 0.2;
+  /// Mean burst (on-phase) length in seconds.
+  double mean_burst_seconds = 0.05;
+
+  // --- diurnal -------------------------------------------------------------
+  /// Peak rate / mean rate; the trough is mirrored below the mean
+  /// (factor 2.0 means the rate swings between 0 and 2x the mean).
+  double diurnal_peak_factor = 2.0;
+  /// Full sine periods inside the window ("days").
+  std::uint32_t diurnal_periods = 1;
+};
+
+/// One scheduled request: the arrival instant plus the per-request draws
+/// every backend must see identically (common random numbers). Work
+/// parameters are dimensionless keys the service maps onto actual sizes,
+/// so one schedule drives any service configuration.
+struct ScheduledRequest {
+  Cycles arrival = 0;  // offset from the serving window's t0
+  std::uint64_t object_key = 0; // uniform draw the service maps via Zipf
+  double size_quantile = 0.0;   // uniform [0,1): allocation-size draw
+  double work_jitter = 1.0;     // lognormal around 1: service-time noise
+};
+
+/// Materialize the whole schedule. Deterministic in (config, clock_hz,
+/// rng state); arrivals are non-decreasing in time.
+[[nodiscard]] std::vector<ScheduledRequest> generate_schedule(const ArrivalConfig& config,
+                                                              double clock_hz, Rng rng);
+
+} // namespace hpmmap::serving

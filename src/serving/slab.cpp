@@ -1,0 +1,116 @@
+#include "serving/slab.hpp"
+
+#include <algorithm>
+
+namespace hpmmap::serving {
+
+SlabArena::SlabArena(os::Node& node, os::Process& proc) : node_(node), proc_(proc) {
+  for (std::uint64_t bytes = kMinClassBytes; bytes <= kMaxClassBytes; bytes *= 2) {
+    SizeClass cls;
+    cls.bytes = bytes;
+    classes_.push_back(std::move(cls));
+  }
+}
+
+SlabArena::~SlabArena() {
+  // The owner normally calls release_all() to charge teardown cycles;
+  // falling off the end without it just drops bookkeeping (the process
+  // exit path unmaps everything anyway).
+}
+
+std::size_t SlabArena::class_index(std::uint64_t bytes) const noexcept {
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (bytes <= classes_[i].bytes) {
+      return i;
+    }
+  }
+  return classes_.size();
+}
+
+SlabArena::Alloc SlabArena::allocate(std::uint64_t bytes) {
+  Alloc out;
+  const std::size_t ci = class_index(std::max<std::uint64_t>(bytes, 1));
+  if (ci == classes_.size()) {
+    // Over-threshold: direct mmap + full first-touch, like glibc malloc
+    // falling through to mmap for big buffers.
+    const std::uint64_t len = align_up(bytes, kSmallPageSize);
+    const os::Node::SysOut res =
+        node_.sys_mmap(proc_, len, kProtRW, os::Node::Segment::kHeapData);
+    out.cost += res.cost;
+    out.large = true;
+    if (res.err != Errno::kOk) {
+      ++stats_.alloc_failures;
+      return out;
+    }
+    out.addr = res.addr;
+    out.cost += node_.touch_range(proc_, Range{res.addr, res.addr + len});
+    ++stats_.large_allocs;
+    return out;
+  }
+
+  SizeClass& cls = classes_[ci];
+  ++stats_.objects_allocated;
+  if (!cls.freelist.empty()) {
+    out.addr = cls.freelist.back();
+    cls.freelist.pop_back();
+    ++stats_.objects_recycled;
+    return out; // already mapped and touched: the steady-state fast path
+  }
+  if (cls.carve_pos >= cls.carve_end) {
+    // Class ran out of slab: map a fresh chunk through the backing
+    // manager's mmap path.
+    const os::Node::SysOut res =
+        node_.sys_mmap(proc_, kChunkBytes, kProtRW, os::Node::Segment::kHeapData);
+    out.cost += res.cost;
+    if (res.err != Errno::kOk) {
+      ++stats_.alloc_failures;
+      return out;
+    }
+    cls.carve_pos = res.addr;
+    cls.carve_end = res.addr + kChunkBytes;
+    cls.touched = res.addr;
+    chunks_.push_back(Range{res.addr, res.addr + kChunkBytes});
+    ++stats_.chunks_mapped;
+    stats_.bytes_mapped += kChunkBytes;
+    mapped_bytes_ += kChunkBytes;
+  }
+  out.addr = cls.carve_pos;
+  cls.carve_pos += cls.bytes;
+  // First-touch the pages this carve reaches into — the demand-paging
+  // cost that distinguishes the managers.
+  const Addr touch_to = align_up(cls.carve_pos, kSmallPageSize);
+  if (touch_to > cls.touched) {
+    out.cost += node_.touch_range(proc_, Range{cls.touched, touch_to});
+    cls.touched = touch_to;
+  }
+  return out;
+}
+
+Cycles SlabArena::free(Addr addr, std::uint64_t bytes) {
+  if (addr == 0) {
+    return 0;
+  }
+  const std::size_t ci = class_index(std::max<std::uint64_t>(bytes, 1));
+  if (ci == classes_.size()) {
+    const std::uint64_t len = align_up(bytes, kSmallPageSize);
+    return node_.sys_munmap(proc_, addr, len).cost;
+  }
+  classes_[ci].freelist.push_back(addr);
+  return 0;
+}
+
+Cycles SlabArena::release_all() {
+  Cycles cost = 0;
+  for (const Range& chunk : chunks_) {
+    cost += node_.sys_munmap(proc_, chunk.begin, chunk.size()).cost;
+  }
+  chunks_.clear();
+  for (SizeClass& cls : classes_) {
+    cls.freelist.clear();
+    cls.carve_pos = cls.carve_end = cls.touched = 0;
+  }
+  mapped_bytes_ = 0;
+  return cost;
+}
+
+} // namespace hpmmap::serving

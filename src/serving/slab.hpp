@@ -1,0 +1,102 @@
+// Slab-style object arena on top of the simulated mm fault path.
+//
+// A request/response server churns small allocations per request; real
+// allocators (tcmalloc/jemalloc, the kernel's slab) amortize that churn
+// by carving size-class slabs out of large mapped chunks and recycling
+// freed objects through per-class freelists. What matters to the memory
+// manager underneath is exactly that shape:
+//
+//   - steady state touches only already-mapped pages (no faults);
+//   - load ramps and bursts outgrow the freelists, map fresh 2 MiB
+//     chunks through sys_mmap, and first-touch them — a fault storm on
+//     whichever manager backs the process (THP huge faults + khugepaged
+//     merges, hugetlbfs pool pages or 4K spill, HPMMAP large pages);
+//   - allocations beyond the largest size class bypass the slabs
+//     entirely (malloc's mmap threshold): one mmap + touch + munmap per
+//     request, which keeps the allocation syscall path hot per-request
+//     rather than only at ramp time.
+//
+// Everything is charged through os::Node's syscall and touch_range
+// entry points, so the arena adds no cost model of its own — the
+// manager-dependent costs are the existing fault path's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "os/node.hpp"
+
+namespace hpmmap::serving {
+
+struct SlabStats {
+  std::uint64_t objects_allocated = 0; // slab-class allocations served
+  std::uint64_t objects_recycled = 0;  // of those, served from a freelist
+  std::uint64_t chunks_mapped = 0;     // fresh 2 MiB slabs mmap'd
+  std::uint64_t large_allocs = 0;      // over-threshold direct mmaps
+  std::uint64_t bytes_mapped = 0;      // cumulative slab bytes mapped
+  std::uint64_t alloc_failures = 0;    // ENOMEM from the backing manager
+};
+
+/// Per-process slab arena. One instance per service worker; not shared
+/// (workers are separate simulated processes).
+class SlabArena {
+ public:
+  /// Size classes double from 256 B to 512 KiB; larger requests take the
+  /// direct-mmap path. The threshold sits above the service's default
+  /// request-size ceiling on purpose: a real server allocator keeps even
+  /// its big response buffers in recycled spans rather than paying an
+  /// mmap round trip per request.
+  static constexpr std::uint64_t kMinClassBytes = 256;
+  static constexpr std::uint64_t kMaxClassBytes = 512 * KiB;
+  static constexpr std::uint64_t kChunkBytes = 2 * MiB;
+
+  SlabArena(os::Node& node, os::Process& proc);
+  ~SlabArena();
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  struct Alloc {
+    Addr addr = 0;     // 0 on failure
+    Cycles cost = 0;   // syscall + fault cycles charged
+    bool large = false; // took the direct-mmap path
+  };
+
+  /// Allocate `bytes`. Slab classes recycle freed objects; fresh carves
+  /// first-touch their pages; over-threshold sizes mmap directly.
+  [[nodiscard]] Alloc allocate(std::uint64_t bytes);
+
+  /// Return an allocation. Slab objects go back on their class freelist
+  /// (no syscall); large ones are munmap'd.
+  Cycles free(Addr addr, std::uint64_t bytes);
+
+  /// Unmap every chunk and forget the freelists (worker teardown).
+  Cycles release_all();
+
+  [[nodiscard]] const SlabStats& stats() const noexcept { return stats_; }
+  /// Pages of the arena currently mapped (chunks only, not large objects).
+  [[nodiscard]] std::uint64_t mapped_bytes() const noexcept { return mapped_bytes_; }
+
+ private:
+  /// Index of the smallest class holding `bytes`; classes_.size() when
+  /// over threshold.
+  [[nodiscard]] std::size_t class_index(std::uint64_t bytes) const noexcept;
+
+  struct SizeClass {
+    std::uint64_t bytes = 0;
+    std::vector<Addr> freelist;
+    // Carve cursor into the newest chunk owned by this class.
+    Addr carve_pos = 0;
+    Addr carve_end = 0;
+    Addr touched = 0; // first-touch high-water mark within the chunk
+  };
+
+  os::Node& node_;
+  os::Process& proc_;
+  std::vector<SizeClass> classes_;
+  std::vector<Range> chunks_; // all mapped slab chunks, for release_all
+  SlabStats stats_;
+  std::uint64_t mapped_bytes_ = 0;
+};
+
+} // namespace hpmmap::serving

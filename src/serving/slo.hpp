@@ -1,0 +1,97 @@
+// SLO accounting for the serving subsystem.
+//
+// A serving deployment is judged by how often it breaks its latency
+// promises, not by its mean. The accountant counts, per configured
+// budget, the requests that completed over budget — and the requests
+// that never completed at all because admission shed them; a shed
+// request is a broken promise to its user too, so it counts against
+// every budget.
+//
+// The latency recorder pairs the streaming P² tail estimator with an
+// exact reservoir sample. P² is O(1) memory but approximate; the
+// reservoir keeps a uniform subset and computes exact order statistics
+// over it, which bounds the streaming estimate and backs the
+// differential test in tests/test_stats.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace hpmmap::serving {
+
+/// Uniform sample of a stream (Vitter's algorithm R), deterministic in
+/// the Rng handed in. Quantiles are exact over the retained sample.
+class ReservoirSample {
+ public:
+  ReservoirSample(std::size_t capacity, Rng rng);
+
+  void add(double x);
+  /// Exact q-quantile (nearest rank) of the retained sample; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::size_t size() const noexcept { return sample_.size(); }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> sample_;
+};
+
+/// One latency promise: requests slower than `budget` cycles violate it.
+struct SloBudget {
+  std::string label;  // e.g. "p99<2ms"
+  Cycles budget = 0;
+};
+
+class SloAccountant {
+ public:
+  explicit SloAccountant(std::vector<SloBudget> budgets);
+
+  /// A request finished with the given end-to-end latency.
+  void on_complete(Cycles latency) noexcept;
+  /// A request was shed at admission — violates every budget.
+  void on_shed() noexcept;
+
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t shed() const noexcept { return shed_; }
+  [[nodiscard]] std::size_t budget_count() const noexcept { return budgets_.size(); }
+  [[nodiscard]] const SloBudget& budget(std::size_t i) const { return budgets_[i]; }
+  /// Violations of budget i: over-budget completions plus all sheds.
+  [[nodiscard]] std::uint64_t violations(std::size_t i) const { return violations_[i]; }
+  /// Sum of violations across budgets — the headline scalar.
+  [[nodiscard]] std::uint64_t total_violations() const noexcept;
+
+ private:
+  std::vector<SloBudget> budgets_;
+  std::vector<std::uint64_t> violations_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+/// Streaming tails plus exact cross-check over one latency stream.
+class LatencyRecorder {
+ public:
+  static constexpr std::size_t kReservoirCapacity = 4096;
+
+  explicit LatencyRecorder(Rng rng) : reservoir_(kReservoirCapacity, rng.fork("reservoir")) {}
+
+  void add(double latency) {
+    tails_.add(latency);
+    reservoir_.add(latency);
+  }
+
+  [[nodiscard]] const TailQuantiles& tails() const noexcept { return tails_; }
+  [[nodiscard]] const ReservoirSample& reservoir() const noexcept { return reservoir_; }
+
+ private:
+  TailQuantiles tails_;
+  ReservoirSample reservoir_;
+};
+
+} // namespace hpmmap::serving

@@ -44,9 +44,10 @@ enum class Category : std::uint32_t {
   kApp     = 1u << 7, // workload rank lifecycle
   kHarness = 1u << 8, // experiment bracketing
   kVerify  = 1u << 9, // invariant audits and fault injection
+  kServer  = 1u << 10, // serving: request lifecycle, admission, shedding
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x3ff;
+inline constexpr std::uint32_t kAllCategories = 0x7ff;
 
 [[nodiscard]] constexpr std::string_view name(Category c) noexcept {
   switch (c) {
@@ -60,6 +61,7 @@ inline constexpr std::uint32_t kAllCategories = 0x3ff;
     case Category::kApp:     return "app";
     case Category::kHarness: return "harness";
     case Category::kVerify:  return "verify";
+    case Category::kServer:  return "server";
   }
   return "?";
 }

@@ -1,6 +1,8 @@
 #include "workloads/profiles.hpp"
 
-#include "common/assert.hpp"
+#include <stdexcept>
+#include <utility>
+
 #include "common/units.hpp"
 
 namespace hpmmap::workloads {
@@ -103,7 +105,11 @@ AppProfile lammps(double clock_hz) {
   return p;
 }
 
-AppProfile profile_by_name(const std::string& app_name, double clock_hz) {
+std::string_view known_profile_names() noexcept {
+  return "HPCCG, CoMD, miniMD, miniFE, LAMMPS";
+}
+
+std::optional<AppProfile> try_profile_by_name(const std::string& app_name, double clock_hz) {
   if (app_name == "HPCCG") {
     return hpccg(clock_hz);
   }
@@ -119,8 +125,16 @@ AppProfile profile_by_name(const std::string& app_name, double clock_hz) {
   if (app_name == "LAMMPS") {
     return lammps(clock_hz);
   }
-  HPMMAP_ASSERT(false, "unknown application profile");
-  return {};
+  return std::nullopt;
+}
+
+AppProfile profile_by_name(const std::string& app_name, double clock_hz) {
+  std::optional<AppProfile> prof = try_profile_by_name(app_name, clock_hz);
+  if (!prof.has_value()) {
+    throw std::invalid_argument("unknown application profile '" + app_name +
+                                "' (known: " + std::string(known_profile_names()) + ")");
+  }
+  return *std::move(prof);
 }
 
 CommodityProfile profile_a(std::uint32_t app_cores) {

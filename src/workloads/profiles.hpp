@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/types.hpp"
 
@@ -51,6 +53,18 @@ struct AppProfile {
 /// LAMMPS (ASC Sequoia); scaling study only.
 [[nodiscard]] AppProfile lammps(double clock_hz);
 
+/// The names profile_by_name accepts, comma-separated (usage strings,
+/// error messages).
+[[nodiscard]] std::string_view known_profile_names() noexcept;
+
+/// Look up an app profile; nullopt for an unknown name.
+[[nodiscard]] std::optional<AppProfile> try_profile_by_name(const std::string& app_name,
+                                                            double clock_hz);
+
+/// Look up an app profile. Throws std::invalid_argument naming the
+/// unknown app and the known set — callers that can't validate up front
+/// (the harness's scaled_profile) get a diagnosable failure instead of a
+/// silent fall-through.
 [[nodiscard]] AppProfile profile_by_name(const std::string& app_name, double clock_hz);
 
 /// Commodity competition profiles (§IV-B/C). A: one parallel kernel

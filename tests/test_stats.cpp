@@ -1,7 +1,9 @@
 // Unit tests: statistics utilities.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/stats.hpp"
 
@@ -223,6 +225,43 @@ TEST(P2Quantile, SortedAndReversedInputAgree) {
   }
   EXPECT_NEAR(up.value(), 5000.0, 150.0);
   EXPECT_NEAR(down.value(), 5000.0, 150.0);
+}
+
+TEST(TailQuantiles, DifferentialAgainstExactSortedLognormal) {
+  // The serving figures report p50/p95/p99/p99.9 from four P² markers;
+  // this differential test bounds each against the exact sorted-sample
+  // quantile on a lognormal latency stream (the shape request latencies
+  // take: a tight body with a multiplicative tail). The far tail is the
+  // loosest — P²'s p99.9 markers see only ~30 over-quantile samples
+  // here — so the bound widens with q.
+  TailQuantiles tails;
+  std::vector<double> all;
+  Lcg rng(20240);
+  for (int i = 0; i < 30000; ++i) {
+    // Box-Muller from two uniforms; lognormal with sigma 0.8.
+    const double u1 = std::max(rng.uniform01(), 1e-12);
+    const double u2 = rng.uniform01();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979 * u2);
+    const double x = std::exp(0.8 * z);
+    tails.add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  const auto exact = [&](double q) {
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(all.size() - 1));
+    return all[rank];
+  };
+  constexpr double kTolerance[TailQuantiles::kCount] = {0.05, 0.05, 0.10, 0.25};
+  for (std::size_t i = 0; i < TailQuantiles::kCount; ++i) {
+    const double truth = exact(TailQuantiles::kQuantiles[i]);
+    EXPECT_NEAR(tails.value(i), truth, kTolerance[i] * truth)
+        << TailQuantiles::kLabels[i] << " drifted from the exact sorted quantile";
+  }
+  EXPECT_EQ(tails.count(), 30000u);
+  EXPECT_DOUBLE_EQ(tails.max(), all.back());
+  EXPECT_DOUBLE_EQ(tails.min(), all.front());
+  // Monotone in q when read from the same stream's exact values.
+  EXPECT_LT(tails.p50(), tails.p999());
 }
 
 TEST(Log2Histogram, BucketsByPowerOfTwo) {

@@ -45,8 +45,26 @@ TEST(Profiles, CommodityProfilesMatchPaper) {
   EXPECT_EQ(no_competition().builds, 0u);
 }
 
-TEST(ProfilesDeath, UnknownAppAborts) {
-  EXPECT_DEATH((void)profile_by_name("NotAnApp", 2.3e9), "unknown application");
+TEST(Profiles, UnknownAppThrowsListingKnownNames) {
+  // The CLI leans on this message: a typo'd --app must name the app and
+  // every accepted spelling instead of aborting mid-run.
+  try {
+    (void)profile_by_name("NotAnApp", 2.3e9);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("NotAnApp"), std::string::npos);
+    for (const char* known : {"HPCCG", "CoMD", "miniMD", "miniFE", "LAMMPS"}) {
+      EXPECT_NE(what.find(known), std::string::npos) << known;
+    }
+  }
+}
+
+TEST(Profiles, TryLookupReturnsEmptyInsteadOfThrowing) {
+  EXPECT_FALSE(try_profile_by_name("notanapp", 2.3e9).has_value());
+  EXPECT_FALSE(try_profile_by_name("hpccg", 2.3e9).has_value()); // names are case-sensitive
+  ASSERT_TRUE(try_profile_by_name("HPCCG", 2.3e9).has_value());
+  EXPECT_EQ(try_profile_by_name("HPCCG", 2.3e9)->name, "HPCCG");
 }
 
 // --- kernel build ----------------------------------------------------------------
