@@ -17,6 +17,7 @@
 #include "harness/table.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
+#include "snapshot/snapshot.hpp"
 #include "workloads/mpi_app.hpp"
 
 namespace {
@@ -28,6 +29,20 @@ struct Variant {
 };
 
 using Row = std::vector<std::string>;
+
+/// The shared node shape of the module-backed variants; use_1g_pages
+/// acts at map time, not at boot, so both boot bit-identical worlds.
+hpmmap::os::NodeConfig module_node_config() {
+  using namespace hpmmap;
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.seed = 77;
+  cfg.thp_enabled = false; // isolate the page-size effect
+  core::ModuleConfig mod;
+  mod.offline_bytes_per_zone = 6 * GiB;
+  cfg.hpmmap = mod;
+  return cfg;
+}
 
 } // namespace
 
@@ -45,23 +60,36 @@ int main(int argc, char** argv) {
   harness::Table table({"Allocation unit", "Runtime (s)", "4K bytes", "2M bytes", "1G bytes",
                         "Translation cyc/access"});
 
+  // The 2M and 1G variants boot the same aged module world — age it once
+  // here and let both restore from the capture (DESIGN.md §12); only the
+  // module-less Linux variant still pays its own boot aging.
+  snapshot::WorldImage module_world;
+  {
+    sim::Engine engine;
+    os::Node node(engine, module_node_config());
+    module_world = snapshot::capture_world(engine, {&node});
+  }
+
   // One task per variant on the batch runner — each builds its own
   // engine/node, so variants run concurrently; rows land in variant order.
   std::vector<std::function<Row()>> tasks;
   for (const Variant& v : variants) {
-    tasks.emplace_back([&opt, v]() -> Row {
+    tasks.emplace_back([&opt, &module_world, v]() -> Row {
       sim::Engine engine;
       os::NodeConfig cfg;
-      cfg.machine = hw::dell_r415();
-      cfg.seed = 77;
-      cfg.thp_enabled = false; // isolate the page-size effect
       if (v.policy == os::MmPolicy::kHpmmap) {
-        core::ModuleConfig mod;
-        mod.offline_bytes_per_zone = 6 * GiB;
-        mod.use_1g_pages = v.use_1g;
-        cfg.hpmmap = mod;
+        cfg = module_node_config();
+        cfg.aged_boot = false; // state arrives from the capture instead
+        cfg.hpmmap->use_1g_pages = v.use_1g;
+      } else {
+        cfg.machine = hw::dell_r415();
+        cfg.seed = 77;
+        cfg.thp_enabled = false; // isolate the page-size effect
       }
       os::Node node(engine, cfg);
+      if (v.policy == os::MmPolicy::kHpmmap) {
+        snapshot::restore_world(module_world, engine, {&node});
+      }
 
       workloads::MpiJobConfig jc;
       jc.app = workloads::hpccg(node.spec().clock_hz);

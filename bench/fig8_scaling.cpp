@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
           cfg.commodity = prof == 0 ? workloads::profile_c() : workloads::profile_d();
           cfg.nodes = nodes;
           cfg.ranks_per_node = 4;
+          // Shared across apps: the three apps at one (profile, nodes,
+          // manager) cell resume from a single aged-cluster capture.
           cfg.seed = 500 + static_cast<std::uint64_t>(prof) * 29 + nodes;
           cfg.footprint_scale = 1.0; // pressure needs real footprints
           cfg.duration_scale = opt.full ? 1.0 : 0.05;
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<harness::SeriesPoint> points =
-      harness::run_trials_batch(cfgs, trials, opt.jobs);
+      harness::run_trials_snapshotted(cfgs, trials, opt.jobs);
 
   std::size_t ci = 0;
   for (const char* app : apps) {

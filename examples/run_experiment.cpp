@@ -29,6 +29,7 @@
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "introspect/export.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/export.hpp"
 #include "trace/metrics.hpp"
 #include "verify/fault_inject.hpp"
@@ -79,6 +80,13 @@ using namespace hpmmap;
       "  --procfs-dump    print /proc-style snapshots (buddyinfo, meminfo,\n"
       "                   vmstat, pagetypeinfo, per-process smaps, hpmmap) at\n"
       "                   run end\n"
+      "  --snapshot-out FILE  (single node) boot and age the configured world,\n"
+      "                   capture it at the warmup quiesce point and write the\n"
+      "                   image to FILE without running the measurement phase\n"
+      "  --snapshot-in FILE   (single node) skip aging: restore FILE and run one\n"
+      "                   measurement phase from it. The config must match the\n"
+      "                   capturing one except --app/--cores/--duration; the\n"
+      "                   result is byte-identical to the straight run\n"
       "  --audit          run the mm invariant auditor at run end and print its report\n"
       "  --audit-on-fire  with --inject: also audit at every injection instant\n"
       "  --inject SPEC    arm fault injection; SPEC is comma-separated entries\n"
@@ -404,6 +412,7 @@ int main(int argc, char** argv) {
   std::uint64_t sample_interval = 0;
   std::string metrics_out;
   bool procfs_dump = false;
+  std::string snapshot_out, snapshot_in;
   std::string experiment = "hpc";
   double rate = 2000.0;
   std::string shape = "poisson";
@@ -469,6 +478,10 @@ int main(int argc, char** argv) {
       metrics_out = next();
     } else if (!std::strcmp(argv[i], "--procfs-dump")) {
       procfs_dump = true;
+    } else if (!std::strcmp(argv[i], "--snapshot-out")) {
+      snapshot_out = next();
+    } else if (!std::strcmp(argv[i], "--snapshot-in")) {
+      snapshot_in = next();
     } else {
       usage(argv[0]);
     }
@@ -511,6 +524,16 @@ int main(int argc, char** argv) {
   } else if (trace) {
     trace_cfg.categories = static_cast<std::uint32_t>(
         experiment == "server" ? trace::Category::kServer : trace::Category::kFault);
+  }
+
+  if ((!snapshot_out.empty() || !snapshot_in.empty()) &&
+      (experiment != "hpc" || nodes > 1)) {
+    std::fprintf(stderr, "--snapshot-out/--snapshot-in support single-node hpc runs only\n");
+    return 1;
+  }
+  if (!snapshot_out.empty() && !snapshot_in.empty()) {
+    std::fprintf(stderr, "--snapshot-out and --snapshot-in are mutually exclusive\n");
+    return 1;
   }
 
   if (experiment == "server") {
@@ -611,8 +634,18 @@ int main(int argc, char** argv) {
   std::printf("%s on %u cores, %s, profile %s, %u trials\n", app.c_str(), cores,
               name(mgr).data(), cfg.commodity.name.c_str(), trials);
 
-  if (cfg.trace.on() || verifying) {
-    const harness::RunResult r = harness::run_single_node(cfg);
+  if (!snapshot_out.empty()) {
+    const snapshot::WorldImage image = harness::capture_single_node(cfg);
+    snapshot::save(image, snapshot_out);
+    std::printf("snapshot: aged world (manager %s, profile %s, seed %llu) -> %s\n",
+                name(mgr).data(), cfg.commodity.name.c_str(),
+                static_cast<unsigned long long>(seed), snapshot_out.c_str());
+    return 0;
+  }
+  if (cfg.trace.on() || verifying || !snapshot_in.empty()) {
+    const harness::RunResult r =
+        snapshot_in.empty() ? harness::run_single_node(cfg)
+                            : harness::run_single_node(cfg, snapshot::load(snapshot_in));
     perf.add_events(r.events_fired);
     perf.add_faults(r.faults);
     std::printf("runtime: %.2f s\n", r.runtime_seconds);

@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap {
 
 /// Welford's online mean/variance. Numerically stable for the cycle-count
@@ -25,6 +29,8 @@ class RunningStats {
   [[nodiscard]] double sum() const noexcept { return sum_; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
@@ -75,6 +81,8 @@ class P2Quantile {
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   double q_;
   std::uint64_t n_ = 0;
   double heights_[5] = {};       // marker heights

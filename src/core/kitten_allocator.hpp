@@ -18,6 +18,10 @@
 #include "common/types.hpp"
 #include "linux_mm/buddy_allocator.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::core {
 
 struct KittenStats {
@@ -67,6 +71,8 @@ class KittenAllocator {
   }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   struct ZoneHeap {
     std::vector<mm::BuddyAllocator> buddies; // one per offlined range
   };

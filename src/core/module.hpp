@@ -30,6 +30,10 @@
 #include "linux_mm/cost_model.hpp"
 #include "linux_mm/fault.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::core {
 
 struct ModuleConfig {
@@ -108,6 +112,8 @@ class HpmmapModule {
   [[nodiscard]] const ModuleConfig& config() const noexcept { return config_; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   struct ProcessContext {
     mm::AddressSpace* as = nullptr;
     mm::VmaTree vmas;      // HPMMAP's own region list, independent of Linux's

@@ -13,6 +13,10 @@
 
 #include "common/types.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::core {
 
 class PidRegistry {
@@ -38,6 +42,8 @@ class PidRegistry {
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   enum class State : std::uint8_t { kEmpty, kUsed, kTombstone };
   struct Slot {
     State state = State::kEmpty;

@@ -135,6 +135,30 @@ class BatchRunner {
 /// value. Trial t of config c uses trial_seeds(c.seed, trials)[t].
 [[nodiscard]] std::vector<ServerRunResult> run_server_trials(
     const ServerRunConfig& config, std::uint32_t trials, unsigned jobs = 0);
+
+/// Amortized-aging sweep (DESIGN.md §12): configs that shape the same
+/// pre-measurement world — everything matching except app, app_cores,
+/// duration_scale and introspect — are grouped, each group's world is
+/// aged ONCE per trial seed and captured, and every member resumes from
+/// the captured image for its measurement phase. Singleton groups run
+/// straight. Byte-identical SeriesPoints to run_trials_batch for any
+/// jobs value; an N-member group pays for aging once instead of N times.
+[[nodiscard]] std::vector<SeriesPoint> run_trials_snapshotted(
+    const std::vector<SingleNodeRunConfig>& configs, std::uint32_t trials,
+    unsigned jobs = 0);
+/// Scaling flavour: configs matching in everything but app and
+/// duration_scale share one aged cluster per trial (nodes, ranks_per_node
+/// and the cluster seed pin the world shape).
+[[nodiscard]] std::vector<SeriesPoint> run_trials_snapshotted(
+    const std::vector<ScalingRunConfig>& configs, std::uint32_t trials,
+    unsigned jobs = 0);
+
+/// run_server_trials through the snapshot path: each trial captures its
+/// world at the warmup point and resumes it for measurement. Results are
+/// byte-identical to run_server_trials — the equality the serving
+/// snapshot test pins.
+[[nodiscard]] std::vector<ServerRunResult> run_server_trials_resumed(
+    const ServerRunConfig& config, std::uint32_t trials, unsigned jobs = 0);
 [[nodiscard]] std::vector<ServerRunResult> run_server_batch(
     const std::vector<ServerRunConfig>& configs, unsigned jobs = 0);
 

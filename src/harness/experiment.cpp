@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "cluster/network.hpp"
@@ -242,6 +243,371 @@ class VerifySession {
   bool clean_ = true;
 };
 
+// --- prepared worlds --------------------------------------------------------
+//
+// Each run shape splits into "prepare" (boot the machine, arm
+// verification, construct the commodity builds) and "measure" (launch
+// the benchmark and collect). The straight path ages the world to the
+// warmup point between the two; the snapshot path either captures at
+// that point or skips aging entirely and overwrites the fresh world
+// with a captured image. Constructing every build before starting any
+// (instead of the old start-in-the-loop) is order-identical on the
+// engine: the constructor schedules nothing.
+
+struct SingleNodeWorld {
+  SingleNodeRunConfig config;
+  hw::MachineSpec machine = hw::dell_r415();
+  sim::Engine engine;
+  std::optional<os::Node> node;
+  std::optional<VerifySession> verify;
+  std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
+
+  SingleNodeWorld(const SingleNodeRunConfig& cfg, bool aged) : config(cfg) {
+    begin_tracing(config.trace, config.seed);
+    // §IV: 12 of 16 GB reserved/offlined, split across the two zones.
+    // Scaled-down runs (tests) reserve proportionally less so the Linux
+    // side keeps its 4 GB.
+    const std::uint64_t pool = std::min<std::uint64_t>(
+        align_up(static_cast<std::uint64_t>(static_cast<double>(6 * GiB) *
+                                            config.footprint_scale),
+                 kMemorySectionSize),
+        6 * GiB);
+    os::NodeConfig nc =
+        node_config_for(config.manager, machine, pool, config.seed, "r415");
+    nc.aged_boot = aged; // a restore target skips aging — it gets overwritten
+    node.emplace(engine, std::move(nc));
+    // Arm only after boot: the hugetlb reservation and module load assert
+    // on allocation success and must never see injected failures.
+    verify.emplace(config.verify, config.seed);
+    verify->audit_on_fire(*node);
+
+    Rng rng(config.seed);
+    for (std::uint32_t b = 0; b < config.commodity.builds; ++b) {
+      workloads::KernelBuildConfig bc;
+      bc.jobs = config.commodity.jobs_per_build;
+      builds.push_back(std::make_unique<workloads::KernelBuild>(
+          *node, bc, rng.fork("build").fork(b)));
+    }
+  }
+
+  /// Let the builds reach steady state (page cache warm, fragmentation
+  /// developing) before the benchmark launches.
+  void age_to_warmup() {
+    for (auto& build : builds) {
+      build->start();
+    }
+    const double warmup = config.commodity.builds > 0 ? config.warmup_seconds : 0.1;
+    engine.run_until(machine.cycles(warmup));
+  }
+
+  [[nodiscard]] std::vector<snapshot::BuildRef> build_refs() {
+    std::vector<snapshot::BuildRef> refs;
+    for (auto& build : builds) {
+      refs.push_back(snapshot::BuildRef{build.get(), 0});
+    }
+    return refs;
+  }
+};
+
+RunResult measure_single_node(SingleNodeWorld& w) {
+  const SingleNodeRunConfig& config = w.config;
+  sim::Engine& engine = w.engine;
+  os::Node& node = *w.node;
+
+  workloads::MpiJobConfig jc;
+  jc.app = scaled_profile(config.app, w.machine.clock_hz, config.footprint_scale,
+                          config.duration_scale);
+  jc.policy = policy_for(config.manager);
+  jc.ranks = placements(node, config.app_cores);
+  workloads::MpiJob job(engine, jc);
+  const Cycles job_start = engine.now();
+  // Sampling brackets the job: the first sample lands at job_start
+  // (= trace_t0), and daemon scheduling means the sampler never extends
+  // the run past job completion.
+  introspect::TelemetrySampler sampler(
+      engine, {config.introspect.sample_interval, config.introspect.max_samples});
+  sampler.add_node(node);
+  if (config.introspect.sampling()) {
+    sampler.start();
+  }
+  job.start([&engine] { engine.stop(); });
+  engine.run();
+  HPMMAP_ASSERT(job.done(), "engine drained before the job completed");
+
+  for (auto& build : w.builds) {
+    build->stop();
+  }
+  RunResult result = collect(job, node, config.trace, job_start, w.machine.clock_hz);
+  result.events_fired = engine.events_fired();
+  result.telemetry = sampler.take();
+  if (config.introspect.procfs_dump) {
+    result.procfs_text = introspect::procfs_dump(node);
+  }
+  w.verify->finish(result, {&node});
+  return result;
+}
+
+struct ScalingWorld {
+  ScalingRunConfig config;
+  hw::MachineSpec machine = hw::sandia_xeon_node();
+  // §IV: 20 of 24 GB offlined per node, split across the two zones.
+  std::uint64_t pool = 10 * GiB;
+  sim::Engine engine;
+  std::vector<std::unique_ptr<os::Node>> nodes;
+  std::optional<VerifySession> verify;
+  std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
+  std::vector<std::uint32_t> build_nodes;
+
+  ScalingWorld(const ScalingRunConfig& cfg, bool aged) : config(cfg) {
+    begin_tracing(config.trace, config.seed);
+    for (std::uint32_t n = 0; n < config.nodes; ++n) {
+      os::NodeConfig nc =
+          node_config_for(config.manager, machine, pool, config.seed + 7919ull * n,
+                          "xeon" + std::to_string(n));
+      nc.aged_boot = aged;
+      nodes.push_back(std::make_unique<os::Node>(engine, std::move(nc)));
+    }
+    verify.emplace(config.verify, config.seed);
+    // Debug-mode audits cover the first node (injections are global; the
+    // end-of-run audit walks every node).
+    verify->audit_on_fire(*nodes.front());
+
+    Rng rng(config.seed);
+    for (std::uint32_t n = 0; n < config.nodes; ++n) {
+      for (std::uint32_t b = 0; b < config.commodity.builds; ++b) {
+        workloads::KernelBuildConfig bc;
+        bc.jobs = config.commodity.jobs_per_build;
+        builds.push_back(std::make_unique<workloads::KernelBuild>(
+            *nodes[n], bc, rng.fork("build").fork(n * 16 + b)));
+        build_nodes.push_back(n);
+      }
+    }
+  }
+
+  void age_to_warmup() {
+    for (auto& build : builds) {
+      build->start();
+    }
+    const double warmup = config.commodity.builds > 0 ? config.warmup_seconds : 0.1;
+    engine.run_until(machine.cycles(warmup));
+  }
+
+  [[nodiscard]] std::vector<os::Node*> node_ptrs() {
+    std::vector<os::Node*> out;
+    for (auto& n : nodes) {
+      out.push_back(n.get());
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<snapshot::BuildRef> build_refs() {
+    std::vector<snapshot::BuildRef> refs;
+    for (std::size_t b = 0; b < builds.size(); ++b) {
+      refs.push_back(snapshot::BuildRef{builds[b].get(), build_nodes[b]});
+    }
+    return refs;
+  }
+};
+
+RunResult measure_scaling(ScalingWorld& w) {
+  const ScalingRunConfig& config = w.config;
+  sim::Engine& engine = w.engine;
+  Rng rng(config.seed);
+
+  workloads::MpiJobConfig jc;
+  jc.app = scaled_profile(config.app, w.machine.clock_hz, config.footprint_scale,
+                          config.duration_scale);
+  // §IV-C: inputs chosen "to maximize the memory utilization" — on the
+  // 24 GB nodes, 4 ranks split the 20 GB reservation, not the single-node
+  // footprint.
+  const std::uint64_t budget_per_rank =
+      (2 * w.pool * 92 / 100) / config.ranks_per_node - jc.app.misc_bytes;
+  jc.app.bytes_per_rank = align_up(
+      static_cast<std::uint64_t>(static_cast<double>(budget_per_rank) *
+                                 config.footprint_scale),
+      kLargePageSize);
+  jc.policy = policy_for(config.manager);
+  for (std::uint32_t n = 0; n < config.nodes; ++n) {
+    for (const workloads::RankPlacement& p :
+         placements(*w.nodes[n], config.ranks_per_node)) {
+      jc.ranks.push_back(p);
+    }
+  }
+  cluster::EthernetSpec eth;
+  jc.comm = cluster::ethernet_comm(eth, w.machine.clock_hz, config.nodes, rng.fork("net"));
+
+  workloads::MpiJob job(engine, jc);
+  const Cycles job_start = engine.now();
+  introspect::TelemetrySampler sampler(
+      engine, {config.introspect.sample_interval, config.introspect.max_samples});
+  for (auto& n : w.nodes) {
+    sampler.add_node(*n);
+  }
+  if (config.introspect.sampling()) {
+    sampler.start();
+  }
+  job.start([&engine] { engine.stop(); });
+  engine.run();
+  HPMMAP_ASSERT(job.done(), "engine drained before the job completed");
+
+  for (auto& build : w.builds) {
+    build->stop();
+  }
+  RunResult result =
+      collect(job, *w.nodes.front(), config.trace, job_start, w.machine.clock_hz);
+  result.events_fired = engine.events_fired();
+  result.telemetry = sampler.take();
+  if (config.introspect.procfs_dump) {
+    for (auto& n : w.nodes) {
+      result.procfs_text += introspect::procfs_dump(*n);
+    }
+  }
+  w.verify->finish(result, w.node_ptrs());
+  return result;
+}
+
+struct ServerWorld {
+  ServerRunConfig config;
+  hw::MachineSpec machine = hw::dell_r415();
+  sim::Engine engine;
+  std::optional<os::Node> node;
+  std::optional<VerifySession> verify;
+  std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
+
+  ServerWorld(const ServerRunConfig& cfg, bool aged) : config(cfg) {
+    begin_tracing(config.trace, config.seed);
+    // Same reservation split as the single-node runs: the serving side
+    // gets the 12 GB pool/offline region, the commodity side keeps 4 GB.
+    const std::uint64_t pool = 6 * GiB;
+    os::NodeConfig nc =
+        node_config_for(config.manager, machine, pool, config.seed, "r415");
+    nc.aged_boot = aged;
+    node.emplace(engine, std::move(nc));
+    verify.emplace(config.verify, config.seed);
+    verify->audit_on_fire(*node);
+
+    Rng rng(config.seed);
+    for (std::uint32_t b = 0; b < config.commodity.builds; ++b) {
+      workloads::KernelBuildConfig bc;
+      bc.jobs = config.commodity.jobs_per_build;
+      builds.push_back(std::make_unique<workloads::KernelBuild>(
+          *node, bc, rng.fork("build").fork(b)));
+    }
+  }
+
+  void age_to_warmup() {
+    for (auto& build : builds) {
+      build->start();
+    }
+    const double warmup = config.commodity.builds > 0 ? config.warmup_seconds : 0.1;
+    engine.run_until(machine.cycles(warmup));
+  }
+
+  [[nodiscard]] std::vector<snapshot::BuildRef> build_refs() {
+    std::vector<snapshot::BuildRef> refs;
+    for (auto& build : builds) {
+      refs.push_back(snapshot::BuildRef{build.get(), 0});
+    }
+    return refs;
+  }
+};
+
+ServerRunResult measure_server(ServerWorld& w) {
+  const ServerRunConfig& config = w.config;
+  sim::Engine& engine = w.engine;
+  os::Node& node = *w.node;
+  Rng rng(config.seed);
+
+  // The schedule is generated before anything serves: a pure function of
+  // (arrival config, clock, seed), so every manager replays the same one.
+  serving::ArrivalConfig arrival = config.arrival;
+  arrival.duration_seconds *= config.duration_scale;
+  std::vector<serving::ScheduledRequest> schedule =
+      serving::generate_schedule(arrival, w.machine.clock_hz, rng.fork("arrival"));
+
+  workloads::ServerConfig service = config.service;
+  service.policy = policy_for(config.manager);
+  service.zone = 0;
+  if (service.budgets.empty()) {
+    service.budgets = {
+        {"lat<2ms", w.machine.cycles(0.002)},
+        {"lat<10ms", w.machine.cycles(0.010)},
+    };
+  }
+  workloads::ServerApp server(engine, node, std::move(service), std::move(schedule),
+                              rng.fork("server"));
+
+  const Cycles t0 = engine.now();
+  introspect::TelemetrySampler sampler(
+      engine, {config.introspect.sample_interval, config.introspect.max_samples});
+  sampler.add_node(node);
+  // Service-side probes: pure observers on the actor, so sampling stays
+  // byte-identical-off-vs-on like every other telemetry source.
+  const std::string labels = "node=\"" + node.config().name + "\"";
+  sampler.add_probe("hpmmap_server_queue_depth", labels, "gauge",
+                    [&server] { return server.queue_depth_now(); });
+  sampler.add_probe("hpmmap_server_in_flight", labels, "gauge",
+                    [&server] { return server.in_flight_now(); });
+  sampler.add_probe("hpmmap_server_shed_total", labels, "counter",
+                    [&server] { return server.shed_total(); });
+  sampler.add_probe("hpmmap_server_completed_total", labels, "counter",
+                    [&server] { return server.completed_total(); });
+  if (config.introspect.sampling()) {
+    sampler.start();
+  }
+  server.start([&engine] { engine.stop(); });
+  engine.run();
+  HPMMAP_ASSERT(server.done(), "engine drained before the service completed");
+
+  for (auto& build : w.builds) {
+    build->stop();
+  }
+
+  ServerRunResult result;
+  result.runtime_seconds = w.machine.seconds(engine.now() - t0);
+  result.clock_hz = w.machine.clock_hz;
+  result.server = server.stats();
+  result.faults = server.aggregate_faults();
+  result.trace_t0 = t0;
+  result.events_fired = engine.events_fired();
+
+  const serving::LatencyRecorder& lat = server.latency();
+  result.tail.p50_us = lat.tails().p50();
+  result.tail.p95_us = lat.tails().p95();
+  result.tail.p99_us = lat.tails().p99();
+  result.tail.p999_us = lat.tails().p999();
+  result.tail.exact_p50_us = lat.reservoir().quantile(0.50);
+  result.tail.exact_p99_us = lat.reservoir().quantile(0.99);
+  result.tail.exact_p999_us = lat.reservoir().quantile(0.999);
+  result.tail.mean_us = lat.tails().mean();
+  result.tail.max_us = lat.tails().max();
+  result.tail.samples = lat.tails().count();
+
+  const serving::SloAccountant& slo = server.slo();
+  for (std::size_t i = 0; i < slo.budget_count(); ++i) {
+    SloOutcome o;
+    o.label = slo.budget(i).label;
+    o.budget_us = w.machine.seconds(slo.budget(i).budget) * 1e6;
+    o.violations = slo.violations(i);
+    result.slo.push_back(std::move(o));
+  }
+  result.slo_total = slo.total_violations();
+
+  if (config.trace.on()) {
+    trace::instant(trace::Category::kHarness, "run.end", 0, -1,
+                   {trace::Arg::u64("completed", result.server.completed)});
+    trace::disable_all();
+    result.events = trace::recorder().snapshot();
+    result.trace_dropped = trace::recorder().dropped();
+  }
+  result.telemetry = sampler.take();
+  if (config.introspect.procfs_dump) {
+    result.procfs_text = introspect::procfs_dump(node);
+  }
+  w.verify->finish(result, {&node});
+  return result;
+}
+
 } // namespace
 
 std::vector<FaultSample> app_fault_samples(const RunResult& r) {
@@ -281,272 +647,59 @@ std::vector<FaultSample> app_fault_samples(const RunResult& r) {
 }
 
 RunResult run_single_node(const SingleNodeRunConfig& config) {
-  sim::Engine engine;
-  const hw::MachineSpec machine = hw::dell_r415();
-  begin_tracing(config.trace, config.seed);
-  // §IV: 12 of 16 GB reserved/offlined, split across the two zones.
-  // Scaled-down runs (tests) reserve proportionally less so the Linux
-  // side keeps its 4 GB.
-  const std::uint64_t pool = std::min<std::uint64_t>(
-      align_up(static_cast<std::uint64_t>(static_cast<double>(6 * GiB) *
-                                          config.footprint_scale),
-               kMemorySectionSize),
-      6 * GiB);
+  SingleNodeWorld world(config, /*aged=*/true);
+  world.age_to_warmup();
+  return measure_single_node(world);
+}
 
-  os::Node node(engine,
-                node_config_for(config.manager, machine, pool, config.seed, "r415"));
-  // Arm only after boot: the hugetlb reservation and module load assert
-  // on allocation success and must never see injected failures.
-  VerifySession verify_session(config.verify, config.seed);
-  verify_session.audit_on_fire(node);
+snapshot::WorldImage capture_single_node(const SingleNodeRunConfig& config) {
+  SingleNodeWorld world(config, /*aged=*/true);
+  world.age_to_warmup();
+  return snapshot::capture_world(world.engine, {&*world.node}, world.build_refs());
+}
 
-  // Commodity competition.
-  std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
-  Rng rng(config.seed);
-  for (std::uint32_t b = 0; b < config.commodity.builds; ++b) {
-    workloads::KernelBuildConfig bc;
-    bc.jobs = config.commodity.jobs_per_build;
-    builds.push_back(std::make_unique<workloads::KernelBuild>(
-        node, bc, rng.fork("build").fork(b)));
-    builds.back()->start();
-  }
-  // Let the builds reach steady state (page cache warm, fragmentation
-  // developing) before the benchmark launches.
-  const double warmup = config.commodity.builds > 0 ? 1.5 : 0.1;
-  engine.run_until(machine.cycles(warmup));
-
-  workloads::MpiJobConfig jc;
-  jc.app = scaled_profile(config.app, machine.clock_hz, config.footprint_scale,
-                          config.duration_scale);
-  jc.policy = policy_for(config.manager);
-  jc.ranks = placements(node, config.app_cores);
-  workloads::MpiJob job(engine, jc);
-  const Cycles job_start = engine.now();
-  // Sampling brackets the job: the first sample lands at job_start
-  // (= trace_t0), and daemon scheduling means the sampler never extends
-  // the run past job completion.
-  introspect::TelemetrySampler sampler(
-      engine, {config.introspect.sample_interval, config.introspect.max_samples});
-  sampler.add_node(node);
-  if (config.introspect.sampling()) {
-    sampler.start();
-  }
-  job.start([&engine] { engine.stop(); });
-  engine.run();
-  HPMMAP_ASSERT(job.done(), "engine drained before the job completed");
-
-  for (auto& build : builds) {
-    build->stop();
-  }
-  RunResult result = collect(job, node, config.trace, job_start, machine.clock_hz);
-  result.events_fired = engine.events_fired();
-  result.telemetry = sampler.take();
-  if (config.introspect.procfs_dump) {
-    result.procfs_text = introspect::procfs_dump(node);
-  }
-  verify_session.finish(result, {&node});
-  return result;
+RunResult run_single_node(const SingleNodeRunConfig& config,
+                          const snapshot::WorldImage& image) {
+  SingleNodeWorld world(config, /*aged=*/false);
+  snapshot::restore_world(image, world.engine, {&*world.node}, world.build_refs());
+  return measure_single_node(world);
 }
 
 RunResult run_scaling(const ScalingRunConfig& config) {
-  sim::Engine engine;
-  const hw::MachineSpec machine = hw::sandia_xeon_node();
-  begin_tracing(config.trace, config.seed);
-  // §IV: 20 of 24 GB offlined per node, split across the two zones.
-  const std::uint64_t pool = 10 * GiB;
+  ScalingWorld world(config, /*aged=*/true);
+  world.age_to_warmup();
+  return measure_scaling(world);
+}
 
-  std::vector<std::unique_ptr<os::Node>> nodes;
-  for (std::uint32_t n = 0; n < config.nodes; ++n) {
-    nodes.push_back(std::make_unique<os::Node>(
-        engine, node_config_for(config.manager, machine, pool,
-                                config.seed + 7919ull * n, "xeon" + std::to_string(n))));
-  }
-  VerifySession verify_session(config.verify, config.seed);
-  // Debug-mode audits cover the first node (injections are global; the
-  // end-of-run audit walks every node).
-  verify_session.audit_on_fire(*nodes.front());
+snapshot::WorldImage capture_scaling(const ScalingRunConfig& config) {
+  ScalingWorld world(config, /*aged=*/true);
+  world.age_to_warmup();
+  return snapshot::capture_world(world.engine, world.node_ptrs(), world.build_refs());
+}
 
-  std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
-  Rng rng(config.seed);
-  for (std::uint32_t n = 0; n < config.nodes; ++n) {
-    for (std::uint32_t b = 0; b < config.commodity.builds; ++b) {
-      workloads::KernelBuildConfig bc;
-      bc.jobs = config.commodity.jobs_per_build;
-      builds.push_back(std::make_unique<workloads::KernelBuild>(
-          *nodes[n], bc, rng.fork("build").fork(n * 16 + b)));
-      builds.back()->start();
-    }
-  }
-  const double warmup = config.commodity.builds > 0 ? 1.5 : 0.1;
-  engine.run_until(machine.cycles(warmup));
-
-  workloads::MpiJobConfig jc;
-  jc.app = scaled_profile(config.app, machine.clock_hz, config.footprint_scale,
-                          config.duration_scale);
-  // §IV-C: inputs chosen "to maximize the memory utilization" — on the
-  // 24 GB nodes, 4 ranks split the 20 GB reservation, not the single-node
-  // footprint.
-  const std::uint64_t budget_per_rank =
-      (2 * pool * 92 / 100) / config.ranks_per_node - jc.app.misc_bytes;
-  jc.app.bytes_per_rank = align_up(
-      static_cast<std::uint64_t>(static_cast<double>(budget_per_rank) *
-                                 config.footprint_scale),
-      kLargePageSize);
-  jc.policy = policy_for(config.manager);
-  for (std::uint32_t n = 0; n < config.nodes; ++n) {
-    for (const workloads::RankPlacement& p : placements(*nodes[n], config.ranks_per_node)) {
-      jc.ranks.push_back(p);
-    }
-  }
-  cluster::EthernetSpec eth;
-  jc.comm = cluster::ethernet_comm(eth, machine.clock_hz, config.nodes, rng.fork("net"));
-
-  workloads::MpiJob job(engine, jc);
-  const Cycles job_start = engine.now();
-  introspect::TelemetrySampler sampler(
-      engine, {config.introspect.sample_interval, config.introspect.max_samples});
-  for (auto& n : nodes) {
-    sampler.add_node(*n);
-  }
-  if (config.introspect.sampling()) {
-    sampler.start();
-  }
-  job.start([&engine] { engine.stop(); });
-  engine.run();
-  HPMMAP_ASSERT(job.done(), "engine drained before the job completed");
-
-  for (auto& build : builds) {
-    build->stop();
-  }
-  RunResult result = collect(job, *nodes.front(), config.trace, job_start, machine.clock_hz);
-  result.events_fired = engine.events_fired();
-  result.telemetry = sampler.take();
-  if (config.introspect.procfs_dump) {
-    for (auto& n : nodes) {
-      result.procfs_text += introspect::procfs_dump(*n);
-    }
-  }
-  std::vector<os::Node*> node_ptrs;
-  for (auto& n : nodes) {
-    node_ptrs.push_back(n.get());
-  }
-  verify_session.finish(result, node_ptrs);
-  return result;
+RunResult run_scaling(const ScalingRunConfig& config, const snapshot::WorldImage& image) {
+  ScalingWorld world(config, /*aged=*/false);
+  snapshot::restore_world(image, world.engine, world.node_ptrs(), world.build_refs());
+  return measure_scaling(world);
 }
 
 ServerRunResult run_server(const ServerRunConfig& config) {
-  sim::Engine engine;
-  const hw::MachineSpec machine = hw::dell_r415();
-  begin_tracing(config.trace, config.seed);
-  // Same reservation split as the single-node runs: the serving side
-  // gets the 12 GB pool/offline region, the commodity side keeps 4 GB.
-  const std::uint64_t pool = 6 * GiB;
-  os::Node node(engine,
-                node_config_for(config.manager, machine, pool, config.seed, "r415"));
-  VerifySession verify_session(config.verify, config.seed);
-  verify_session.audit_on_fire(node);
+  ServerWorld world(config, /*aged=*/true);
+  world.age_to_warmup();
+  return measure_server(world);
+}
 
-  // Commodity competition, same warmup contract as run_single_node.
-  std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
-  Rng rng(config.seed);
-  for (std::uint32_t b = 0; b < config.commodity.builds; ++b) {
-    workloads::KernelBuildConfig bc;
-    bc.jobs = config.commodity.jobs_per_build;
-    builds.push_back(std::make_unique<workloads::KernelBuild>(
-        node, bc, rng.fork("build").fork(b)));
-    builds.back()->start();
-  }
-  const double warmup = config.commodity.builds > 0 ? 1.5 : 0.1;
-  engine.run_until(machine.cycles(warmup));
+snapshot::WorldImage capture_server(const ServerRunConfig& config) {
+  ServerWorld world(config, /*aged=*/true);
+  world.age_to_warmup();
+  return snapshot::capture_world(world.engine, {&*world.node}, world.build_refs());
+}
 
-  // The schedule is generated before anything serves: a pure function of
-  // (arrival config, clock, seed), so every manager replays the same one.
-  serving::ArrivalConfig arrival = config.arrival;
-  arrival.duration_seconds *= config.duration_scale;
-  std::vector<serving::ScheduledRequest> schedule =
-      serving::generate_schedule(arrival, machine.clock_hz, rng.fork("arrival"));
-
-  workloads::ServerConfig service = config.service;
-  service.policy = policy_for(config.manager);
-  service.zone = 0;
-  if (service.budgets.empty()) {
-    service.budgets = {
-        {"lat<2ms", machine.cycles(0.002)},
-        {"lat<10ms", machine.cycles(0.010)},
-    };
-  }
-  workloads::ServerApp server(engine, node, std::move(service), std::move(schedule),
-                              rng.fork("server"));
-
-  const Cycles t0 = engine.now();
-  introspect::TelemetrySampler sampler(
-      engine, {config.introspect.sample_interval, config.introspect.max_samples});
-  sampler.add_node(node);
-  // Service-side probes: pure observers on the actor, so sampling stays
-  // byte-identical-off-vs-on like every other telemetry source.
-  const std::string labels = "node=\"" + node.config().name + "\"";
-  sampler.add_probe("hpmmap_server_queue_depth", labels, "gauge",
-                    [&server] { return server.queue_depth_now(); });
-  sampler.add_probe("hpmmap_server_in_flight", labels, "gauge",
-                    [&server] { return server.in_flight_now(); });
-  sampler.add_probe("hpmmap_server_shed_total", labels, "counter",
-                    [&server] { return server.shed_total(); });
-  sampler.add_probe("hpmmap_server_completed_total", labels, "counter",
-                    [&server] { return server.completed_total(); });
-  if (config.introspect.sampling()) {
-    sampler.start();
-  }
-  server.start([&engine] { engine.stop(); });
-  engine.run();
-  HPMMAP_ASSERT(server.done(), "engine drained before the service completed");
-
-  for (auto& build : builds) {
-    build->stop();
-  }
-
-  ServerRunResult result;
-  result.runtime_seconds = machine.seconds(engine.now() - t0);
-  result.clock_hz = machine.clock_hz;
-  result.server = server.stats();
-  result.faults = server.aggregate_faults();
-  result.trace_t0 = t0;
-  result.events_fired = engine.events_fired();
-
-  const serving::LatencyRecorder& lat = server.latency();
-  result.tail.p50_us = lat.tails().p50();
-  result.tail.p95_us = lat.tails().p95();
-  result.tail.p99_us = lat.tails().p99();
-  result.tail.p999_us = lat.tails().p999();
-  result.tail.exact_p50_us = lat.reservoir().quantile(0.50);
-  result.tail.exact_p99_us = lat.reservoir().quantile(0.99);
-  result.tail.exact_p999_us = lat.reservoir().quantile(0.999);
-  result.tail.mean_us = lat.tails().mean();
-  result.tail.max_us = lat.tails().max();
-  result.tail.samples = lat.tails().count();
-
-  const serving::SloAccountant& slo = server.slo();
-  for (std::size_t i = 0; i < slo.budget_count(); ++i) {
-    SloOutcome o;
-    o.label = slo.budget(i).label;
-    o.budget_us = machine.seconds(slo.budget(i).budget) * 1e6;
-    o.violations = slo.violations(i);
-    result.slo.push_back(std::move(o));
-  }
-  result.slo_total = slo.total_violations();
-
-  if (config.trace.on()) {
-    trace::instant(trace::Category::kHarness, "run.end", 0, -1,
-                   {trace::Arg::u64("completed", result.server.completed)});
-    trace::disable_all();
-    result.events = trace::recorder().snapshot();
-    result.trace_dropped = trace::recorder().dropped();
-  }
-  result.telemetry = sampler.take();
-  if (config.introspect.procfs_dump) {
-    result.procfs_text = introspect::procfs_dump(node);
-  }
-  verify_session.finish(result, {&node});
-  return result;
+ServerRunResult run_server(const ServerRunConfig& config,
+                           const snapshot::WorldImage& image) {
+  ServerWorld world(config, /*aged=*/false);
+  snapshot::restore_world(image, world.engine, {&*world.node}, world.build_refs());
+  return measure_server(world);
 }
 
 std::vector<introspect::TimeSeries> merged_telemetry(const std::vector<RunResult>& runs) {

@@ -15,6 +15,7 @@
 #include "introspect/sampler.hpp"
 #include "linux_mm/fault.hpp"
 #include "serving/arrival.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/trace.hpp"
 #include "verify/fault_inject.hpp"
 #include "workloads/profiles.hpp"
@@ -94,6 +95,10 @@ struct SingleNodeRunConfig {
   /// Scale the app footprint/iterations (quick modes for tests).
   double footprint_scale = 1.0;
   double duration_scale = 1.0;
+  /// How long the commodity builds churn before measurement — how deeply
+  /// aged the world is at the capture point. Pre-capture state, so the
+  /// snapshot contract requires it to match between capture and resume.
+  double warmup_seconds = 1.5;
   VerifyConfig verify{};
   IntrospectConfig introspect{};
 };
@@ -194,12 +199,39 @@ struct ScalingRunConfig {
   TraceConfig trace{};
   double footprint_scale = 1.0;
   double duration_scale = 1.0;
+  /// Build-churn warmup before measurement (pre-capture state; see
+  /// SingleNodeRunConfig::warmup_seconds).
+  double warmup_seconds = 1.5;
   VerifyConfig verify{};
   IntrospectConfig introspect{};
 };
 
 /// Run one multi-node trial (Sandia Xeon cluster model, 1 GbE).
 [[nodiscard]] RunResult run_scaling(const ScalingRunConfig& config);
+
+// --- snapshot/resume (DESIGN.md §12) ---------------------------------------
+//
+// capture_*() boots the configured world, ages it to the warmup quiesce
+// point (builds at steady state, page cache warm, freelists fragmented)
+// and deep-copies everything into a WorldImage. run_*(config, image)
+// boots a structurally identical world with aging skipped, overwrites it
+// with the image, and runs the measurement phase — producing a result
+// byte-identical to the straight run of the same config.
+//
+// The resumed config must match the captured one in every field that
+// shapes the world before the job launches (manager, commodity profile,
+// seed, footprint_scale, warmup_seconds, trace, verify); only the
+// measurement-phase fields — app, app_cores, duration_scale, introspect
+// — may differ.
+// That is what makes aging amortizable: one capture fans out to every
+// member of a sweep row (see run_trials_snapshotted in batch.hpp).
+
+[[nodiscard]] snapshot::WorldImage capture_single_node(const SingleNodeRunConfig& config);
+[[nodiscard]] RunResult run_single_node(const SingleNodeRunConfig& config,
+                                        const snapshot::WorldImage& image);
+[[nodiscard]] snapshot::WorldImage capture_scaling(const ScalingRunConfig& config);
+[[nodiscard]] RunResult run_scaling(const ScalingRunConfig& config,
+                                    const snapshot::WorldImage& image);
 
 /// Mean/stdev of runtime over `trials` seeds — one point of Figure 7/8.
 struct SeriesPoint {
@@ -238,6 +270,9 @@ struct ServerRunConfig {
   TraceConfig trace{};
   /// Scales the arrival window (quick modes for tests).
   double duration_scale = 1.0;
+  /// Build-churn warmup before the open-loop window starts (pre-capture
+  /// state; see SingleNodeRunConfig::warmup_seconds).
+  double warmup_seconds = 1.5;
   VerifyConfig verify{};
   IntrospectConfig introspect{};
 };
@@ -290,6 +325,13 @@ struct ServerRunResult {
 /// Run one serving trial (Dell R415 model). Budgets default to 2 ms and
 /// 10 ms when `config.service.budgets` is empty.
 [[nodiscard]] ServerRunResult run_server(const ServerRunConfig& config);
+
+/// Snapshot/resume for serving runs: capture at the warmup quiesce point
+/// (before the arrival schedule is generated), resume for measurement.
+/// Same matching contract as the single-node pair above.
+[[nodiscard]] snapshot::WorldImage capture_server(const ServerRunConfig& config);
+[[nodiscard]] ServerRunResult run_server(const ServerRunConfig& config,
+                                         const snapshot::WorldImage& image);
 
 /// Trial loops run on the batch runner at harness::default_jobs()
 /// parallelism (see harness/batch.hpp; 1 = serial, and any jobs value

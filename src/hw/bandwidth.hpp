@@ -13,6 +13,10 @@
 
 #include "common/types.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::hw {
 
 class BandwidthModel {
@@ -41,6 +45,8 @@ class BandwidthModel {
   [[nodiscard]] double capacity() const noexcept { return capacity_; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   struct Entry {
     std::uint32_t consumer;
     ZoneId zone;

@@ -34,6 +34,10 @@
 #include "common/types.hpp"
 #include "common/units.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::hw {
 
 /// Who owns the block headed by a frame. kUntracked covers both "frame
@@ -211,6 +215,8 @@ class MemMap {
   }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   struct Slot {
     std::uint32_t key = kNil;
     Link link;

@@ -14,6 +14,10 @@
 #include "linux_mm/page_table.hpp"
 #include "linux_mm/vma.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::mm {
 
 class AddressSpace {
@@ -87,6 +91,8 @@ class AddressSpace {
   }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   Pid pid_;
   VmaTree vmas_;
   PageTable pt_;

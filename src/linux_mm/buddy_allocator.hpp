@@ -33,6 +33,10 @@
 #include "common/units.hpp"
 #include "hw/mem_map.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::mm {
 
 struct BuddyStats {
@@ -147,6 +151,8 @@ class BuddyAllocator {
   void corrupt_insert_free_block(Addr addr, unsigned order);
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   /// Per-order free bitmap: bit i = block [begin + i*order_bytes(o),
   /// +order_bytes(o)) is free. `summary` has one bit per bits-word;
   /// `scan_hint` bounds the summary scan from below (monotone under

@@ -20,6 +20,10 @@
 #include "hw/mem_map.hpp"
 #include "linux_mm/memory_system.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::mm {
 
 struct HugetlbStats {
@@ -66,6 +70,8 @@ class HugetlbPool {
   }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   /// Intrusive stack push (ctor reservation and free_page share it).
   void push(ZoneId zone, Addr addr);
 

@@ -28,6 +28,10 @@
 #include "linux_mm/cost_model.hpp"
 #include "linux_mm/page_cache.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::mm {
 
 /// Linux's order cap: blocks up to 4 MiB.
@@ -99,6 +103,8 @@ class MemorySystem {
   void rebuild_zones();
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   struct ZoneState {
     BuddyAllocator buddy;
     PageCache cache;

@@ -27,6 +27,10 @@
 #include "hw/mem_map.hpp"
 #include "linux_mm/buddy_allocator.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::mm {
 
 class PageCache {
@@ -103,6 +107,8 @@ class PageCache {
   void set_dirty_fraction(double f) noexcept { dirty_fraction_ = f; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   void push_back_block(Addr addr, unsigned order, bool dirty);
   /// Unlink `idx` from the LRU chain (meta untouched).
   void unlink(std::uint32_t idx);

@@ -26,6 +26,10 @@
 #include "common/types.hpp"
 #include "hw/tlb.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::mm {
 
 struct Translation {
@@ -93,6 +97,8 @@ class PageTable {
   }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   static constexpr unsigned kFanout = 512;
   static constexpr std::uint32_t kRoot = 0;
   static constexpr std::uint64_t kLeafBit = 1;

@@ -46,11 +46,13 @@ void ThpService::note_fallback(AddressSpace* as, Addr vaddr) {
   // why merges land *during* the application's fault bursts and stall
   // the faults that follow (Figure 4's blue dots).
   if (running_ && !wake_pending_.valid() && engine_.now() - last_scan_ >= scan_period_) {
-    wake_pending_ = engine_.schedule(50'000, [this] {
-      wake_pending_ = sim::EventId{};
-      scan_once();
-    });
+    wake_pending_ = engine_.schedule(50'000, [this] { wake_tick(); });
   }
+}
+
+void ThpService::wake_tick() {
+  wake_pending_ = sim::EventId{};
+  scan_once();
 }
 
 bool ThpService::region_eligible(const AddressSpace& as, const Vma& vma, Addr vaddr) const {
@@ -125,10 +127,12 @@ void ThpService::schedule_next_scan() {
   // Jitter the period slightly so merges are unsynchronized across
   // ranks/nodes — the OS-noise property §II-B calls out.
   const Cycles jitter = memory_.rng().uniform(scan_period_ / 4);
-  pending_scan_ = engine_.schedule(scan_period_ + jitter, [this] {
-    scan_once();
-    schedule_next_scan();
-  });
+  pending_scan_ = engine_.schedule(scan_period_ + jitter, [this] { scan_tick(); });
+}
+
+void ThpService::scan_tick() {
+  scan_once();
+  schedule_next_scan();
 }
 
 std::optional<ThpService::MergeCandidate> ThpService::find_candidate() {
@@ -217,20 +221,30 @@ void ThpService::scan_once() {
     scan_progress += static_cast<Cycles>(
         clock_ms * (1.0 + memory_.rng().uniform_double() * 8.0));
     const MergeCandidate c = *candidate;
-    engine_.schedule(scan_progress, [this, c] {
-      // Re-validate: the process may have exited or the region may have
-      // changed while the daemon was scanning.
-      if (std::find(processes_.begin(), processes_.end(), c.as) == processes_.end()) {
-        return;
-      }
-      if (c.as->page_table().small_count_in_2m(c.region) < 64 ||
-          c.as->page_table().large_leaf_at(c.region) ||
-          inflight_.contains({c.as, c.region})) {
-        return;
-      }
-      perform_merge(c);
-    });
+    const std::uint64_t token = next_token_++;
+    const sim::EventId ev =
+        engine_.schedule(scan_progress, [this, token] { collapse_tick(token); });
+    pending_collapses_.push_back({token, c.as, c.region, c.mapped_small, ev});
   }
+}
+
+void ThpService::collapse_tick(std::uint64_t token) {
+  const auto it = std::find_if(pending_collapses_.begin(), pending_collapses_.end(),
+                               [token](const PendingCollapse& p) { return p.token == token; });
+  HPMMAP_ASSERT(it != pending_collapses_.end(), "collapse token fired without registry entry");
+  const MergeCandidate c{it->as, it->region, it->mapped_small};
+  pending_collapses_.erase(it);
+  // Re-validate: the process may have exited or the region may have
+  // changed while the daemon was scanning.
+  if (std::find(processes_.begin(), processes_.end(), c.as) == processes_.end()) {
+    return;
+  }
+  if (c.as->page_table().small_count_in_2m(c.region) < 64 ||
+      c.as->page_table().large_leaf_at(c.region) ||
+      inflight_.contains({c.as, c.region})) {
+    return;
+  }
+  perform_merge(c);
 }
 
 void ThpService::perform_merge(const MergeCandidate& candidate) {
@@ -295,53 +309,64 @@ void ThpService::perform_merge(const MergeCandidate& candidate) {
 
   const Addr huge_phys = huge.addr;
   AddressSpace* asp = &as;
-  engine_.schedule(duration, [this, asp, region, huge_phys] {
-    inflight_.erase({asp, region});
-    const auto abort_merge = [&] {
-      memory_.free_pages(memory_.phys().zone_of(huge_phys), huge_phys, kLargePageOrder);
-    };
-    // The process may have exited mid-merge, or the region may have been
-    // munmapped (temp buffers churn fast); either way the merge aborts
-    // and the huge page goes back to the buddy.
-    if (std::find(processes_.begin(), processes_.end(), asp) == processes_.end()) {
-      abort_merge();
-      ++stats_.merges_aborted;
-      trace::instant(trace::Category::kThp, "khugepaged.merge_abort", 0, -1,
-                     {trace::Arg::str("reason", "process_exited")});
-      return;
+  const std::uint64_t token = next_token_++;
+  const sim::EventId ev = engine_.schedule(duration, [this, token] { finish_merge(token); });
+  pending_merges_.push_back({token, asp, region, huge_phys, ev});
+}
+
+void ThpService::finish_merge(std::uint64_t token) {
+  const auto it = std::find_if(pending_merges_.begin(), pending_merges_.end(),
+                               [token](const PendingMerge& p) { return p.token == token; });
+  HPMMAP_ASSERT(it != pending_merges_.end(), "merge token fired without registry entry");
+  AddressSpace* asp = it->as;
+  const Addr region = it->region;
+  const Addr huge_phys = it->huge_phys;
+  pending_merges_.erase(it);
+  inflight_.erase({asp, region});
+  const auto abort_merge = [&] {
+    memory_.free_pages(memory_.phys().zone_of(huge_phys), huge_phys, kLargePageOrder);
+  };
+  // The process may have exited mid-merge, or the region may have been
+  // munmapped (temp buffers churn fast); either way the merge aborts
+  // and the huge page goes back to the buddy.
+  if (std::find(processes_.begin(), processes_.end(), asp) == processes_.end()) {
+    abort_merge();
+    ++stats_.merges_aborted;
+    trace::instant(trace::Category::kThp, "khugepaged.merge_abort", 0, -1,
+                   {trace::Arg::str("reason", "process_exited")});
+    return;
+  }
+  AddressSpace& target = *asp;
+  const Vma* vma = target.vmas().find(region);
+  if (vma == nullptr || !vma->thp_eligible || vma->locked ||
+      !vma->range.contains(Range{region, region + kLargePageSize}) ||
+      target.page_table().large_leaf_at(region)) {
+    // Region vanished, got remapped, or the fault path huge-mapped it
+    // while the merge was copying: abort.
+    abort_merge();
+    ++stats_.merges_aborted;
+    trace::instant(trace::Category::kThp, "khugepaged.merge_abort", target.pid(), -1,
+                   {trace::Arg::str("reason", "region_changed")});
+    return;
+  }
+  // Unmap the small pages and return their frames; install the leaf.
+  PageTable& pt = target.page_table();
+  for (Addr va = region; va < region + kLargePageSize; va += kSmallPageSize) {
+    const auto t = pt.walk(va);
+    if (t.has_value() && t->size == PageSize::k4K) {
+      const Addr frame = align_down(t->phys, kSmallPageSize);
+      pt.unmap(va, PageSize::k4K);
+      memory_.free_pages(memory_.phys().zone_of(frame), frame, 0);
     }
-    AddressSpace& target = *asp;
-    const Vma* vma = target.vmas().find(region);
-    if (vma == nullptr || !vma->thp_eligible || vma->locked ||
-        !vma->range.contains(Range{region, region + kLargePageSize}) ||
-        target.page_table().large_leaf_at(region)) {
-      // Region vanished, got remapped, or the fault path huge-mapped it
-      // while the merge was copying: abort.
-      abort_merge();
-      ++stats_.merges_aborted;
-      trace::instant(trace::Category::kThp, "khugepaged.merge_abort", target.pid(), -1,
-                     {trace::Arg::str("reason", "region_changed")});
-      return;
-    }
-    // Unmap the small pages and return their frames; install the leaf.
-    PageTable& pt = target.page_table();
-    for (Addr va = region; va < region + kLargePageSize; va += kSmallPageSize) {
-      const auto t = pt.walk(va);
-      if (t.has_value() && t->size == PageSize::k4K) {
-        const Addr frame = align_down(t->phys, kSmallPageSize);
-        pt.unmap(va, PageSize::k4K);
-        memory_.free_pages(memory_.phys().zone_of(frame), frame, 0);
-      }
-    }
-    const Errno err = pt.map(region, huge_phys, PageSize::k2M, vma->prot);
-    HPMMAP_ASSERT(err == Errno::kOk, "merge target region was not fully cleared");
-    ++stats_.merges_completed;
-    if (trace::on(trace::Category::kThp)) {
-      trace::instant(trace::Category::kThp, "khugepaged.merge_done", target.pid(), -1,
-                     {trace::Arg::u64("region", region)});
-      ++trace::metrics().counter("khugepaged.merges_completed");
-    }
-  });
+  }
+  const Errno err = pt.map(region, huge_phys, PageSize::k2M, vma->prot);
+  HPMMAP_ASSERT(err == Errno::kOk, "merge target region was not fully cleared");
+  ++stats_.merges_completed;
+  if (trace::on(trace::Category::kThp)) {
+    trace::instant(trace::Category::kThp, "khugepaged.merge_done", target.pid(), -1,
+                   {trace::Arg::u64("region", region)});
+    ++trace::metrics().counter("khugepaged.merges_completed");
+  }
 }
 
 unsigned ThpService::split_for_mlock(AddressSpace& as, Range range) {

@@ -25,6 +25,10 @@
 #include "linux_mm/memory_system.hpp"
 #include "sim/engine.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::mm {
 
 struct ThpStats {
@@ -84,14 +88,38 @@ class ThpService {
   [[nodiscard]] const ThpStats& stats() const noexcept { return stats_; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   struct MergeCandidate {
     AddressSpace* as;
     Addr region; // 2M-aligned virtual base
     unsigned mapped_small;
   };
+  // In-flight daemon work is token-registered rather than captured in
+  // anonymous lambda closures so snapshot restore can re-arm the exact
+  // pending events: each scheduled continuation is a named member keyed
+  // by a token that looks up its state here.
+  struct PendingCollapse {
+    std::uint64_t token;
+    AddressSpace* as;
+    Addr region;
+    unsigned mapped_small;
+    sim::EventId event{};
+  };
+  struct PendingMerge {
+    std::uint64_t token;
+    AddressSpace* as;
+    Addr region;
+    Addr huge_phys;
+    sim::EventId event{};
+  };
   [[nodiscard]] std::optional<MergeCandidate> find_candidate();
   void perform_merge(const MergeCandidate& candidate);
   void schedule_next_scan();
+  void scan_tick();
+  void wake_tick();
+  void collapse_tick(std::uint64_t token);
+  void finish_merge(std::uint64_t token);
 
   MemorySystem& memory_;
   sim::Engine& engine_;
@@ -106,6 +134,9 @@ class ThpService {
   bool running_ = false;
   sim::EventId pending_scan_{};
   sim::EventId wake_pending_{};
+  std::vector<PendingCollapse> pending_collapses_;
+  std::vector<PendingMerge> pending_merges_;
+  std::uint64_t next_token_ = 1;
   ThpStats stats_;
 };
 

@@ -117,12 +117,14 @@ void Node::schedule_kswapd() {
   // kswapd wakes every ~4 ms and rebalances zones toward their high
   // watermark, off the critical path.
   const auto period = static_cast<Cycles>(config_.machine.clock_hz * 0.004);
-  kswapd_event_ = engine_.schedule(period, [this] {
-    for (ZoneId z = 0; z < memory_->zone_count(); ++z) {
-      memory_->kswapd_balance(z);
-    }
-    schedule_kswapd();
-  });
+  kswapd_event_ = engine_.schedule(period, [this] { kswapd_tick(); });
+}
+
+void Node::kswapd_tick() {
+  for (ZoneId z = 0; z < memory_->zone_count(); ++z) {
+    memory_->kswapd_balance(z);
+  }
+  schedule_kswapd();
 }
 
 Process& Node::spawn(std::string proc_name, MmPolicy policy, std::int32_t core, double duty,

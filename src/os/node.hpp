@@ -34,6 +34,10 @@
 #include "os/scheduler.hpp"
 #include "sim/engine.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::os {
 
 struct NodeConfig {
@@ -135,7 +139,13 @@ class Node {
   [[nodiscard]] std::uint64_t swapped_out_total() const noexcept { return swapped_out_total_; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   void age_system();
+  /// One kswapd wakeup: rebalance every zone, then re-arm the timer.
+  /// Extracted from the schedule_kswapd() lambda so snapshot restore can
+  /// re-arm the identical callback.
+  void kswapd_tick();
   /// Under sustained pressure with the page cache spent, reclaim evicts
   /// anonymous 4K pages to swap (kswapd's anon LRU). Victims refault
   /// with a disk read. HPMMAP-backed memory lives in offlined frames

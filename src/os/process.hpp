@@ -10,6 +10,10 @@
 #include "linux_mm/fault.hpp"
 #include "os/scheduler.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::os {
 
 /// Which memory manager backs this process's address-space syscalls.
@@ -58,6 +62,8 @@ class Process {
   void mark_dead() noexcept { alive_ = false; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   Pid pid_;
   std::string name_;
   MmPolicy policy_;

@@ -15,6 +15,10 @@
 
 #include "common/types.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::os {
 
 class Scheduler {
@@ -56,6 +60,8 @@ class Scheduler {
   [[nodiscard]] std::size_t live_threads() const noexcept { return live_count_; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   struct Thread {
     std::int32_t core;
     double weight;

@@ -23,6 +23,10 @@
 #include "sim/arena.hpp"
 #include "sim/event_callback.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::sim {
 
 /// Handle for cancelling a scheduled event: a slot index plus the
@@ -114,6 +118,11 @@ class Engine {
   [[nodiscard]] BumpArena& arena() noexcept { return arena_; }
 
  private:
+  // Snapshot/restore reaches the queue internals (src/snapshot/): all
+  // capture/restore logic is centralized there rather than widening the
+  // public API with serialization accessors.
+  friend struct hpmmap::snapshot::Access;
+
   /// Heap node: ordering key + slot handle only, 24 trivially copyable
   /// bytes. The callable itself is parked in slots_ and never moves
   /// during sifts — the single biggest cost of keeping callbacks inside

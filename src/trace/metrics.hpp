@@ -15,6 +15,10 @@
 
 #include "common/stats.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::trace {
 
 /// Streaming distribution summary: Welford moments + P² percentile
@@ -40,6 +44,8 @@ class Histogram {
   [[nodiscard]] double p99() const noexcept { return p99_.value(); }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   RunningStats stats_;
   P2Quantile p50_;
   P2Quantile p95_;
@@ -72,6 +78,8 @@ class MetricRegistry {
   [[nodiscard]] std::string report() const;
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, Histogram> histograms_;
 };

@@ -29,6 +29,10 @@
 
 #include "common/types.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::trace {
 
 /// Per-subsystem enable bits. Kept in one 32-bit mask so the hot-path
@@ -157,6 +161,8 @@ class FlightRecorder {
   [[nodiscard]] std::vector<Event> snapshot() const;
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   std::vector<Event> ring_;
   std::size_t capacity_;
   std::size_t head_ = 0; // next overwrite position once full

@@ -25,6 +25,10 @@
 
 #include "common/rng.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::verify {
 
 /// Every named injection point in the tree. The registration site is
@@ -133,6 +137,8 @@ class FaultInjector {
   void set_on_fire(std::function<void(InjectPoint)> cb) { on_fire_ = std::move(cb); }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   [[nodiscard]] bool roll(InjectPoint p);
 
   InjectionPlan plan_{};

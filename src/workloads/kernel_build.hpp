@@ -20,6 +20,10 @@
 #include "common/types.hpp"
 #include "os/node.hpp"
 
+namespace hpmmap::snapshot {
+struct Access;
+}
+
 namespace hpmmap::workloads {
 
 struct KernelBuildConfig {
@@ -52,6 +56,8 @@ class KernelBuild {
   [[nodiscard]] const KernelBuildStats& stats() const noexcept { return stats_; }
 
  private:
+  friend struct hpmmap::snapshot::Access;
+
   struct Block {
     ZoneId zone;
     Addr addr;

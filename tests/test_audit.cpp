@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/units.hpp"
@@ -14,6 +15,7 @@
 #include "linux_mm/page_cache.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
+#include "snapshot/snapshot.hpp"
 #include "verify/audit.hpp"
 
 namespace hpmmap {
@@ -353,6 +355,100 @@ TEST(Audit, DetectsHugetlbPoolPageStateDrift) {
   const verify::AuditReport r = auditor.run();
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(has_violation(r, "hugetlb.memmap_state")) << r.summary();
+}
+
+// --- corruption on a restored image ----------------------------------------
+//
+// Structural restore equality from the other side: a snapshot round-trip
+// produces a world the auditor accepts wholesale, and skewing any ONE
+// structure of the restored image — a freelist bit, an LRU link, a PTE —
+// is named by its exact invariant. If restore ever reconstructed these
+// structures loosely, the clean-before/dirty-after pair would not hold.
+
+/// Age and workload a node, capture it, and restore the image into a
+/// fresh non-aged boot on `engine`. The caller corrupts the result.
+std::unique_ptr<os::Node> restore_aged_world(sim::Engine& engine) {
+  os::NodeConfig cfg = small_config();
+  cfg.aged_boot = true;
+  cfg.hugetlb_pool_per_zone = 64 * MiB;
+  snapshot::WorldImage image;
+  {
+    sim::Engine capture_engine;
+    os::Node node(capture_engine, cfg);
+    os::Process& p = node.spawn("app", os::MmPolicy::kLinuxThp, 0, 1.0,
+                                mm::AddressSpace::ZonePolicy::kSingle, 0);
+    const auto out = node.sys_mmap(p, 16 * MiB, kProtRW, os::Node::Segment::kHeapData);
+    EXPECT_EQ(out.err, Errno::kOk);
+    (void)node.touch_range(p, Range{out.addr, out.addr + 16 * MiB});
+    image = snapshot::capture_world(capture_engine, {&node});
+  }
+  cfg.aged_boot = false; // state arrives from the image
+  auto node = std::make_unique<os::Node>(engine, cfg);
+  snapshot::restore_world(image, engine, {node.get()});
+  return node;
+}
+
+TEST(AuditRestored, SkewedFreelistBitIsNamedExactly) {
+  sim::Engine engine;
+  const std::unique_ptr<os::Node> node = restore_aged_world(engine);
+  ASSERT_TRUE(verify::MmAuditor(*node).run().ok());
+  // Wipe the mem_map head of one genuinely free block: the freelist
+  // entry loses its metadata mirror.
+  mm::BuddyAllocator& buddy = node->memory().buddy(0);
+  Addr block = 0;
+  bool got = false;
+  buddy.for_each_free_block([&](Addr a, unsigned) {
+    if (!got) {
+      block = a;
+      got = true;
+    }
+  });
+  ASSERT_TRUE(got);
+  buddy.mem_map().clear_head(buddy.mem_map().index_of(block));
+  const verify::AuditReport r = verify::MmAuditor(*node).run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "buddy.memmap_state")) << r.summary();
+}
+
+TEST(AuditRestored, BrokenLruLinkIsNamedExactly) {
+  sim::Engine engine;
+  const std::unique_ptr<os::Node> node = restore_aged_world(engine);
+  ASSERT_TRUE(verify::MmAuditor(*node).run().ok());
+  // Truncate the restored page-cache LRU chain mid-way (the aged boot
+  // leaves the cache warm, so the chain is long).
+  mm::BuddyAllocator& buddy = node->memory().buddy(0);
+  std::vector<Addr> blocks;
+  node->memory().cache(0).for_each_block(
+      [&](Addr a, unsigned, bool) { blocks.push_back(a); });
+  ASSERT_GE(blocks.size(), 3u);
+  buddy.mem_map().set_next(buddy.mem_map().index_of(blocks[1]), hw::MemMap::kNil);
+  const verify::AuditReport r = verify::MmAuditor(*node).run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "cache.lru_broken") || has_violation(r, "cache.accounting"))
+      << r.summary();
+}
+
+TEST(AuditRestored, StrayPteIsNamedExactly) {
+  sim::Engine engine;
+  const std::unique_ptr<os::Node> node = restore_aged_world(engine);
+  ASSERT_TRUE(verify::MmAuditor(*node).run().ok());
+  // Plant a leaf outside every VMA of the *restored* process image.
+  os::Process* app = nullptr;
+  node->for_each_process([&](const os::Process& q) {
+    if (q.alive()) {
+      app = const_cast<os::Process*>(&q);
+    }
+  });
+  ASSERT_NE(app, nullptr);
+  const mm::AllocOutcome frame = node->memory().alloc_pages(0, 0, /*allow_reclaim=*/false);
+  ASSERT_TRUE(frame.ok);
+  const Addr stray = 0x123456000;
+  ASSERT_EQ(app->address_space().vmas().find(stray), nullptr);
+  ASSERT_EQ(app->address_space().page_table().map(stray, frame.addr, PageSize::k4K, kProtRW),
+            Errno::kOk);
+  const verify::AuditReport r = verify::MmAuditor(*node).run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "pte.outside_vma")) << r.summary();
 }
 
 TEST(Audit, ViolationDiagnosticsNameTheScene) {

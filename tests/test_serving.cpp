@@ -263,6 +263,24 @@ TEST(ServerRun, TrialLoopIsJobsInvariant) {
   }
 }
 
+TEST(ServerRun, SnapshotResumedTrialsAreByteIdenticalForAnyJobs) {
+  // An aged serving node — commodity build churning through warmup —
+  // captured at the quiesce point and resumed for measurement must
+  // reproduce the straight trial loop byte for byte, at any --jobs.
+  harness::ServerRunConfig cfg = tiny_server(harness::Manager::kHpmmap);
+  cfg.commodity = workloads::profile_a(2);
+  const auto straight = harness::run_server_trials(cfg, 2, /*jobs=*/1);
+  for (const unsigned jobs : {1u, 4u}) {
+    const auto resumed = harness::run_server_trials_resumed(cfg, 2, jobs);
+    ASSERT_EQ(resumed.size(), straight.size());
+    for (std::size_t i = 0; i < straight.size(); ++i) {
+      expect_identical(straight[i], resumed[i]);
+      EXPECT_EQ(straight[i].events_fired, resumed[i].events_fired);
+      EXPECT_EQ(straight[i].server.slab.bytes_mapped, resumed[i].server.slab.bytes_mapped);
+    }
+  }
+}
+
 TEST(ServerRun, TelemetrySamplingIsPureObservation) {
   harness::ServerRunConfig cfg = tiny_server(harness::Manager::kHpmmap);
   const harness::ServerRunResult off = harness::run_server(cfg);

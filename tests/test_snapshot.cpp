@@ -1,0 +1,426 @@
+// Snapshot/restore correctness (DESIGN.md §12): a restored world is the
+// captured world. The headline checks: MmAuditor structural equality on
+// restore, byte-identical procfs renderings across a capture/restore
+// round-trip, straight runs vs snapshot-resumed runs byte-identical for
+// all three managers (trace streams included), save/load file
+// round-trips, the amortized-aging sweep matching the plain batch bit
+// for bit, and deterministic time-travel: restore the capture preceding
+// a flight-recorder anomaly and single-step back to the exact event.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "harness/batch.hpp"
+#include "harness/experiment.hpp"
+#include "introspect/procfs.hpp"
+#include "os/node.hpp"
+#include "sim/engine.hpp"
+#include "snapshot/snapshot.hpp"
+#include "trace/trace.hpp"
+#include "verify/audit.hpp"
+
+namespace hpmmap {
+namespace {
+
+harness::SingleNodeRunConfig quick(const std::string& app, harness::Manager mgr,
+                                   workloads::CommodityProfile commodity,
+                                   std::uint32_t cores) {
+  harness::SingleNodeRunConfig cfg;
+  cfg.app = app;
+  cfg.manager = mgr;
+  cfg.commodity = commodity;
+  cfg.app_cores = cores;
+  cfg.seed = 7;
+  cfg.footprint_scale = 0.08;
+  cfg.duration_scale = 0.05;
+  return cfg;
+}
+
+void expect_args_equal(const trace::Event& a, const trace::Event& b, std::size_t i) {
+  ASSERT_EQ(a.arg_count, b.arg_count) << "event " << i;
+  for (std::uint8_t k = 0; k < a.arg_count; ++k) {
+    const trace::Arg& x = a.args[k];
+    const trace::Arg& y = b.args[k];
+    ASSERT_STREQ(x.name, y.name) << "event " << i << " arg " << int{k};
+    ASSERT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind)) << "event " << i;
+    switch (x.kind) {
+      case trace::Arg::Kind::kNone: break;
+      case trace::Arg::Kind::kU64:
+        EXPECT_EQ(x.value.u64, y.value.u64) << "event " << i << " arg " << int{k};
+        break;
+      case trace::Arg::Kind::kF64:
+        EXPECT_EQ(x.value.f64, y.value.f64) << "event " << i << " arg " << int{k};
+        break;
+      case trace::Arg::Kind::kStr:
+        EXPECT_STREQ(x.value.str, y.value.str) << "event " << i << " arg " << int{k};
+        break;
+    }
+  }
+}
+
+void expect_events_equal(const std::vector<trace::Event>& a,
+                         const std::vector<trace::Event>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts, b[i].ts) << "event " << i;
+    EXPECT_EQ(a[i].dur, b[i].dur) << "event " << i;
+    EXPECT_EQ(a[i].name(), b[i].name()) << "event " << i;
+    EXPECT_EQ(static_cast<std::uint32_t>(a[i].cat), static_cast<std::uint32_t>(b[i].cat));
+    EXPECT_EQ(static_cast<char>(a[i].phase), static_cast<char>(b[i].phase));
+    EXPECT_EQ(a[i].pid, b[i].pid) << "event " << i;
+    EXPECT_EQ(a[i].core, b[i].core) << "event " << i;
+    expect_args_equal(a[i], b[i], i);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+/// Full-result equality: every field exact, doubles compared with ==.
+/// The resumed run must replay the straight run's event stream, so
+/// nothing — not even a stdev in the last ulp — may differ.
+void expect_run_equal(const harness::RunResult& a, const harness::RunResult& b) {
+  EXPECT_EQ(a.runtime_seconds, b.runtime_seconds);
+  EXPECT_EQ(a.clock_hz, b.clock_hz);
+  for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+    EXPECT_EQ(a.faults.count[k], b.faults.count[k]) << "kind " << k;
+    EXPECT_EQ(a.faults.total_cycles[k], b.faults.total_cycles[k]) << "kind " << k;
+    EXPECT_EQ(a.by_kind_summaries[k].total_faults, b.by_kind_summaries[k].total_faults);
+    EXPECT_EQ(a.by_kind_summaries[k].avg_cycles, b.by_kind_summaries[k].avg_cycles);
+    EXPECT_EQ(a.by_kind_summaries[k].stdev_cycles, b.by_kind_summaries[k].stdev_cycles);
+  }
+  EXPECT_EQ(a.trace_dropped, b.trace_dropped);
+  EXPECT_EQ(a.app_pids, b.app_pids);
+  EXPECT_EQ(a.trace_t0, b.trace_t0);
+  EXPECT_EQ(a.thp_merges, b.thp_merges);
+  EXPECT_EQ(a.hpmmap_spurious_faults, b.hpmmap_spurious_faults);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  for (std::size_t i = 0; i < verify::kInjectPointCount; ++i) {
+    EXPECT_EQ(a.injected[i].calls, b.injected[i].calls) << "point " << i;
+    EXPECT_EQ(a.injected[i].fired, b.injected[i].fired) << "point " << i;
+  }
+  EXPECT_EQ(a.audit_checks, b.audit_checks);
+  EXPECT_EQ(a.audit_violations, b.audit_violations);
+  EXPECT_EQ(a.audit_report, b.audit_report);
+  EXPECT_EQ(a.thp_fault_fallbacks, b.thp_fault_fallbacks);
+  EXPECT_EQ(a.thp_merges_aborted, b.thp_merges_aborted);
+  EXPECT_EQ(a.hugetlb_pool_exhausted, b.hugetlb_pool_exhausted);
+  EXPECT_EQ(a.procfs_text, b.procfs_text);
+  expect_events_equal(a.events, b.events);
+}
+
+void expect_points_equal(const std::vector<harness::SeriesPoint>& a,
+                         const std::vector<harness::SeriesPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mean_seconds, b[i].mean_seconds) << "point " << i;
+    EXPECT_EQ(a[i].stdev_seconds, b[i].stdev_seconds) << "point " << i;
+    EXPECT_EQ(a[i].trials, b[i].trials) << "point " << i;
+    EXPECT_EQ(a[i].events, b[i].events) << "point " << i;
+    EXPECT_EQ(a[i].fault_counts, b[i].fault_counts) << "point " << i;
+    EXPECT_EQ(a[i].fault_cycles, b[i].fault_cycles) << "point " << i;
+  }
+}
+
+// --- straight run vs snapshot-resumed run, all three managers -------------
+
+class SnapshotManagers : public ::testing::TestWithParam<harness::Manager> {};
+
+TEST_P(SnapshotManagers, ResumedRunIsByteIdenticalToStraightRun) {
+  const harness::SingleNodeRunConfig cfg =
+      quick("miniMD", GetParam(), workloads::profile_a(2), 2);
+  const harness::RunResult straight = harness::run_single_node(cfg);
+  const snapshot::WorldImage image = harness::capture_single_node(cfg);
+  const harness::RunResult resumed = harness::run_single_node(cfg, image);
+  expect_run_equal(straight, resumed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Managers, SnapshotManagers,
+                         ::testing::Values(harness::Manager::kThp,
+                                           harness::Manager::kHugetlbfs,
+                                           harness::Manager::kHpmmap));
+
+TEST(SnapshotResume, TracedRunReplaysTheExactEventStream) {
+  harness::SingleNodeRunConfig cfg =
+      quick("HPCCG", harness::Manager::kThp, workloads::profile_a(2), 2);
+  cfg.trace.categories = static_cast<std::uint32_t>(trace::Category::kFault) |
+                         static_cast<std::uint32_t>(trace::Category::kThp);
+  cfg.introspect.procfs_dump = true;
+  const harness::RunResult straight = harness::run_single_node(cfg);
+  const snapshot::WorldImage image = harness::capture_single_node(cfg);
+  const harness::RunResult resumed = harness::run_single_node(cfg, image);
+  ASSERT_FALSE(straight.events.empty());
+  expect_run_equal(straight, resumed);
+}
+
+TEST(SnapshotResume, OneCaptureFansOutToDifferentMeasurementConfigs) {
+  // The amortization contract: app, app_cores and duration_scale may
+  // differ between capture and resume; each resumed run still matches
+  // its own straight run exactly.
+  harness::SingleNodeRunConfig base =
+      quick("miniMD", harness::Manager::kHpmmap, workloads::profile_a(2), 2);
+  const snapshot::WorldImage image = harness::capture_single_node(base);
+  harness::SingleNodeRunConfig other = base;
+  other.app = "HPCCG";
+  other.app_cores = 4;
+  other.duration_scale = 0.03;
+  expect_run_equal(harness::run_single_node(base), harness::run_single_node(base, image));
+  expect_run_equal(harness::run_single_node(other),
+                   harness::run_single_node(other, image));
+}
+
+TEST(SnapshotResume, ScalingRunResumesExactly) {
+  harness::ScalingRunConfig cfg;
+  cfg.app = "HPCCG";
+  cfg.manager = harness::Manager::kThp;
+  cfg.commodity = workloads::profile_c();
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 2;
+  cfg.seed = 3;
+  cfg.footprint_scale = 0.08;
+  cfg.duration_scale = 0.05;
+  const harness::RunResult straight = harness::run_scaling(cfg);
+  const snapshot::WorldImage image = harness::capture_scaling(cfg);
+  const harness::RunResult resumed = harness::run_scaling(cfg, image);
+  expect_run_equal(straight, resumed);
+}
+
+// --- node-level structural equality ---------------------------------------
+
+os::NodeConfig node_config(std::uint64_t seed, bool aged) {
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 4 * GiB;
+  cfg.seed = seed;
+  cfg.aged_boot = aged;
+  core::ModuleConfig mod;
+  mod.offline_bytes_per_zone = 512 * MiB;
+  cfg.hpmmap = mod;
+  cfg.hugetlb_pool_per_zone = 128 * MiB;
+  return cfg;
+}
+
+/// Boot an aged node, churn it through a few processes of every policy,
+/// and let the daemons run — the state a capture should preserve.
+void churn(sim::Engine& engine, os::Node& node) {
+  static constexpr os::MmPolicy kPolicies[] = {
+      os::MmPolicy::kLinuxThp, os::MmPolicy::kLinuxPlain, os::MmPolicy::kHugetlbfs,
+      os::MmPolicy::kHpmmap};
+  Rng rng(99);
+  std::vector<os::Process*> procs;
+  for (int i = 0; i < 4; ++i) {
+    procs.push_back(&node.spawn("churn" + std::to_string(i), kPolicies[i],
+                                static_cast<std::int32_t>(i % 8), 1.0,
+                                mm::AddressSpace::ZonePolicy::kSingle, 0));
+  }
+  for (int round = 0; round < 12; ++round) {
+    for (os::Process* p : procs) {
+      const std::uint64_t len = align_up(rng.uniform(1, 16) * 512 * KiB, kLargePageSize);
+      const auto out = node.sys_mmap(*p, len, kProtRW, os::Node::Segment::kHeapData);
+      if (out.err == Errno::kOk) {
+        (void)node.touch_range(*p, Range{out.addr, out.addr + len});
+      }
+    }
+    engine.run_until(engine.now() + 20'000'000);
+  }
+  node.exit_process(*procs[1]); // leave a dead pid behind
+  engine.run_until(engine.now() + 200'000'000);
+}
+
+TEST(SnapshotNode, RestoredNodePassesAuditAndRendersIdenticalProcfs) {
+  sim::Engine engine;
+  os::Node node(engine, node_config(11, /*aged=*/true));
+  churn(engine, node);
+
+  const std::string before = introspect::procfs_dump(node);
+  const snapshot::WorldImage image = snapshot::capture_world(engine, {&node});
+  // Capture reads only: the live node renders the same bytes afterwards.
+  EXPECT_EQ(introspect::procfs_dump(node), before);
+  verify::MmAuditor source_auditor(node);
+  const verify::AuditReport source_report = source_auditor.run();
+  ASSERT_TRUE(source_report.ok()) << source_report.summary();
+
+  // Restore into a fresh, *non-aged* boot — the harness resume path.
+  sim::Engine engine2;
+  os::Node node2(engine2, node_config(11, /*aged=*/false));
+  snapshot::restore_world(image, engine2, {&node2});
+
+  EXPECT_EQ(engine2.now(), engine.now());
+  EXPECT_EQ(introspect::procfs_dump(node2), before);
+  verify::MmAuditor auditor(node2);
+  const verify::AuditReport report = auditor.run();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.checks, source_report.checks);
+}
+
+TEST(SnapshotNode, SaveLoadRoundTripsTheImageFile) {
+  sim::Engine engine;
+  os::Node node(engine, node_config(23, /*aged=*/true));
+  churn(engine, node);
+  const std::string before = introspect::procfs_dump(node);
+  const snapshot::WorldImage image = snapshot::capture_world(engine, {&node});
+
+  const std::string path = "/tmp/hpmmap_test_snapshot.img";
+  snapshot::save(image, path);
+  const snapshot::WorldImage loaded = snapshot::load(path);
+  std::remove(path.c_str());
+
+  sim::Engine engine2;
+  os::Node node2(engine2, node_config(23, /*aged=*/false));
+  snapshot::restore_world(loaded, engine2, {&node2});
+  EXPECT_EQ(introspect::procfs_dump(node2), before);
+  verify::MmAuditor auditor(node2);
+  const verify::AuditReport report = auditor.run();
+  EXPECT_TRUE(report.ok()) << report.summary();
+
+  // The restored world keeps evolving identically: run both engines
+  // forward and compare the rendering again.
+  engine.run_until(engine.now() + 500'000'000);
+  engine2.run_until(engine2.now() + 500'000'000);
+  EXPECT_EQ(introspect::procfs_dump(node2), introspect::procfs_dump(node));
+}
+
+// --- amortized-aging sweep -------------------------------------------------
+
+TEST(SnapshotSweep, SnapshottedTrialsMatchPlainBatchBitForBit) {
+  std::vector<harness::SingleNodeRunConfig> configs;
+  // Three members sharing one world (app / app_cores / duration differ)…
+  configs.push_back(quick("miniMD", harness::Manager::kThp, workloads::profile_a(2), 2));
+  configs.push_back(quick("HPCCG", harness::Manager::kThp, workloads::profile_a(2), 2));
+  configs.push_back(quick("miniFE", harness::Manager::kThp, workloads::profile_a(2), 4));
+  configs.back().duration_scale = 0.03;
+  // …and a singleton (different manager) that must run straight.
+  configs.push_back(quick("miniMD", harness::Manager::kHpmmap, workloads::profile_a(2), 2));
+  const std::vector<harness::SeriesPoint> plain =
+      harness::run_trials_batch(configs, /*trials=*/2, /*jobs=*/1);
+  const std::vector<harness::SeriesPoint> snap =
+      harness::run_trials_snapshotted(configs, /*trials=*/2, /*jobs=*/1);
+  expect_points_equal(plain, snap);
+  // Parallel fan-out folds identically too (the BatchRunner contract).
+  expect_points_equal(plain, harness::run_trials_snapshotted(configs, 2, /*jobs=*/4));
+}
+
+// --- time travel -----------------------------------------------------------
+
+/// Replay-to-anomaly: run a traced world while taking periodic captures,
+/// pick an "anomaly" off the flight recorder (a khugepaged merge
+/// completing — preferring the rarer abort if one happened), restore the
+/// latest capture preceding it and single-step the engine until the
+/// anomaly's timestamp. The restored world must re-emit the identical
+/// event — pid, timestamp and arguments — proving a capture is a usable
+/// debugging time machine, not just a warm-start cache.
+TEST(SnapshotTimeTravel, SingleSteppingFromRestoreReproducesTheAnomalyEvent) {
+  const std::uint32_t thp_mask = static_cast<std::uint32_t>(trace::Category::kThp);
+  trace::recorder().set_capacity(std::size_t{1} << 16);
+  trace::enable(thp_mask);
+
+  // An aged machine short on order-9 blocks: THP first touches fall back
+  // to 4K, khugepaged merges them later — scheduled engine work we can
+  // replay without re-running any syscall. (khugepaged's scan period is
+  // 10 s of virtual time, so the anomaly lands tens of slices in.)
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 2 * GiB;
+  cfg.seed = 31;
+  cfg.aged_boot = true;
+  cfg.boot_cache_fraction = 0.70;
+  cfg.boot_slab_fraction = 0.12;
+  sim::Engine engine;
+  os::Node node(engine, cfg);
+  std::vector<os::Process*> procs;
+  for (int i = 0; i < 3; ++i) {
+    procs.push_back(&node.spawn("tt" + std::to_string(i), os::MmPolicy::kLinuxThp, i, 1.0,
+                                mm::AddressSpace::ZonePolicy::kSingle, 0));
+  }
+  for (os::Process* p : procs) {
+    const auto out = node.sys_mmap(*p, 64 * MiB, kProtRW, os::Node::Segment::kHeapData);
+    ASSERT_EQ(out.err, Errno::kOk);
+    (void)node.touch_range(*p, Range{out.addr, out.addr + 64 * MiB});
+  }
+  ASSERT_GT(node.thp()->stats().fault_huge_fallback, 0u);
+
+  // From here the timeline is purely engine-driven. Interleave captures
+  // with one-second slices, keeping a short ring of recent images (how a
+  // flight-recorder debugger would bound its history), and stop once a
+  // merge lands past the oldest retained capture.
+  struct Capture {
+    Cycles now = 0;
+    snapshot::WorldImage image;
+  };
+  std::deque<Capture> ring;
+  const auto slice = static_cast<Cycles>(1.0 * cfg.machine.clock_hz);
+  const auto find_anomaly = [&]() -> const trace::Event* {
+    const trace::Event* best = nullptr;
+    // Static storage so the returned pointer outlives the call: the ring
+    // buffer itself stays alive, but snapshot() copies.
+    static std::vector<trace::Event> events;
+    events = trace::recorder().snapshot();
+    for (const trace::Event& e : events) {
+      if (ring.empty() || e.ts <= ring.front().now) {
+        continue;
+      }
+      if (e.name() == "khugepaged.merge_abort") {
+        best = &e; // the rarer event wins when both happened
+      } else if ((best == nullptr || best->name() != "khugepaged.merge_abort") &&
+                 e.name() == "khugepaged.merge_done") {
+        best = &e;
+      }
+    }
+    return best;
+  };
+  const trace::Event* anomaly = nullptr;
+  for (int i = 0; i < 80 && anomaly == nullptr; ++i) {
+    ring.push_back({engine.now(), snapshot::capture_world(engine, {&node})});
+    if (ring.size() > 4) {
+      ring.pop_front();
+    }
+    engine.run_until(engine.now() + slice);
+    anomaly = find_anomaly();
+  }
+  trace::disable_all();
+  ASSERT_NE(anomaly, nullptr) << "no khugepaged merge landed in the window";
+  const trace::Event want = *anomaly;
+
+  const Capture* from = nullptr;
+  for (const Capture& c : ring) {
+    if (c.now < want.ts) {
+      from = &c;
+    }
+  }
+  ASSERT_NE(from, nullptr);
+
+  // Time-travel: fresh boot, restore, single-step to the anomaly.
+  sim::Engine engine2;
+  cfg.aged_boot = false;
+  os::Node node2(engine2, cfg);
+  snapshot::restore_world(from->image, engine2, {&node2});
+  EXPECT_EQ(engine2.now(), from->now);
+  const std::size_t replay_start = trace::recorder().size();
+  trace::enable(thp_mask);
+  bool replayed = false;
+  std::uint64_t steps = 0;
+  while (!replayed && engine2.now() <= want.ts && snapshot::step_one(engine2)) {
+    ++steps;
+    const std::vector<trace::Event> replay = trace::recorder().snapshot();
+    for (std::size_t i = replay_start; i < replay.size(); ++i) {
+      const trace::Event& e = replay[i];
+      if (e.ts == want.ts && e.name() == want.name() && e.pid == want.pid) {
+        expect_args_equal(e, want, i);
+        replayed = true;
+      }
+    }
+  }
+  trace::disable_all();
+  EXPECT_TRUE(replayed) << "anomaly " << want.name() << " at ts " << want.ts
+                        << " not re-emitted after " << steps << " steps from ts "
+                        << from->now;
+  EXPECT_GT(steps, 0u);
+}
+
+} // namespace
+} // namespace hpmmap

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -20,6 +21,7 @@
 #include "linux_mm/buddy_allocator.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
+#include "snapshot/snapshot.hpp"
 #include "verify/audit.hpp"
 
 namespace hpmmap {
@@ -48,6 +50,7 @@ os::NodeConfig stress_config(std::uint64_t seed) {
 /// syscall results the Node reported.
 struct RefProcess {
   os::Process* proc = nullptr;
+  Pid pid = 0; // survives snapshot/restore; proc is rebound from it
   os::MmPolicy policy{};
   std::map<Addr, Addr> mapped;   // begin -> end, disjoint, maximal info
   std::set<Addr> touched;        // 4K page addresses we demanded
@@ -144,10 +147,14 @@ std::uint64_t machine_digest(os::Node& node) {
 
 /// One full random walk; returns the final-state digest. `check` enables
 /// the differential/audit assertions (off for the pure-determinism
-/// replay, which only needs the digest).
-std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps) {
-  sim::Engine engine;
-  os::Node node(engine, stress_config(seed));
+/// replay, which only needs the digest). `snapshots` mixes capture/
+/// teardown/restore cycles into the drain ops — the restored world must
+/// carry the op stream forward bit-identically, so the returned digest
+/// must equal the uninterrupted walk's.
+std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps,
+                       bool snapshots = false) {
+  auto engine = std::make_unique<sim::Engine>();
+  auto node = std::make_unique<os::Node>(*engine, stress_config(seed));
   Rng rng = Rng(seed).fork("stress");
 
   std::vector<RefProcess> procs;
@@ -158,10 +165,11 @@ std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps) {
         os::MmPolicy::kHpmmap};
     RefProcess ref;
     ref.policy = kPolicies[rng.uniform(4)];
-    ref.proc = &node.spawn("stress" + std::to_string(spawned++), ref.policy,
-                           static_cast<std::int32_t>(rng.uniform(8)), 1.0,
-                           mm::AddressSpace::ZonePolicy::kSingle, 0);
-    const auto brk = node.sys_brk(*ref.proc, 0);
+    ref.proc = &node->spawn("stress" + std::to_string(spawned++), ref.policy,
+                            static_cast<std::int32_t>(rng.uniform(8)), 1.0,
+                            mm::AddressSpace::ZonePolicy::kSingle, 0);
+    ref.pid = ref.proc->pid();
+    const auto brk = node->sys_brk(*ref.proc, 0);
     ref.heap_base = brk.addr;
     ref.heap_end = brk.addr;
     procs.push_back(std::move(ref));
@@ -194,6 +202,7 @@ std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps) {
     ASSERT_GE(vma_bytes, ref.mapped_bytes());
   };
 
+  std::uint64_t snapshot_points = 0;
   for (std::size_t op = 0; op < ops; ++op) {
     RefProcess& ref = procs[rng.uniform(procs.size())];
     const std::uint64_t draw = rng.uniform(100);
@@ -204,7 +213,7 @@ std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps) {
         // the whole rounded region, so the reference must match.
         len = align_up(len, kLargePageSize);
       }
-      const auto out = node.sys_mmap(*ref.proc, len, kProtRW, os::Node::Segment::kHeapData);
+      const auto out = node->sys_mmap(*ref.proc, len, kProtRW, os::Node::Segment::kHeapData);
       if (out.err == Errno::kOk) {
         ref.add(out.addr, out.addr + len);
       }
@@ -221,7 +230,7 @@ std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps) {
           begin += skip * 4 * KiB;
           end = begin + rng.uniform(1, pages - skip) * 4 * KiB;
         }
-        const auto out = node.sys_munmap(*ref.proc, begin, end - begin);
+        const auto out = node->sys_munmap(*ref.proc, begin, end - begin);
         if (out.err == Errno::kOk) {
           ref.remove(begin, end);
         }
@@ -233,18 +242,18 @@ std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps) {
         const Addr begin = it->first;
         const std::uint64_t span = it->second - begin;
         const std::uint64_t len = std::min<std::uint64_t>(span, rng.uniform(1, 128) * 4 * KiB);
-        (void)node.touch_range(*ref.proc, Range{begin, begin + len});
+        (void)node->touch_range(*ref.proc, Range{begin, begin + len});
         for (Addr page = begin; page < begin + len; page += 4 * KiB) {
           ref.touched.insert(page);
         }
       }
     } else if (draw < 85) { // brk grow (and touch the fresh heap tail)
       const std::uint64_t grow = rng.uniform(1, 64) * 4 * KiB;
-      const auto out = node.sys_brk(*ref.proc, ref.heap_end + grow);
+      const auto out = node->sys_brk(*ref.proc, ref.heap_end + grow);
       if (out.err == Errno::kOk) {
         const Addr old_end = ref.heap_end;
         ref.heap_end += grow;
-        (void)node.touch_range(*ref.proc, Range{old_end, ref.heap_end});
+        (void)node->touch_range(*ref.proc, Range{old_end, ref.heap_end});
         for (Addr page = old_end; page < ref.heap_end; page += 4 * KiB) {
           ref.touched.insert(page);
         }
@@ -256,11 +265,41 @@ std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps) {
     } else if (draw < 96) { // exit
       if (procs.size() > 1) {
         const std::size_t victim = rng.uniform(procs.size());
-        node.exit_process(*procs[victim].proc);
+        node->exit_process(*procs[victim].proc);
         procs.erase(procs.begin() + static_cast<std::ptrdiff_t>(victim));
       }
     } else { // let scheduled work (khugepaged merges) land
-      engine.run_until(engine.now() + 50'000'000);
+      engine->run_until(engine->now() + 50'000'000);
+      // Snapshot points (draws 96–97) ride the quiesced instant the
+      // drain just produced: capture the world, tear it down, restore
+      // into a fresh boot and keep walking. Nothing here consumes walk
+      // rng, so the op stream with snapshots on is bit-identical to the
+      // uninterrupted walk — which is exactly what the digest asserts.
+      // Every 64th trigger restores (~7 times over 10k ops) to keep the
+      // suite fast while still crossing many machine states.
+      if (snapshots && draw < 98 && snapshot_points++ % 64 == 0) {
+        const snapshot::WorldImage image =
+            snapshot::capture_world(*engine, {node.get()});
+        node.reset();
+        engine = std::make_unique<sim::Engine>();
+        node = std::make_unique<os::Node>(*engine, stress_config(seed));
+        snapshot::restore_world(image, *engine, {node.get()});
+        // The reference model survives by pid; rebind the process
+        // handles into the restored registry.
+        for (RefProcess& p : procs) {
+          p.proc = nullptr;
+          node->for_each_process([&](const os::Process& q) {
+            if (q.pid() == p.pid) {
+              p.proc = const_cast<os::Process*>(&q);
+            }
+          });
+          EXPECT_NE(p.proc, nullptr)
+              << "pid " << p.pid << " missing after restore at op " << op;
+          if (p.proc == nullptr) {
+            return 0;
+          }
+        }
+      }
     }
 
     if (check && (op + 1) % kAuditEvery == 0) {
@@ -270,23 +309,23 @@ std::uint64_t run_walk(std::uint64_t seed, bool check, std::size_t ops = kOps) {
           return 0;
         }
       }
-      verify::MmAuditor auditor(node);
+      verify::MmAuditor auditor(*node);
       const verify::AuditReport rep = auditor.run();
       EXPECT_TRUE(rep.ok()) << "op " << op << ": " << rep.summary();
     }
   }
 
-  engine.run_until(engine.now() + 1'000'000'000); // drain scheduled merges
+  engine->run_until(engine->now() + 1'000'000'000); // drain scheduled merges
   if (check) {
     for (const RefProcess& p : procs) {
       differential_check(p);
     }
-    verify::MmAuditor auditor(node);
+    verify::MmAuditor auditor(*node);
     const verify::AuditReport rep = auditor.run();
     EXPECT_TRUE(rep.ok()) << rep.summary();
     EXPECT_GT(rep.checks, 0u);
   }
-  return machine_digest(node);
+  return machine_digest(*node);
 }
 
 class StressRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
@@ -296,6 +335,19 @@ TEST_P(StressRandomOps, TenThousandOpsStayConsistent) {
   ASSERT_FALSE(::testing::Test::HasFatalFailure());
   // Determinism: an identical replay reaches the identical final state.
   EXPECT_EQ(run_walk(GetParam(), /*check=*/false), digest);
+}
+
+TEST_P(StressRandomOps, SnapshotRestoreCyclesKeepTheWalkBitIdentical) {
+  // The same walk with capture/teardown/restore cycles mixed into the
+  // drain ops must land on the same final digest as the uninterrupted
+  // walk — snapshot/restore is invisible to the op stream. The full
+  // differential checks stay on so the restored worlds are also audited
+  // against the reference model at every checkpoint.
+  const std::uint64_t plain = run_walk(GetParam(), /*check=*/false);
+  const std::uint64_t restored =
+      run_walk(GetParam(), /*check=*/true, kOps, /*snapshots=*/true);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  EXPECT_EQ(restored, plain);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressRandomOps, ::testing::Values(101u, 202u, 303u));
