@@ -1,0 +1,164 @@
+// PDES cluster self-report (JSON, gated by bench_diff in CI).
+//
+//   BENCH_cluster.json — the parallel cluster harness at scale:
+//   sequential (one worker) vs parallel (eight workers) wall-time at
+//   256 ranks (64 nodes), the Figure-8-shaped HPMMAP-vs-THP point at
+//   1024 ranks (256 nodes), and the determinism spot check (worker
+//   count invariance plus table equality against the shared-engine
+//   run_scaling path at 8 nodes).
+//
+// `deterministic_match` flipping to false fails the bench directly on
+// any machine. The >= 3x speedup floor at 256 ranks only applies when
+// the host actually has 8 hardware threads — on smaller runners the
+// parallel run degenerates to the sequential schedule plus coordinator
+// overhead, which is exactly what the committed single-core baseline
+// records. `thp_over_hpmmap_*` keys are gated: the paper's headline
+// ordering (THP slower than HPMMAP at scale) must survive any change.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/cluster.hpp"
+#include "harness/experiment.hpp"
+#include "workloads/profiles.hpp"
+
+namespace {
+
+using namespace hpmmap;
+
+harness::ClusterRunConfig cluster_cfg(const bench::BenchOptions& opt, const char* app,
+                                      harness::Manager mgr, std::uint32_t nodes,
+                                      unsigned cluster_jobs) {
+  harness::ClusterRunConfig cfg;
+  cfg.scaling.app = app;
+  cfg.scaling.manager = mgr;
+  cfg.scaling.commodity = workloads::profile_c();
+  cfg.scaling.nodes = nodes;
+  cfg.scaling.ranks_per_node = 4;
+  cfg.scaling.seed = 500 + nodes;
+  cfg.scaling.footprint_scale = opt.full ? 1.0 : 0.05;
+  cfg.scaling.duration_scale = opt.full ? 1.0 : 0.05;
+  cfg.cluster_jobs = cluster_jobs;
+  return cfg;
+}
+
+bool tables_equal(const harness::RunResult& a, const harness::RunResult& b) {
+  if (std::memcmp(&a.runtime_seconds, &b.runtime_seconds, sizeof(double)) != 0 ||
+      a.app_pids != b.app_pids) {
+    return false;
+  }
+  for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
+    if (a.faults.count[k] != b.faults.count[k] ||
+        a.faults.total_cycles[k] != b.faults.total_cycles[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double timed_run(const harness::ClusterRunConfig& cfg, harness::RunResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  harness::RunResult r = harness::run_cluster(cfg);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (out != nullptr) {
+    *out = std::move(r);
+  }
+  return wall;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_mode(opt, "PDES cluster: per-node engines vs sequential, 256/1024 ranks");
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // Determinism spot check at 8 nodes: worker-count invariance of the
+  // PDES path, and table equality against the shared-engine path.
+  bool match = true;
+  {
+    const harness::ClusterRunConfig c1 =
+        cluster_cfg(opt, "HPCCG", harness::Manager::kHpmmap, 8, 1);
+    harness::ClusterRunConfig cN = c1;
+    cN.cluster_jobs = 8;
+    const harness::RunResult r1 = harness::run_cluster(c1);
+    const harness::RunResult rN = harness::run_cluster(cN);
+    const harness::RunResult shared = harness::run_scaling(c1.scaling);
+    match = tables_equal(r1, rN) && r1.events_fired == rN.events_fired &&
+            tables_equal(r1, shared);
+    std::printf("determinism: jobs=1 vs jobs=8 vs shared engine at 8 nodes: %s\n",
+                match ? "identical" : "DIVERGED");
+  }
+
+  // 256 ranks: one trial sequential, one parallel, same config.
+  const harness::ClusterRunConfig seq256 =
+      cluster_cfg(opt, "HPCCG", harness::Manager::kHpmmap, 64, 1);
+  harness::ClusterRunConfig par256 = seq256;
+  par256.cluster_jobs = 8;
+  harness::RunResult seq_result;
+  harness::RunResult par_result;
+  const double seq_wall = timed_run(seq256, &seq_result);
+  std::printf("256 ranks sequential: %.3f s wall (%.2f s simulated)\n", seq_wall,
+              seq_result.runtime_seconds);
+  const double par_wall = timed_run(par256, &par_result);
+  std::printf("256 ranks, 8 workers: %.3f s wall\n", par_wall);
+  const double speedup = par_wall > 0 ? seq_wall / par_wall : 0.0;
+  match = match && tables_equal(seq_result, par_result);
+  std::printf("speedup: %.2fx on %u hardware thread(s), identical=%s\n", speedup, hw,
+              match ? "yes" : "NO");
+
+  // 1024 ranks: the Figure 8 cell the shared engine can't reach in
+  // reasonable time — HPMMAP vs THP at 256 nodes, fat-tree collectives
+  // (a single flat switch would be dishonest at this scale).
+  const std::uint32_t trials_1024 = opt.full ? 3 : 1;
+  harness::ClusterRunConfig big =
+      cluster_cfg(opt, "HPCCG", harness::Manager::kHpmmap, 256, 0);
+  big.topology = cluster::Topology::kFatTree;
+  const harness::SeriesPoint hpmmap_pt = harness::run_cluster_trials(big, trials_1024);
+  big.scaling.manager = harness::Manager::kThp;
+  const harness::SeriesPoint thp_pt = harness::run_cluster_trials(big, trials_1024);
+  const double ratio =
+      hpmmap_pt.mean_seconds > 0 ? thp_pt.mean_seconds / hpmmap_pt.mean_seconds : 0.0;
+  std::printf("1024 ranks (fat-tree): HPMMAP %.2f s, THP %.2f s, THP/HPMMAP = %.3f\n",
+              hpmmap_pt.mean_seconds, thp_pt.mean_seconds, ratio);
+
+  std::string j;
+  j += "{\n";
+  j += "  \"bench\": \"cluster_pdes\",\n";
+  j += "  \"sweep\": \"HPCCG profile C, HPMMAP, 4 ranks/node; 64 and 256 nodes\",\n";
+  j += "  \"wall_seconds_256ranks_seq\": " + num(seq_wall) + ",\n";
+  j += "  \"wall_seconds_256ranks_jobs8\": " + num(par_wall) + ",\n";
+  j += "  \"speedup\": " + num(speedup) + ",\n";
+  j += "  \"ranks_1024_hpmmap_mean_s\": " + num(hpmmap_pt.mean_seconds) + ",\n";
+  j += "  \"ranks_1024_hpmmap_stdev_s\": " + num(hpmmap_pt.stdev_seconds) + ",\n";
+  j += "  \"ranks_1024_thp_mean_s\": " + num(thp_pt.mean_seconds) + ",\n";
+  j += "  \"ranks_1024_thp_stdev_s\": " + num(thp_pt.stdev_seconds) + ",\n";
+  j += "  \"thp_over_hpmmap_1024ranks_improvement_ratio\": " + num(ratio) + ",\n";
+  j += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  j += std::string("  \"deterministic_match\": ") + (match ? "true" : "false") + "\n";
+  j += "}\n";
+  if (!bench::write_bench_json(opt, "BENCH_cluster.json", j)) {
+    return 1;
+  }
+  if (!match) {
+    std::printf("FAIL: parallel cluster run diverged from the sequential/shared path\n");
+    return 1;
+  }
+  if (hw >= 8 && speedup < 3.0) {
+    std::printf("FAIL: PDES speedup under 3x (%.2fx) with %u hardware threads\n", speedup,
+                hw);
+    return 1;
+  }
+  return 0;
+}

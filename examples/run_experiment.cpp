@@ -22,9 +22,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "cluster/network.hpp"
 #include "harness/batch.hpp"
+#include "harness/cluster.hpp"
 #include "hw/machine.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
@@ -49,6 +52,14 @@ using namespace hpmmap;
       "  --profile P      none | A | B (single node) | C | D (cluster) (default A)\n"
       "  --cores N        app cores on the single node              (default 8)\n"
       "  --nodes N        cluster nodes; >1 selects the 1GbE testbed (default 1)\n"
+      "  --cluster-jobs N run cluster nodes on per-node event engines (PDES)\n"
+      "                   driven by N worker threads; 0 = all hardware threads.\n"
+      "                   Results are byte-identical for any N, and the\n"
+      "                   runtime/fault tables match the shared-engine path\n"
+      "  --topology T     interconnect for the cluster collectives:\n"
+      "                   flat | tree | fat-tree (default flat; flat reproduces\n"
+      "                   the paper's single-switch model, tree needs a\n"
+      "                   power-of-two node count)\n"
       "  --trials N       repetitions with derived seeds            (default 3)\n"
       "  --scale F        footprint scale                           (default 1.0)\n"
       "  --duration F     iteration-count scale                     (default 0.1)\n"
@@ -400,6 +411,8 @@ int run_server_mode(const harness::ServerRunConfig& cfg, std::uint32_t trials,
 int main(int argc, char** argv) {
   std::string app = "HPCCG", manager = "hpmmap", profile = "A";
   std::uint32_t cores = 8, nodes = 1, trials = 3;
+  int cluster_jobs = -1; // -1 = shared-engine path; >= 0 = PDES workers
+  std::string topology = "flat";
   unsigned jobs = 0;
   double scale = 1.0, duration = 0.1;
   std::uint64_t seed = 42;
@@ -448,6 +461,10 @@ int main(int argc, char** argv) {
       cores = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (!std::strcmp(argv[i], "--nodes")) {
       nodes = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--cluster-jobs")) {
+      cluster_jobs = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--topology")) {
+      topology = next();
     } else if (!std::strcmp(argv[i], "--trials")) {
       trials = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (!std::strcmp(argv[i], "--scale")) {
@@ -504,6 +521,18 @@ int main(int argc, char** argv) {
     verify_cfg.inject = *plan;
   }
   const bool verifying = audit || verify_cfg.inject.any();
+
+  const std::optional<cluster::Topology> topo = cluster::topology_from_name(topology);
+  if (!topo) {
+    std::fprintf(stderr, "unknown topology '%s' (known: flat, tree, fat-tree)\n",
+                 topology.c_str());
+    return 1;
+  }
+  if (!cluster::topology_supports(*topo, nodes)) {
+    std::fprintf(stderr, "topology 'tree' needs a power-of-two node count (got %u)\n",
+                 nodes);
+    return 1;
+  }
 
   harness::IntrospectConfig introspect_cfg;
   if (!metrics_out.empty() && sample_interval == 0) {
@@ -579,7 +608,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (nodes > 1) {
+  if (nodes > 1 || cluster_jobs >= 0) {
     harness::ScalingRunConfig cfg;
     cfg.app = app;
     cfg.manager = mgr;
@@ -596,6 +625,31 @@ int main(int argc, char** argv) {
     std::printf("%s on %u nodes (%u ranks), %s, profile %s, %u trials\n", app.c_str(), nodes,
                 nodes * cfg.ranks_per_node, name(mgr).data(), cfg.commodity.name.c_str(),
                 trials);
+    if (cluster_jobs >= 0) {
+      harness::ClusterRunConfig ccfg;
+      ccfg.scaling = cfg;
+      ccfg.topology = *topo;
+      ccfg.cluster_jobs = static_cast<unsigned>(cluster_jobs);
+      std::printf("pdes: per-node engines, %s topology, %d worker(s)\n",
+                  std::string(cluster::name(*topo)).c_str(), cluster_jobs);
+      if (!trace_out.empty() || verifying || introspecting || !metrics_out.empty()) {
+        const harness::RunResult r = harness::run_cluster(ccfg);
+        perf.add_events(r.events_fired);
+        perf.add_faults(r.faults);
+        std::printf("runtime: %.2f s\n", r.runtime_seconds);
+        report_verification(r, verify_cfg.inject.any(), audit);
+        report_introspection(r, metrics_out, procfs_dump);
+        if (!trace_out.empty()) {
+          dump_trace(r, trace_out);
+        }
+        return r.audit_violations == 0 ? 0 : 1;
+      }
+      const harness::SeriesPoint p = harness::run_cluster_trials(ccfg, trials);
+      perf.add_events(p.events);
+      perf.add_series(p);
+      std::printf("runtime: %.2f s  (stdev %.2f)\n", p.mean_seconds, p.stdev_seconds);
+      return 0;
+    }
     if (!trace_out.empty() || verifying) {
       const harness::RunResult r = harness::run_scaling(cfg);
       perf.add_events(r.events_fired);

@@ -7,6 +7,7 @@
 
 #include "cluster/network.hpp"
 #include "harness/batch.hpp"
+#include "harness/detail.hpp"
 #include "common/assert.hpp"
 #include "common/units.hpp"
 #include "introspect/procfs.hpp"
@@ -19,229 +20,6 @@
 
 namespace hpmmap::harness {
 namespace {
-
-os::NodeConfig node_config_for(Manager manager, const hw::MachineSpec& machine,
-                               std::uint64_t offline_per_zone, std::uint64_t seed,
-                               const std::string& node_name) {
-  os::NodeConfig cfg;
-  cfg.machine = machine;
-  cfg.seed = seed;
-  cfg.name = node_name;
-  switch (manager) {
-    case Manager::kThp:
-      cfg.thp_enabled = true;
-      break;
-    case Manager::kHugetlbfs:
-      // §IV: "THP was disabled and Linux had no large page support for
-      // the commodity workload".
-      cfg.thp_enabled = false;
-      cfg.hugetlb_pool_per_zone = offline_per_zone;
-      break;
-    case Manager::kHpmmap: {
-      // §IV: "HPMMAP managed the HPC workload while THP managed the
-      // commodity workload".
-      cfg.thp_enabled = true;
-      core::ModuleConfig mod;
-      mod.offline_bytes_per_zone = offline_per_zone;
-      cfg.hpmmap = mod;
-      break;
-    }
-  }
-  return cfg;
-}
-
-os::MmPolicy policy_for(Manager manager) {
-  switch (manager) {
-    case Manager::kThp:       return os::MmPolicy::kLinuxThp;
-    case Manager::kHugetlbfs: return os::MmPolicy::kHugetlbfs;
-    case Manager::kHpmmap:    return os::MmPolicy::kHpmmap;
-  }
-  return os::MmPolicy::kLinuxThp;
-}
-
-/// §IV pinning: half the ranks on each socket's cores; rank 0 alone
-/// takes all memory from one zone.
-std::vector<workloads::RankPlacement> placements(os::Node& node, std::uint32_t ranks) {
-  std::vector<workloads::RankPlacement> out;
-  const std::uint32_t per_socket = node.spec().cores_per_socket;
-  for (std::uint32_t r = 0; r < ranks; ++r) {
-    workloads::RankPlacement p;
-    p.node = &node;
-    const bool second_socket = r >= (ranks + 1) / 2;
-    const std::uint32_t idx = second_socket ? r - (ranks + 1) / 2 : r;
-    HPMMAP_ASSERT(idx < per_socket, "more ranks than cores per socket half");
-    p.core = static_cast<std::int32_t>(second_socket ? per_socket + idx : idx);
-    p.home_zone = second_socket ? 1 : 0;
-    p.zone_policy = ranks == 1 ? mm::AddressSpace::ZonePolicy::kSingle
-                               : mm::AddressSpace::ZonePolicy::kInterleave;
-    out.push_back(p);
-  }
-  return out;
-}
-
-workloads::AppProfile scaled_profile(const std::string& app, double clock_hz,
-                                     double footprint_scale, double duration_scale) {
-  workloads::AppProfile prof = workloads::profile_by_name(app, clock_hz);
-  prof.bytes_per_rank = align_up(
-      static_cast<std::uint64_t>(static_cast<double>(prof.bytes_per_rank) * footprint_scale),
-      kLargePageSize);
-  prof.misc_bytes = align_up(
-      static_cast<std::uint64_t>(static_cast<double>(prof.misc_bytes) * footprint_scale),
-      kSmallPageSize);
-  prof.iterations = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(static_cast<double>(prof.iterations) * duration_scale));
-  return prof;
-}
-
-/// Size and arm the global flight recorder for one run. Tracing is
-/// process-global state; runs are sequential, so bracketing is enough.
-void begin_tracing(const TraceConfig& cfg, std::uint64_t seed) {
-  if (!cfg.on()) {
-    return;
-  }
-  trace::recorder().set_capacity(cfg.capacity);
-  trace::metrics().reset();
-  trace::enable(cfg.categories);
-  trace::instant(trace::Category::kHarness, "run.start", 0, -1,
-                 {trace::Arg::u64("seed", seed)});
-}
-
-/// Fault kinds round-trip through event args as their display names.
-std::optional<mm::FaultKind> kind_from_label(std::string_view label) {
-  for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
-    const auto kind = static_cast<mm::FaultKind>(k);
-    if (label == mm::name(kind)) {
-      return kind;
-    }
-  }
-  return std::nullopt;
-}
-
-RunResult collect(workloads::MpiJob& job, os::Node& first_node, const TraceConfig& trace_cfg,
-                  Cycles job_start, double clock_hz) {
-  RunResult result;
-  result.runtime_seconds = job.runtime_seconds();
-  result.clock_hz = clock_hz;
-  result.faults = job.aggregate_faults();
-  result.trace_t0 = job_start;
-  for (std::size_t r = 0; r < job.rank_count(); ++r) {
-    result.app_pids.push_back(job.rank_process(r).pid());
-  }
-
-  if (trace_cfg.on()) {
-    trace::instant(trace::Category::kHarness, "run.end", 0, -1,
-                   {trace::Arg::u64("runtime_cycles", job.runtime_cycles())});
-    trace::disable_all();
-    result.events = trace::recorder().snapshot();
-    result.trace_dropped = trace::recorder().dropped();
-  }
-
-  // Per-kind distributions need per-fault samples: reconstruct them from
-  // the trace stream when the fault category was recorded.
-  const bool fault_traced =
-      (trace_cfg.categories & static_cast<std::uint32_t>(trace::Category::kFault)) != 0;
-  if (fault_traced) {
-    std::array<RunningStats, mm::kFaultKindCount> stats;
-    for (const FaultSample& s : app_fault_samples(result)) {
-      stats[static_cast<std::size_t>(s.kind)].add(static_cast<double>(s.cost));
-    }
-    for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
-      result.by_kind_summaries[k].total_faults = stats[k].count();
-      result.by_kind_summaries[k].avg_cycles = stats[k].mean();
-      result.by_kind_summaries[k].stdev_cycles = stats[k].stdev();
-    }
-  } else {
-    for (std::size_t k = 0; k < mm::kFaultKindCount; ++k) {
-      result.by_kind_summaries[k].total_faults = result.faults.count[k];
-      result.by_kind_summaries[k].avg_cycles =
-          result.faults.count[k] > 0
-              ? static_cast<double>(result.faults.total_cycles[k]) /
-                    static_cast<double>(result.faults.count[k])
-              : 0.0;
-    }
-  }
-  if (first_node.thp() != nullptr) {
-    result.thp_merges = first_node.thp()->stats().merges_completed;
-    result.thp_fault_fallbacks = first_node.thp()->stats().fault_huge_fallback;
-    result.thp_merges_aborted = first_node.thp()->stats().merges_aborted;
-  }
-  if (first_node.hugetlb() != nullptr) {
-    result.hugetlb_pool_exhausted = first_node.hugetlb()->stats().pool_exhausted;
-  }
-  if (first_node.hpmmap_module() != nullptr) {
-    result.hpmmap_spurious_faults = first_node.hpmmap_module()->stats().spurious_faults;
-  }
-  return result;
-}
-
-/// Arms the process-global injector for one run; the destructor
-/// guarantees the next run's node boots against a disarmed injector even
-/// if the run throws.
-class VerifySession {
- public:
-  VerifySession(const VerifyConfig& cfg, std::uint64_t seed) : cfg_(cfg) {
-    if (cfg_.inject.any()) {
-      verify::injector().arm(cfg_.inject, seed);
-    }
-  }
-  ~VerifySession() {
-    verify::injector().set_on_fire(nullptr);
-    verify::injector().disarm();
-  }
-  VerifySession(const VerifySession&) = delete;
-  VerifySession& operator=(const VerifySession&) = delete;
-
-  /// Install the debug-mode hook: audit `node` at every injection
-  /// instant (every point fires before mutating state, so the sweep is
-  /// over a consistent snapshot).
-  void audit_on_fire(os::Node& node) {
-    if (!cfg_.audit_on_injection || !cfg_.inject.any()) {
-      return;
-    }
-    verify::injector().set_on_fire([this, &node](verify::InjectPoint) {
-      verify::MmAuditor auditor(node);
-      absorb(auditor.run());
-    });
-  }
-
-  /// End-of-run accounting into `result`: injector counters, the final
-  /// audit over every node, and whatever the on-fire audits saw.
-  /// Templated over the result shape — RunResult and ServerRunResult
-  /// share the verification fields.
-  template <typename R>
-  void finish(R& result, const std::vector<os::Node*>& nodes) {
-    if (cfg_.inject.any()) {
-      result.injected = verify::injector().all_stats();
-    }
-    if (cfg_.audit) {
-      for (os::Node* node : nodes) {
-        verify::MmAuditor auditor(*node);
-        absorb(auditor.run());
-      }
-    }
-    result.audit_checks = checks_;
-    result.audit_violations = violations_;
-    result.audit_report = std::move(report_);
-  }
-
- private:
-  void absorb(const verify::AuditReport& rep) {
-    checks_ += rep.checks;
-    violations_ += rep.violation_count();
-    // Keep the first failing summary (a transient mid-run violation must
-    // not be hidden by a clean final audit), else the latest clean one.
-    if (report_.empty() || (!rep.ok() && clean_)) {
-      report_ = rep.summary();
-      clean_ = rep.ok();
-    }
-  }
-
-  const VerifyConfig& cfg_;
-  std::uint64_t checks_ = 0;
-  std::uint64_t violations_ = 0;
-  std::string report_;
-  bool clean_ = true;
-};
 
 // --- prepared worlds --------------------------------------------------------
 //
@@ -259,11 +37,11 @@ struct SingleNodeWorld {
   hw::MachineSpec machine = hw::dell_r415();
   sim::Engine engine;
   std::optional<os::Node> node;
-  std::optional<VerifySession> verify;
+  std::optional<detail::VerifySession> verify;
   std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
 
   SingleNodeWorld(const SingleNodeRunConfig& cfg, bool aged) : config(cfg) {
-    begin_tracing(config.trace, config.seed);
+    detail::begin_tracing(config.trace, config.seed);
     // §IV: 12 of 16 GB reserved/offlined, split across the two zones.
     // Scaled-down runs (tests) reserve proportionally less so the Linux
     // side keeps its 4 GB.
@@ -273,7 +51,7 @@ struct SingleNodeWorld {
                  kMemorySectionSize),
         6 * GiB);
     os::NodeConfig nc =
-        node_config_for(config.manager, machine, pool, config.seed, "r415");
+        detail::node_config_for(config.manager, machine, pool, config.seed, "r415");
     nc.aged_boot = aged; // a restore target skips aging — it gets overwritten
     node.emplace(engine, std::move(nc));
     // Arm only after boot: the hugetlb reservation and module load assert
@@ -315,10 +93,10 @@ RunResult measure_single_node(SingleNodeWorld& w) {
   os::Node& node = *w.node;
 
   workloads::MpiJobConfig jc;
-  jc.app = scaled_profile(config.app, w.machine.clock_hz, config.footprint_scale,
+  jc.app = detail::scaled_profile(config.app, w.machine.clock_hz, config.footprint_scale,
                           config.duration_scale);
-  jc.policy = policy_for(config.manager);
-  jc.ranks = placements(node, config.app_cores);
+  jc.policy = detail::policy_for(config.manager);
+  jc.ranks = detail::placements(node, config.app_cores);
   workloads::MpiJob job(engine, jc);
   const Cycles job_start = engine.now();
   // Sampling brackets the job: the first sample lands at job_start
@@ -337,7 +115,7 @@ RunResult measure_single_node(SingleNodeWorld& w) {
   for (auto& build : w.builds) {
     build->stop();
   }
-  RunResult result = collect(job, node, config.trace, job_start, w.machine.clock_hz);
+  RunResult result = detail::collect(job, node, config.trace, job_start, w.machine.clock_hz);
   result.events_fired = engine.events_fired();
   result.telemetry = sampler.take();
   if (config.introspect.procfs_dump) {
@@ -354,15 +132,15 @@ struct ScalingWorld {
   std::uint64_t pool = 10 * GiB;
   sim::Engine engine;
   std::vector<std::unique_ptr<os::Node>> nodes;
-  std::optional<VerifySession> verify;
+  std::optional<detail::VerifySession> verify;
   std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
   std::vector<std::uint32_t> build_nodes;
 
   ScalingWorld(const ScalingRunConfig& cfg, bool aged) : config(cfg) {
-    begin_tracing(config.trace, config.seed);
+    detail::begin_tracing(config.trace, config.seed);
     for (std::uint32_t n = 0; n < config.nodes; ++n) {
       os::NodeConfig nc =
-          node_config_for(config.manager, machine, pool, config.seed + 7919ull * n,
+          detail::node_config_for(config.manager, machine, pool, config.seed + 7919ull * n,
                           "xeon" + std::to_string(n));
       nc.aged_boot = aged;
       nodes.push_back(std::make_unique<os::Node>(engine, std::move(nc)));
@@ -415,7 +193,7 @@ RunResult measure_scaling(ScalingWorld& w) {
   Rng rng(config.seed);
 
   workloads::MpiJobConfig jc;
-  jc.app = scaled_profile(config.app, w.machine.clock_hz, config.footprint_scale,
+  jc.app = detail::scaled_profile(config.app, w.machine.clock_hz, config.footprint_scale,
                           config.duration_scale);
   // §IV-C: inputs chosen "to maximize the memory utilization" — on the
   // 24 GB nodes, 4 ranks split the 20 GB reservation, not the single-node
@@ -426,10 +204,10 @@ RunResult measure_scaling(ScalingWorld& w) {
       static_cast<std::uint64_t>(static_cast<double>(budget_per_rank) *
                                  config.footprint_scale),
       kLargePageSize);
-  jc.policy = policy_for(config.manager);
+  jc.policy = detail::policy_for(config.manager);
   for (std::uint32_t n = 0; n < config.nodes; ++n) {
     for (const workloads::RankPlacement& p :
-         placements(*w.nodes[n], config.ranks_per_node)) {
+         detail::placements(*w.nodes[n], config.ranks_per_node)) {
       jc.ranks.push_back(p);
     }
   }
@@ -454,7 +232,7 @@ RunResult measure_scaling(ScalingWorld& w) {
     build->stop();
   }
   RunResult result =
-      collect(job, *w.nodes.front(), config.trace, job_start, w.machine.clock_hz);
+      detail::collect(job, *w.nodes.front(), config.trace, job_start, w.machine.clock_hz);
   result.events_fired = engine.events_fired();
   result.telemetry = sampler.take();
   if (config.introspect.procfs_dump) {
@@ -471,16 +249,16 @@ struct ServerWorld {
   hw::MachineSpec machine = hw::dell_r415();
   sim::Engine engine;
   std::optional<os::Node> node;
-  std::optional<VerifySession> verify;
+  std::optional<detail::VerifySession> verify;
   std::vector<std::unique_ptr<workloads::KernelBuild>> builds;
 
   ServerWorld(const ServerRunConfig& cfg, bool aged) : config(cfg) {
-    begin_tracing(config.trace, config.seed);
+    detail::begin_tracing(config.trace, config.seed);
     // Same reservation split as the single-node runs: the serving side
     // gets the 12 GB pool/offline region, the commodity side keeps 4 GB.
     const std::uint64_t pool = 6 * GiB;
     os::NodeConfig nc =
-        node_config_for(config.manager, machine, pool, config.seed, "r415");
+        detail::node_config_for(config.manager, machine, pool, config.seed, "r415");
     nc.aged_boot = aged;
     node.emplace(engine, std::move(nc));
     verify.emplace(config.verify, config.seed);
@@ -526,7 +304,7 @@ ServerRunResult measure_server(ServerWorld& w) {
       serving::generate_schedule(arrival, w.machine.clock_hz, rng.fork("arrival"));
 
   workloads::ServerConfig service = config.service;
-  service.policy = policy_for(config.manager);
+  service.policy = detail::policy_for(config.manager);
   service.zone = 0;
   if (service.budgets.empty()) {
     service.budgets = {
@@ -628,7 +406,7 @@ std::vector<FaultSample> app_fault_samples(const RunResult& r) {
     for (std::uint8_t a = 0; a < e.arg_count; ++a) {
       const trace::Arg& arg = e.args[a];
       if (arg.kind == trace::Arg::Kind::kStr && std::string_view{arg.name} == "kind") {
-        if (const auto kind = kind_from_label(arg.value.str)) {
+        if (const auto kind = detail::kind_from_label(arg.value.str)) {
           s.kind = *kind;
           have_kind = true;
         }

@@ -129,11 +129,27 @@ bool Engine::fire_next(Cycles limit) {
       continue;
     }
     ++s.gen;
+    const bool was_daemon = s.daemon;
     if (s.daemon) {
       s.daemon = false;
       HPMMAP_ASSERT(daemon_live_ > 0, "firing with no live daemons");
       --daemon_live_;
     }
+#ifndef NDEBUG
+    // Ordering audit (debug builds): delivery across any boundary —
+    // including events posted onto this engine by the parallel
+    // coordinator — must keep non-daemon (when, seq) strictly
+    // increasing, or the PDES byte-identity contract is already broken.
+    if (!was_daemon) {
+      HPMMAP_ASSERT(e.when > audit_last_when_ ||
+                        (e.when == audit_last_when_ && e.seq > audit_last_seq_),
+                    "event delivery violated monotonic (when, seq) order");
+      audit_last_when_ = e.when;
+      audit_last_seq_ = e.seq;
+    }
+#else
+    (void)was_daemon;
+#endif
     // Move the callback out before invoking: the callback may schedule,
     // growing slots_ and invalidating s — and may immediately reuse this
     // very slot, which is released below.
@@ -149,6 +165,17 @@ bool Engine::fire_next(Cycles limit) {
     return true;
   }
   return false;
+}
+
+Cycles Engine::next_event_time() const noexcept {
+  Cycles min = kNoEvent;
+  for (const Entry& e : heap_) {
+    const Slot& s = slots_[e.slot];
+    if (s.gen == e.gen && !s.daemon && e.when < min) {
+      min = e.when;
+    }
+  }
+  return min;
 }
 
 void Engine::run() {

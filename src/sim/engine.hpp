@@ -106,6 +106,17 @@ class Engine {
   void stop() noexcept { stopped_ = true; }
   [[nodiscard]] bool stopped() const noexcept { return stopped_; }
 
+  /// Earliest pending non-daemon event time, or kNoEvent when only
+  /// daemons (or nothing) remain. The parallel coordinator's horizon
+  /// computation reads this between windows; a linear scan over the
+  /// heap is fine at that cadence (never on the event hot path).
+  static constexpr Cycles kNoEvent = ~Cycles{0};
+  [[nodiscard]] Cycles next_event_time() const noexcept;
+
+  /// True when run() would return immediately: nothing pending but
+  /// daemon events (which never keep a run alive).
+  [[nodiscard]] bool drained() const noexcept { return live_ == daemon_live_; }
+
   /// Exact count of events armed but neither fired nor cancelled.
   [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
   /// How many of those are daemon events (they never keep run() alive).
@@ -163,6 +174,14 @@ class Engine {
   std::vector<std::uint32_t> free_slots_;
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 1;
+#ifndef NDEBUG
+  // Debug ordering audit: non-daemon events must fire in strictly
+  // increasing (when, seq) order — the invariant the PDES byte-identity
+  // gate rests on. Daemon events are exempt: one parked below now_
+  // across a run_until() window legitimately replays an old timestamp.
+  Cycles audit_last_when_ = 0;
+  std::uint64_t audit_last_seq_ = 0;
+#endif
   std::uint64_t fired_ = 0;
   std::uint64_t cancelled_ = 0;
   std::size_t live_ = 0;

@@ -4,10 +4,16 @@
 
 namespace hpmmap::trace {
 
+namespace {
+thread_local MetricRegistry* g_metrics_override = nullptr;
+} // namespace
+
 MetricRegistry& metrics() noexcept {
   static thread_local MetricRegistry r;
-  return r;
+  return g_metrics_override != nullptr ? *g_metrics_override : r;
 }
+
+void set_metrics_override(MetricRegistry* m) noexcept { g_metrics_override = m; }
 
 std::string MetricRegistry::report() const {
   std::string out;

@@ -88,4 +88,9 @@ class MetricRegistry {
 /// reset per experiment run by the harness.
 [[nodiscard]] MetricRegistry& metrics() noexcept;
 
+/// Redirect this thread's metrics() to an external registry (per-node
+/// cluster contexts; see trace::set_recorder_override). nullptr restores
+/// the thread's own registry.
+void set_metrics_override(MetricRegistry* m) noexcept;
+
 } // namespace hpmmap::trace

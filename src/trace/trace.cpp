@@ -104,10 +104,16 @@ void enable(std::uint32_t mask) noexcept { detail::g_enabled_mask = mask; }
 void disable_all() noexcept { detail::g_enabled_mask = 0; }
 std::uint32_t enabled_mask() noexcept { return detail::g_enabled_mask; }
 
+namespace {
+thread_local FlightRecorder* g_recorder_override = nullptr;
+} // namespace
+
 FlightRecorder& recorder() noexcept {
   static thread_local FlightRecorder r;
-  return r;
+  return g_recorder_override != nullptr ? *g_recorder_override : r;
 }
+
+void set_recorder_override(FlightRecorder* r) noexcept { g_recorder_override = r; }
 
 void set_clock(ClockFn fn, const void* ctx) noexcept {
   g_clock.fn = fn;

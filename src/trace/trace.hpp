@@ -201,6 +201,13 @@ void disable_all() noexcept;
 /// events of the run executing on it).
 [[nodiscard]] FlightRecorder& recorder() noexcept;
 
+/// Point this thread's recorder() at an external ring instead of the
+/// thread's own. The PDES cluster harness keeps one recorder per node
+/// engine and installs it around each engine's execution slice, so a
+/// group's events land in the same ring no matter which worker thread
+/// runs the slice. nullptr restores the thread's own recorder.
+void set_recorder_override(FlightRecorder* r) noexcept;
+
 /// Virtual clock hook, one registration per thread. The simulation
 /// engine registers itself at construction; producers without an engine
 /// reference (buddy, pools, scheduler) stamp events through this.

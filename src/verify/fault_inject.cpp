@@ -84,10 +84,16 @@ bool FaultInjector::roll(InjectPoint p) {
   return true;
 }
 
+namespace {
+thread_local FaultInjector* g_injector_override = nullptr;
+} // namespace
+
 FaultInjector& injector() noexcept {
   static thread_local FaultInjector instance;
-  return instance;
+  return g_injector_override != nullptr ? *g_injector_override : instance;
 }
+
+void set_injector_override(FaultInjector* f) noexcept { g_injector_override = f; }
 
 std::optional<InjectionPlan> parse_inject_spec(std::string_view spec) {
   InjectionPlan plan;

@@ -154,6 +154,11 @@ class FaultInjector {
 /// worker threads each arm their own run's injector independently.
 [[nodiscard]] FaultInjector& injector() noexcept;
 
+/// Redirect this thread's injector() to an external instance (per-node
+/// cluster contexts; see trace::set_recorder_override). nullptr restores
+/// the thread's own injector.
+void set_injector_override(FaultInjector* f) noexcept;
+
 /// Parse a --inject plan: comma-separated entries, each a point name
 /// with modifiers in any order:
 ///   @N  first fire at the Nth call (default 1 if no ~)

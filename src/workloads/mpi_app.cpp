@@ -247,25 +247,35 @@ void MpiJob::arrive_barrier(std::size_t i) {
   waiting_.push_back(i);
   ++arrived_;
   if (arrived_ == ranks_.size()) {
-    release_barrier();
+    if (config_.barrier_hook) {
+      config_.barrier_hook(engine_.now());
+    } else {
+      release_barrier();
+    }
   }
 }
 
 void MpiJob::release_barrier() {
+  const Cycles comm = config_.comm(config_.app, ranks_.size());
+  if (external_release(engine_.now() + comm)) {
+    engine_.schedule(comm, [this] { finish_job(); });
+  }
+}
+
+bool MpiJob::external_release(Cycles release_time) {
   arrived_ = 0;
   std::vector<std::size_t> woken;
   woken.swap(waiting_);
-  const Cycles comm = config_.comm(config_.app, ranks_.size());
   bool all_done = true;
   for (std::size_t i : woken) {
     Rank& r = ranks_[i];
     if (r.iteration < config_.app.iterations) {
       ++r.iteration;
       all_done = false;
-      engine_.schedule(comm, [this, i] { iterate_step(i); });
+      engine_.schedule_at(release_time, [this, i] { iterate_step(i); });
     } else if (!r.finished) {
       r.finished = true;
-      r.finish_time = engine_.now() + comm;
+      r.finish_time = release_time;
       if (trace::on(trace::Category::kApp)) {
         trace::instant(trace::Category::kApp, "rank.finish", r.proc->pid(), r.place.core,
                        {trace::Arg::u64("rank", i),
@@ -273,9 +283,11 @@ void MpiJob::release_barrier() {
       }
     }
   }
-  if (all_done) {
-    engine_.schedule(comm, [this] { finish_job(); });
-  }
+  return all_done;
+}
+
+void MpiJob::external_finish(Cycles finish_time) {
+  engine_.schedule_at(finish_time, [this] { finish_job(); });
 }
 
 void MpiJob::finish_job() {

@@ -43,6 +43,12 @@ struct MpiJobConfig {
   os::MmPolicy policy = os::MmPolicy::kLinuxThp;
   std::vector<RankPlacement> ranks;
   CommModel comm; // defaults to shared_memory_comm of rank 0's node
+  // Distributed-barrier mode (cluster PDES): when set, a full house of
+  // *local* ranks calls this hook with the arrival time instead of
+  // releasing the barrier. The cluster controller resolves the global
+  // barrier across all per-node jobs and re-enters via
+  // external_release() / external_finish(); `comm` is unused.
+  std::function<void(Cycles)> barrier_hook;
 };
 
 class MpiJob {
@@ -51,6 +57,20 @@ class MpiJob {
 
   /// Launch all ranks. `on_complete` fires once after teardown.
   void start(std::function<void()> on_complete = {});
+
+  /// Distributed-barrier mode only (see MpiJobConfig::barrier_hook).
+  /// Release every waiting local rank at absolute time `release_time`
+  /// (= global barrier arrival + the controller's single comm draw).
+  /// Returns true when every local rank has finished its iterations —
+  /// the controller then calls external_finish() once all jobs agree.
+  /// Must be called with this job's run context (trace clock fixed at
+  /// the global barrier time) installed, between engine phases.
+  bool external_release(Cycles release_time);
+
+  /// Distributed-barrier mode only: schedule the finish/teardown event
+  /// at absolute time `finish_time` (mirrors the finish_job event the
+  /// shared-engine release schedules).
+  void external_finish(Cycles finish_time);
 
   [[nodiscard]] bool done() const noexcept { return completed_; }
   [[nodiscard]] Cycles runtime_cycles() const noexcept { return runtime_; }
