@@ -1,6 +1,6 @@
 // bench_diff: compare BENCH_*.json self-reports and fail on regression.
 //
-//   bench_diff [--threshold F] BASELINE CURRENT
+//   bench_diff [--threshold F] [--threshold-for NAME=F] BASELINE CURRENT
 //
 // BASELINE and CURRENT are either two JSON files or two directories; in
 // directory mode every BENCH_*.json present in BASELINE is diffed
@@ -12,6 +12,11 @@
 // absolute throughput numbers are reported but not gated, since they
 // measure the runner as much as the code. Exit 0 = pass, 1 = regression,
 // 2 = usage/parse error.
+//
+// --threshold-for overrides the threshold for one file name (repeatable),
+// so a noisy bench can run with a looser gate without loosening the rest:
+//
+//   bench_diff --threshold-for BENCH_smp.json=0.25 baseline/ current/
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -31,10 +36,13 @@ using namespace hpmmap;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: bench_diff [--threshold F] [--gate KEY[,KEY...]] BASELINE CURRENT\n"
+               "usage: bench_diff [--threshold F] [--threshold-for NAME=F]\n"
+               "                  [--gate KEY[,KEY...]] BASELINE CURRENT\n"
                "  BASELINE/CURRENT: two BENCH_*.json files, or two directories\n"
                "                    (every BENCH_*.json in BASELINE is compared)\n"
                "  --threshold F     allowed relative drop in gated metrics (default 0.10)\n"
+               "  --threshold-for NAME=F  override the threshold for one bench file\n"
+               "                    (matched by file name; repeatable)\n"
                "  --gate KEYS       gate exactly these dotted keys instead of the\n"
                "                    default improvement_ratio/speedup set\n");
   std::exit(2);
@@ -43,6 +51,29 @@ using namespace hpmmap;
 bool is_dir(const std::string& path) {
   struct stat st{};
   return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+struct ThresholdOverride {
+  std::string name; // bench file name, e.g. "BENCH_smp.json"
+  double value = 0.0;
+};
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Threshold for one bench file: the last matching --threshold-for wins,
+/// otherwise the global --threshold.
+double threshold_for(const std::string& name, double fallback,
+                     const std::vector<ThresholdOverride>& overrides) {
+  double t = fallback;
+  for (const ThresholdOverride& o : overrides) {
+    if (o.name == name) {
+      t = o.value;
+    }
+  }
+  return t;
 }
 
 std::optional<introspect::BenchDoc> load(const std::string& path) {
@@ -97,11 +128,21 @@ bool diff_pair(const std::string& base_path, const std::string& cur_path, double
 
 int main(int argc, char** argv) {
   double threshold = 0.10;
+  std::vector<ThresholdOverride> overrides;
   std::vector<std::string> gates;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threshold") && i + 1 < argc) {
       threshold = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--threshold-for") && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "bench_diff: --threshold-for wants NAME=F, got %s\n",
+                     spec.c_str());
+        usage();
+      }
+      overrides.push_back({spec.substr(0, eq), std::atof(spec.c_str() + eq + 1)});
     } else if (!std::strcmp(argv[i], "--gate") && i + 1 < argc) {
       std::string list = argv[++i];
       std::size_t start = 0;
@@ -136,11 +177,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (const std::string& name : names) {
-      pass = diff_pair(baseline + "/" + name, current + "/" + name, threshold, gates, name) &&
+      pass = diff_pair(baseline + "/" + name, current + "/" + name,
+                       threshold_for(name, threshold, overrides), gates, name) &&
              pass;
     }
   } else {
-    pass = diff_pair(baseline, current, threshold, gates, current);
+    pass = diff_pair(baseline, current,
+                     threshold_for(basename_of(baseline), threshold, overrides), gates,
+                     current);
   }
   std::printf("bench_diff: %s (threshold %.0f%%)\n", pass ? "PASS" : "FAIL",
               threshold * 100.0);

@@ -17,6 +17,7 @@
 #include "verify/audit.hpp"
 #include "workloads/kernel_build.hpp"
 #include "workloads/mpi_app.hpp"
+#include "workloads/smp_storm.hpp"
 
 namespace hpmmap::harness {
 namespace {
@@ -491,6 +492,88 @@ std::vector<introspect::TimeSeries> merged_telemetry(const std::vector<RunResult
     }
   }
   return out;
+}
+
+SmpRunResult run_smp(const SmpRunConfig& config) {
+  detail::begin_tracing(config.trace, config.seed);
+
+  hw::MachineSpec machine = hw::dell_r415();
+  // Widen the socket grid to the requested core count; the R415's two
+  // NUMA zones, clock and bandwidth model stay.
+  machine.cores_per_socket = (config.cores + machine.sockets - 1) / machine.sockets;
+  if (machine.total_cores() < config.cores) {
+    machine.cores_per_socket = config.cores;
+    machine.sockets = 1;
+  }
+
+  os::NodeConfig nc;
+  nc.machine = machine;
+  nc.thp_enabled = false; // the storm is a 4K study; THP is PR-orthogonal
+  nc.aged_boot = false;   // pristine freelists: contention, not fragmentation
+  nc.seed = config.seed;
+  nc.name = "smp0";
+  if (config.variant == SmpVariant::kHpmmap) {
+    nc.hpmmap = core::ModuleConfig{};
+  } else {
+    mm::SmpConfig sc;
+    sc.cores = config.cores;
+    const bool modern = config.variant == SmpVariant::kLinuxToday;
+    sc.pcp = config.pcp.value_or(modern);
+    sc.sharded_pt_locks = config.sharded_pt_locks.value_or(modern);
+    sc.batched_shootdowns = config.batched_shootdowns.value_or(modern);
+    nc.smp = sc;
+  }
+
+  sim::Engine engine;
+  os::Node node(engine, std::move(nc));
+  detail::VerifySession verify(config.verify, config.seed);
+  verify.audit_on_fire(node);
+
+  workloads::SmpStormConfig sc;
+  sc.cores = config.cores;
+  sc.shared_process = config.variant != SmpVariant::kHpmmap;
+  sc.policy = config.variant == SmpVariant::kHpmmap ? os::MmPolicy::kHpmmap
+                                                    : os::MmPolicy::kLinuxPlain;
+  sc.rounds = config.rounds;
+  sc.slab_bytes = config.slab_bytes;
+  workloads::SmpStorm storm(engine, node, sc);
+  const Cycles t0 = engine.now();
+  storm.start([&engine] { engine.stop(); });
+  engine.run();
+  HPMMAP_ASSERT(storm.done(), "engine drained before the storm completed");
+
+  SmpRunResult result;
+  result.cores = config.cores;
+  result.pages_touched = storm.pages_touched();
+  result.seconds = machine.seconds(storm.span_cycles());
+  result.faults_per_sec =
+      result.seconds > 0.0 ? static_cast<double>(result.pages_touched) / result.seconds : 0.0;
+  result.clock_hz = machine.clock_hz;
+  if (node.smp() != nullptr) {
+    result.smp = node.smp()->stats();
+  }
+  result.faults = storm.aggregate_faults();
+  result.events_fired = engine.events_fired();
+  result.trace_t0 = t0;
+  if (config.trace.on()) {
+    trace::instant(trace::Category::kHarness, "run.end", 0, -1,
+                   {trace::Arg::u64("runtime_cycles", storm.span_cycles())});
+    trace::disable_all();
+    result.events = trace::recorder().snapshot();
+    result.trace_dropped = trace::recorder().dropped();
+  }
+  verify.finish(result, {&node});
+  return result;
+}
+
+std::vector<SmpRunResult> run_smp_batch(const std::vector<SmpRunConfig>& configs) {
+  BatchRunner runner(default_jobs());
+  std::vector<std::function<SmpRunResult()>> tasks;
+  tasks.reserve(configs.size());
+  for (const SmpRunConfig& c : configs) {
+    tasks.push_back([c] { return run_smp(c); });
+  }
+  return runner.map(std::move(tasks));
 }
 
 SeriesPoint run_trials(SingleNodeRunConfig config, std::uint32_t trials) {

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "common/types.hpp"
 #include "introspect/sampler.hpp"
 #include "linux_mm/fault.hpp"
+#include "linux_mm/smp.hpp"
 #include "serving/arrival.hpp"
 #include "snapshot/snapshot.hpp"
 #include "trace/trace.hpp"
@@ -332,6 +334,72 @@ struct ServerRunResult {
 [[nodiscard]] snapshot::WorldImage capture_server(const ServerRunConfig& config);
 [[nodiscard]] ServerRunResult run_server(const ServerRunConfig& config,
                                          const snapshot::WorldImage& image);
+
+// --- SMP contention runs (DESIGN.md §14) ------------------------------------
+
+/// The three fault-path generations the SMP contention bench sweeps:
+/// every zone/PT lock mm-wide and every shootdown immediate (the 1999
+/// kernel); per-CPU page-frame caches + sharded PT locks + batched
+/// shootdowns (today's kernel); and HPMMAP, where per-process
+/// management touches no shared Linux lock at all (§III-A).
+enum class SmpVariant : std::uint8_t { kLinux1999, kLinuxToday, kHpmmap };
+
+[[nodiscard]] constexpr std::string_view name(SmpVariant v) noexcept {
+  switch (v) {
+    case SmpVariant::kLinux1999: return "Linux-1999";
+    case SmpVariant::kLinuxToday: return "Linux-today";
+    case SmpVariant::kHpmmap:    return "HPMMAP";
+  }
+  return "?";
+}
+
+struct SmpRunConfig {
+  SmpVariant variant = SmpVariant::kLinuxToday;
+  std::uint32_t cores = 4;
+  std::uint64_t rounds = 6;
+  std::uint64_t slab_bytes = 2 * 1024 * 1024;
+  std::uint64_t seed = 1;
+  /// Ablation overrides on top of the variant's generation defaults
+  /// (ignored for kHpmmap, which runs no SmpDomain).
+  std::optional<bool> pcp{};
+  std::optional<bool> sharded_pt_locks{};
+  std::optional<bool> batched_shootdowns{};
+  TraceConfig trace{};
+  VerifyConfig verify{};
+};
+
+struct SmpRunResult {
+  std::uint32_t cores = 0;
+  std::uint64_t pages_touched = 0;
+  /// Virtual time from storm start to the last worker's finish.
+  double seconds = 0.0;
+  /// Aggregate demand-fault throughput: pages_touched / seconds.
+  double faults_per_sec = 0.0;
+  double clock_hz = 0.0;
+  /// Lock-wait/pcp/shootdown counters (all zero for kHpmmap).
+  mm::SmpStats smp{};
+  mm::FaultStats faults;
+  std::uint64_t events_fired = 0;
+
+  std::vector<trace::Event> events;
+  std::uint64_t trace_dropped = 0;
+  Cycles trace_t0 = 0;
+
+  std::array<verify::PointStats, verify::kInjectPointCount> injected{};
+  std::uint64_t audit_checks = 0;
+  std::uint64_t audit_violations = 0;
+  std::string audit_report;
+};
+
+/// One SMP fault-storm trial: `cores` worker actors hammer one node's
+/// fault path concurrently (Dell R415 model, socket grid widened to
+/// `cores`, THP off, pristine boot).
+[[nodiscard]] SmpRunResult run_smp(const SmpRunConfig& config);
+
+/// Run a (cores x variant) grid on the batch runner at
+/// harness::default_jobs() parallelism. Results come back in config
+/// order — byte-identical for any jobs value.
+[[nodiscard]] std::vector<SmpRunResult> run_smp_batch(const std::vector<SmpRunConfig>& configs);
 
 /// Trial loops run on the batch runner at harness::default_jobs()
 /// parallelism (see harness/batch.hpp; 1 = serial, and any jobs value

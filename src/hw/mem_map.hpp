@@ -49,6 +49,7 @@ enum class FrameState : std::uint8_t {
   kCacheClean = 2,
   kCacheDirty = 3,
   kHugetlbPool = 4,
+  kPcpCache = 5, // order-0 frame parked on a per-CPU page-frame cache
 };
 
 /// Bitmask selecting a FrameState for block_containing() probes.

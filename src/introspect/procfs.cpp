@@ -86,7 +86,7 @@ std::string render_vmstat(const Vmstat& s) {
 std::string render_pagetypeinfo(const std::vector<PagetypeinfoZone>& zones) {
   // Owner states in mem_map meta order; kUntracked heads never exist.
   static constexpr const char* kStateName[] = {
-      "untracked", "buddy-free", "cache-clean", "cache-dirty", "hugetlb-pool"};
+      "untracked", "buddy-free", "cache-clean", "cache-dirty", "hugetlb-pool", "pcp-cache"};
   std::string out;
   std::size_t orders = 0;
   for (const PagetypeinfoZone& z : zones) {

@@ -144,8 +144,8 @@ void capture_vmstat(os::Node& node, Vmstat& out) {
 void capture_pagetypeinfo(os::Node& node, std::vector<PagetypeinfoZone>& out) {
   mm::MemorySystem& mem = node.memory();
   out.resize(mem.zone_count());
-  // kUntracked..kHugetlbPool — index by the FrameState value directly.
-  constexpr std::size_t kStateCount = 5;
+  // kUntracked..kPcpCache — index by the FrameState value directly.
+  constexpr std::size_t kStateCount = 6;
   for (ZoneId z = 0; z < mem.zone_count(); ++z) {
     const mm::BuddyAllocator& buddy = mem.buddy(z);
     PagetypeinfoZone& row = out[z];

@@ -77,7 +77,7 @@ struct Vmstat {
 struct PagetypeinfoZone {
   ZoneId zone = 0;
   /// counts[state][order]; state indexed by hw::FrameState (kBuddyFree,
-  /// kCacheClean, kCacheDirty, kHugetlbPool), order 0..max_order.
+  /// kCacheClean, kCacheDirty, kHugetlbPool, kPcpCache), order 0..max_order.
   std::vector<std::vector<std::uint64_t>> counts;
 };
 

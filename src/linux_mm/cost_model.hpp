@@ -75,6 +75,17 @@ struct CostModel {
   Cycles hpmmap_alloc_base = 210;   // Kitten buddy pop (no watermarks)
   Cycles hpmmap_pte_install = 95;   // lightweight table, no rmap/LRU
 
+  // --- SMP contention (DESIGN.md §14) -------------------------------------
+  // Charged only when a node runs an SmpDomain; lock *waits* are never
+  // parameterized here — they emerge from per-core actors interleaving on
+  // the virtual clock. These are the uncontended primitive costs.
+  Cycles smp_lock_acquire = 40;      // spin_lock/unlock pair, cache-hot
+  Cycles smp_pcp_op = 60;            // pcp list push/pop, no zone lock
+  Cycles smp_pcp_move_frame = 25;    // per frame moved on batched refill/drain
+  Cycles tlb_ipi_send = 900;         // initiate one shootdown round
+  Cycles tlb_ipi_per_core = 110;     // per target CPU in the round
+  Cycles tlb_ipi_handler = 500;      // remote CPU stall to service the IPI
+
   // --- Swap -------------------------------------------------------------------
   // A major fault on a swapped-out page reads 4K from a rotating disk:
   // seek + rotational latency, ~8 ms on the testbed era's drives. This

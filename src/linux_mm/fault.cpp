@@ -1,6 +1,7 @@
 #include "linux_mm/fault.hpp"
 
 #include "common/assert.hpp"
+#include "linux_mm/smp.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -91,8 +92,15 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now, std::
 
   // Queue on the page-table lock first: if khugepaged is mid-merge we
   // wait for the full remainder of the merge (§II-B), and the fault is
-  // classified as a merge-follower — the paper's "Merge" rows.
-  result.lock_wait = as.lock_wait(now);
+  // classified as a merge-follower — the paper's "Merge" rows. SMP lock
+  // waits below also land in lock_wait but never reclassify the fault.
+  const Cycles merge_wait = as.lock_wait(now);
+  result.lock_wait = merge_wait;
+  if (smp_ != nullptr && core >= 0) {
+    // Service shootdown IPIs that remote cores' munmaps queued on this
+    // CPU while it ran userspace; the backlog drains at kernel entry.
+    result.lock_wait += smp_->cpu_drain(core, now);
+  }
   result.cost = result.lock_wait + costs.fault_entry + costs.vma_lookup;
   ft.add("fault.pt_lock", result.lock_wait);
   ft.add("fault.entry", costs.fault_entry + costs.vma_lookup);
@@ -110,7 +118,7 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now, std::
   // fault then only re-checks and returns (cost already dominated by the
   // wait). Also covers benign races on already-mapped pages.
   if (const auto t = as.page_table().walk(vaddr); t.has_value()) {
-    result.kind = result.lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kSmall;
+    result.kind = merge_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kSmall;
     result.used = t->size;
     result.cost += costs.pte_install;
     ft.add("fault.pt", costs.pte_install);
@@ -118,7 +126,7 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now, std::
   }
 
   if (vma->kind == VmaKind::kHugetlb) {
-    return handle_hugetlb(as, *vma, vaddr, now, result.cost, result.lock_wait, core);
+    return handle_hugetlb(as, *vma, vaddr, now, result.cost, result.lock_wait, merge_wait, core);
   }
 
   // --- THP fault path: try a 2M mapping first (§II-B) -------------------
@@ -128,12 +136,22 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now, std::
       const Addr base = align_down(vaddr, kLargePageSize);
       const Errno err = as.page_table().map(base, huge.phys, PageSize::k2M, vma->prot);
       HPMMAP_ASSERT(err == Errno::kOk, "THP eligibility check guaranteed an empty region");
-      result.kind = result.lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kLarge;
+      result.kind = merge_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kLarge;
       result.used = PageSize::k2M;
       result.entered_reclaim = huge.alloc.entered_reclaim;
       const Cycles alloc_cost = memory_.alloc_cycles(huge.alloc, zone);
       const Cycles zero = memory_.zero_cost(zone, kLargePageSize, costs.zero_bytes_per_cycle);
       const Cycles pt = costs.pt_alloc_table + costs.pte_install + costs.rmap_account_large;
+      if (smp_ != nullptr && core >= 0) {
+        // Order-9 allocations always go through the zone lock (no pcp
+        // path exists for them), then the PT lock covers the install —
+        // plus the 2 MiB zeroing when sharding is off.
+        const Cycles zw = smp_->zone_lock(zone, now, alloc_cost, core);
+        const bool sharded = smp_->config().sharded_pt_locks;
+        const Cycles ptw = smp_->pt_lock(as.pid(), vaddr, now, sharded ? pt : zero + pt, core);
+        result.lock_wait += zw + ptw;
+        result.cost += zw + ptw;
+      }
       result.cost += alloc_cost + zero + pt;
       ft.add("fault.alloc", alloc_cost);
       ft.add("fault.zero", zero);
@@ -161,36 +179,74 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now, std::
     ft.add("fault.swap_in", swap_cost);
   }
   ZoneId alloc_zone = zone;
-  AllocOutcome out = memory_.alloc_pages(alloc_zone, 0, /*allow_reclaim=*/true);
-  if (!out.ok) {
-    // NUMA spill: try the least-loaded other zone before declaring OOM.
-    alloc_zone = memory_.fallback_zone(zone);
-    if (alloc_zone != zone) {
-      out = memory_.alloc_pages(alloc_zone, 0, /*allow_reclaim=*/true);
+  Addr frame = 0;
+  bool alloc_ok = false;
+  bool entered_reclaim = false;
+  Cycles alloc_cost = 0; // buddy/pcp service cycles
+  Cycles alloc_wait = 0; // zone-lock wait cycles (SMP only)
+  if (smp_ != nullptr && core >= 0) {
+    SmallAlloc sa = smp_->alloc_small(memory_, alloc_zone, core, now);
+    alloc_cost += sa.work;
+    alloc_wait += sa.wait;
+    if (!sa.ok) {
+      // NUMA spill: try the least-loaded other zone before declaring OOM.
+      alloc_zone = memory_.fallback_zone(zone);
+      if (alloc_zone != zone) {
+        sa = smp_->alloc_small(memory_, alloc_zone, core, now);
+        alloc_cost += sa.work;
+        alloc_wait += sa.wait;
+      }
+    }
+    frame = sa.addr;
+    alloc_ok = sa.ok;
+    entered_reclaim = sa.entered_reclaim;
+  } else {
+    AllocOutcome out = memory_.alloc_pages(alloc_zone, 0, /*allow_reclaim=*/true);
+    if (!out.ok) {
+      // NUMA spill: try the least-loaded other zone before declaring OOM.
+      alloc_zone = memory_.fallback_zone(zone);
+      if (alloc_zone != zone) {
+        out = memory_.alloc_pages(alloc_zone, 0, /*allow_reclaim=*/true);
+      }
+    }
+    frame = out.addr;
+    alloc_ok = out.ok;
+    entered_reclaim = out.entered_reclaim;
+    if (alloc_ok) {
+      alloc_cost = memory_.alloc_cycles(out, alloc_zone);
     }
   }
-  if (!out.ok) {
+  if (!alloc_ok) {
     result.err = Errno::kNoMem;
     result.kind = FaultKind::kInvalid;
+    result.lock_wait += alloc_wait;
+    result.cost += alloc_wait + alloc_cost;
     return emit_fault(as, now, core, result, ft);
   }
   const Addr page = align_down(vaddr, kSmallPageSize);
   PtOpStats pt_stats;
-  const Errno err = as.page_table().map(page, out.addr, PageSize::k4K, vma->prot, &pt_stats);
+  const Errno err = as.page_table().map(page, frame, PageSize::k4K, vma->prot, &pt_stats);
   HPMMAP_ASSERT(err == Errno::kOk, "walk() said this page was unmapped");
   // khugepaged_enter: a THP-eligible region just went small; the daemon
   // will revisit it (and inject merge noise right here, Figure 4).
   if (thp_ != nullptr && vma->thp_eligible) {
     thp_->note_fallback(&as, vaddr);
   }
-  result.kind = result.lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kSmall;
+  result.kind = merge_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kSmall;
   result.used = PageSize::k4K;
-  result.entered_reclaim = out.entered_reclaim;
-  const Cycles alloc_cost = memory_.alloc_cycles(out, alloc_zone);
+  result.entered_reclaim = entered_reclaim;
   const Cycles zero = memory_.zero_cost(alloc_zone, kSmallPageSize, costs.zero_bytes_per_cycle);
   const Cycles pt =
       pt_stats.tables_allocated * costs.pt_alloc_table + costs.pte_install + costs.rmap_account;
-  result.cost += alloc_cost + zero + pt;
+  if (smp_ != nullptr && core >= 0) {
+    // Sharded mode locks only the install; the Linux-1999 shape holds
+    // one mm-wide lock across zeroing *and* install, so concurrent
+    // faulters serialize on the zeroing too.
+    const bool sharded = smp_->config().sharded_pt_locks;
+    alloc_wait += smp_->pt_lock(as.pid(), page, now, sharded ? pt : zero + pt, core);
+  }
+  result.lock_wait += alloc_wait;
+  result.cost += alloc_wait + alloc_cost + zero + pt;
   ft.add("fault.alloc", alloc_cost);
   ft.add("fault.zero", zero);
   ft.add("fault.pt", pt);
@@ -198,7 +254,8 @@ FaultResult FaultHandler::handle(AddressSpace& as, Addr vaddr, Cycles now, std::
 }
 
 FaultResult FaultHandler::handle_hugetlb(AddressSpace& as, const Vma& vma, Addr vaddr, Cycles now,
-                                         Cycles base_cost, Cycles lock_wait, std::int32_t core) {
+                                         Cycles base_cost, Cycles lock_wait, Cycles merge_wait,
+                                         std::int32_t core) {
   const CostModel& costs = memory_.costs();
   FaultResult result;
   result.cost = base_cost;
@@ -221,7 +278,7 @@ FaultResult FaultHandler::handle_hugetlb(AddressSpace& as, const Vma& vma, Addr 
   PtOpStats pt_stats;
   const Errno err = as.page_table().map(base, phys, PageSize::k2M, vma.prot, &pt_stats);
   HPMMAP_ASSERT(err == Errno::kOk, "hugetlb region double-mapped");
-  result.kind = lock_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kLarge;
+  result.kind = merge_wait > 0 ? FaultKind::kMergeFollower : FaultKind::kLarge;
   result.used = PageSize::k2M;
   // The hugetlb path takes the hugetlb mutex and reservation map, then
   // zeroes 2 MiB without the clearing-cache assists the normal path has;

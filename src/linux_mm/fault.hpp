@@ -26,6 +26,8 @@
 
 namespace hpmmap::mm {
 
+class SmpDomain;
+
 /// Classification matching the paper's figures: "Small" (red), "Large"
 /// (green), "Merge" = a fault that had to wait on a THP merge (blue).
 enum class FaultKind : std::uint8_t {
@@ -79,14 +81,22 @@ class FaultHandler {
   /// `core` only tags trace events (per-core Perfetto tracks).
   FaultResult handle(AddressSpace& as, Addr vaddr, Cycles now, std::int32_t core = -1);
 
+  /// With an SmpDomain attached (and core >= 0) the handler *executes*
+  /// its lock acquisitions — zone buddy lock (or pcp fast path), PT
+  /// shard, pending IPI drain — against the domain's virtual-clock lock
+  /// state instead of running the uncontended single-core path.
+  void attach_smp(SmpDomain* smp) noexcept { smp_ = smp; }
+
  private:
   FaultResult handle_hugetlb(AddressSpace& as, const Vma& vma, Addr vaddr, Cycles now,
-                             Cycles base_cost, Cycles lock_wait, std::int32_t core);
+                             Cycles base_cost, Cycles lock_wait, Cycles merge_wait,
+                             std::int32_t core);
   FaultResult finish(FaultResult result, ZoneId zone);
 
   MemorySystem& memory_;
   ThpService* thp_;
   HugetlbPool* hugetlb_;
+  SmpDomain* smp_ = nullptr;
 };
 
 } // namespace hpmmap::mm

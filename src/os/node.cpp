@@ -42,6 +42,10 @@ Node::Node(sim::Engine& engine, NodeConfig config)
     hugetlb_ = std::make_unique<mm::HugetlbPool>(*memory_, config_.hugetlb_pool_per_zone);
   }
   fault_handler_ = std::make_unique<mm::FaultHandler>(*memory_, thp_.get(), hugetlb_.get());
+  if (config_.smp.has_value()) {
+    smp_ = std::make_unique<mm::SmpDomain>(*config_.smp, config_.costs, memory_->zone_count());
+    fault_handler_->attach_smp(smp_.get());
+  }
   if (config_.aged_boot) {
     age_system();
   }
@@ -185,8 +189,14 @@ void Node::exit_process(Process& proc) {
   proc.address_space().vmas().for_each(
       [&](const mm::Vma& vma) { ranges.push_back(vma.range); });
   for (const Range& r : ranges) {
-    release_linux_range(proc, r);
+    release_linux_range(proc, r, proc.core());
     proc.address_space().vmas().remove(r);
+  }
+  if (smp_ != nullptr) {
+    // exit_mmap: the last deferred shootdown round fires, then the mm's
+    // lock state (and pending counter) disappears with the mm itself.
+    smp_->flush_shootdowns(proc.pid(), proc.core(), engine_.now());
+    smp_->drop_mm(proc.pid());
   }
   scheduler_.remove_thread(proc.sched_handle());
   proc.mark_dead();
@@ -203,18 +213,20 @@ bool Node::is_hpmmap_call(const Process& proc, Cycles& hash_cost) const {
   return module_->handles(proc.pid());
 }
 
-Node::SysOut Node::sys_mmap(Process& proc, std::uint64_t len, Prot prot, Segment seg) {
+Node::SysOut Node::sys_mmap(Process& proc, std::uint64_t len, Prot prot, Segment seg,
+                            std::int32_t core) {
   Cycles hash_cost = 0;
   if (is_hpmmap_call(proc, hash_cost) && seg != Segment::kStack) {
     const core::SyscallResult r = module_->mmap(proc.pid(), len, prot);
     return SysOut{r.err, r.addr, r.cost + hash_cost};
   }
-  SysOut out = linux_mmap(proc, len, prot, seg);
+  SysOut out = linux_mmap(proc, len, prot, seg, core);
   out.cost += hash_cost;
   return out;
 }
 
-Node::SysOut Node::linux_mmap(Process& proc, std::uint64_t len, Prot prot, Segment seg) {
+Node::SysOut Node::linux_mmap(Process& proc, std::uint64_t len, Prot prot, Segment seg,
+                              std::int32_t core) {
   SysOut out;
   const mm::CostModel& costs = config_.costs;
   out.cost = costs.syscall_entry + costs.vma_mutate;
@@ -225,6 +237,12 @@ Node::SysOut Node::linux_mmap(Process& proc, std::uint64_t len, Prot prot, Segme
   mm::AddressSpace& as = proc.address_space();
   // mmap writers queue behind a merge holding the lock too.
   out.cost += as.lock_wait(engine_.now());
+  if (smp_ != nullptr) {
+    // mmap_sem writer: waits out every in-flight reader (faulting cores)
+    // and holds through the VMA mutation, stalling them in turn.
+    out.cost += smp_->mmap_sem_write(proc.pid(), engine_.now(), costs.vma_mutate,
+                                     core >= 0 ? core : proc.core());
+  }
 
   mm::Vma vma;
   bool hugetlb_backed = proc.policy() == MmPolicy::kHugetlbfs &&
@@ -282,6 +300,9 @@ Node::SysOut Node::linux_brk(Process& proc, Addr new_break) {
     return out;
   }
   out.cost += as.lock_wait(engine_.now()) + costs.vma_mutate;
+  if (smp_ != nullptr) {
+    out.cost += smp_->mmap_sem_write(proc.pid(), engine_.now(), costs.vma_mutate, proc.core());
+  }
 
   const bool hugetlb_backed = proc.policy() == MmPolicy::kHugetlbfs && hugetlb_ != nullptr;
   const std::uint64_t alignment = hugetlb_backed ? kLargePageSize : kSmallPageSize;
@@ -313,7 +334,7 @@ Node::SysOut Node::linux_brk(Process& proc, Addr new_break) {
   return out;
 }
 
-Node::SysOut Node::sys_munmap(Process& proc, Addr addr, std::uint64_t len) {
+Node::SysOut Node::sys_munmap(Process& proc, Addr addr, std::uint64_t len, std::int32_t core) {
   Cycles hash_cost = 0;
   if (is_hpmmap_call(proc, hash_cost) && core::HpmmapModule::in_window(addr)) {
     const core::SyscallResult r = module_->munmap(proc.pid(), addr, len);
@@ -322,10 +343,18 @@ Node::SysOut Node::sys_munmap(Process& proc, Addr addr, std::uint64_t len) {
   SysOut out;
   const mm::CostModel& costs = config_.costs;
   mm::AddressSpace& as = proc.address_space();
+  const std::int32_t c = core >= 0 ? core : proc.core();
   out.cost = hash_cost + costs.syscall_entry + costs.vma_mutate +
              as.lock_wait(engine_.now());
   const Range range{align_down(addr, kSmallPageSize), align_up(addr + len, kSmallPageSize)};
-  out.cost += release_linux_range(proc, range);
+  const Cycles release = release_linux_range(proc, range, c);
+  if (smp_ != nullptr) {
+    // The munmap writer holds mmap_sem across the VMA removal and the
+    // page-table teardown — the whole reason threaded mmap churn scales
+    // so poorly on stock Linux (§II-A).
+    out.cost += smp_->mmap_sem_write(proc.pid(), engine_.now(), costs.vma_mutate + release, c);
+  }
+  out.cost += release;
   as.vmas().remove(range);
   return out;
 }
@@ -386,10 +415,16 @@ Node::SysOut Node::sys_mlock(Process& proc, Addr addr, std::uint64_t len) {
   return out;
 }
 
-Cycles Node::release_linux_range(Process& proc, Range range) {
+Cycles Node::release_linux_range(Process& proc, Range range, std::int32_t core) {
   mm::AddressSpace& as = proc.address_space();
   const mm::CostModel& costs = config_.costs;
-  Cycles cost = 0;
+  // Acquire stamps ride engine_.now() + own work only (never + waits),
+  // so a teardown delayed by contention can't push its later acquires
+  // into the future and charge other cores phantom wait (see the
+  // stamping discipline in linux_mm/smp.hpp).
+  Cycles work = 0;
+  Cycles wait = 0;
+  const bool pcp_frees = smp_ != nullptr && smp_->config().pcp;
 
   // Collect leaves, batching physically contiguous 4K frames into
   // higher-order frees (demand-faulted pages are frequently contiguous
@@ -407,6 +442,19 @@ Cycles Node::release_linux_range(Process& proc, Range range) {
     if (!run.active) {
       return;
     }
+    if (pcp_frees) {
+      // free_unref_page: order-0 frames recycle through this CPU's pcp
+      // list (no coalescing — the refill path hands them straight back
+      // to the next faulting thread on this CPU).
+      for (Addr p = run.phys_begin; p < run.phys_end; p += kSmallPageSize) {
+        const mm::LockedOp op =
+            smp_->free_small(*memory_, run.zone, core, p, engine_.now() + work);
+        wait += op.wait;
+        work += op.work;
+      }
+      run.active = false;
+      return;
+    }
     Addr p = run.phys_begin;
     while (p < run.phys_end) {
       // Largest order that is aligned at p and fits.
@@ -416,7 +464,14 @@ Cycles Node::release_linux_range(Process& proc, Range range) {
              p + mm::BuddyAllocator::order_bytes(order + 1) <= run.phys_end) {
         ++order;
       }
-      memory_->free_pages(run.zone, p, order);
+      if (smp_ != nullptr) {
+        const mm::LockedOp op =
+            smp_->free_block(*memory_, run.zone, core, p, order, engine_.now() + work);
+        wait += op.wait;
+        work += op.work;
+      } else {
+        memory_->free_pages(run.zone, p, order);
+      }
       p += mm::BuddyAllocator::order_bytes(order);
     }
     run.active = false;
@@ -441,7 +496,7 @@ Cycles Node::release_linux_range(Process& proc, Range range) {
     const Addr frame = align_down(t->phys, bytes(t->size));
     as.page_table().unmap(leaf_base, t->size);
     ++leaves;
-    cost += costs.pte_install;
+    work += costs.pte_install;
 
     const ZoneId zone = phys_.zone_of(frame);
     if (t->size == PageSize::k4K && !phys_.is_offline(frame)) {
@@ -457,20 +512,35 @@ Cycles Node::release_linux_range(Process& proc, Range range) {
           as.vmas().find(leaf_base)->kind == mm::VmaKind::kHugetlb && hugetlb_ != nullptr) {
         hugetlb_->free_page(zone, frame);
       } else if (!phys_.is_offline(frame)) {
-        memory_->free_pages(zone, frame, mm::BuddyAllocator::order_for_bytes(bytes(t->size)));
+        const unsigned order = mm::BuddyAllocator::order_for_bytes(bytes(t->size));
+        if (smp_ != nullptr) {
+          const mm::LockedOp op =
+              smp_->free_block(*memory_, zone, core, frame, order, engine_.now() + work);
+          wait += op.wait;
+          work += op.work;
+        } else {
+          memory_->free_pages(zone, frame, order);
+        }
       }
       // Offlined frames belong to the module; it frees them itself.
     }
     va = leaf_base + bytes(t->size);
   }
   flush_run();
-  cost += leaves > 32 ? costs.tlb_flush_full : leaves * costs.tlb_flush_page;
-  return cost;
+  // The unmapping core always flushes its own TLB; remote cores get IPI
+  // rounds — deferred and batched, or one round per munmap (Linux-1999).
+  work += leaves > 32 ? costs.tlb_flush_full : leaves * costs.tlb_flush_page;
+  if (smp_ != nullptr && leaves > 0) {
+    work += smp_->note_unmap(proc.pid(), leaves, core, engine_.now() + work);
+  }
+  return work + wait;
 }
 
-Cycles Node::touch_range(Process& proc, Range range) {
+Cycles Node::touch_range(Process& proc, Range range, std::int32_t core) {
   Cycles cost = 0;
+  Cycles work = 0; // SMP acquire-stamp clock: cost minus suffered waits
   mm::AddressSpace& as = proc.address_space();
+  const std::int32_t c = core >= 0 ? core : proc.core();
   const bool is_hpmmap_addr =
       module_ != nullptr && module_->handles(proc.pid()) && core::HpmmapModule::in_window(range.begin);
   Addr va = align_down(range.begin, kSmallPageSize);
@@ -480,9 +550,27 @@ Cycles Node::touch_range(Process& proc, Range range) {
       va = align_down(va, bytes(t->size)) + bytes(t->size);
       continue;
     }
-    mm::FaultResult fr = is_hpmmap_addr
-                             ? module_->fault(proc.pid(), va, engine_.now() + cost, proc.core())
-                             : fault_handler_->handle(as, va, engine_.now() + cost, proc.core());
+    mm::FaultResult fr;
+    if (is_hpmmap_addr) {
+      fr = module_->fault(proc.pid(), va, engine_.now() + cost, c);
+    } else if (smp_ != nullptr && c >= 0) {
+      // The fault path runs under mmap_sem for reading: wait out any
+      // mmap/munmap writer, handle the fault, then release at the
+      // handler's exit so a writer arriving meanwhile queues behind us.
+      // Acquires are stamped at engine time plus this slice's *work*
+      // only — folding suffered waits into the stamp would let diverged
+      // worker timelines charge each other compounding phantom wait
+      // (stamping discipline, linux_mm/smp.hpp).
+      const Cycles t0 = engine_.now() + work;
+      const Cycles sem_wait = smp_->mmap_sem_read_enter(proc.pid(), t0, c);
+      fr = fault_handler_->handle(as, va, t0, c);
+      fr.lock_wait += sem_wait;
+      fr.cost += sem_wait;
+      smp_->mmap_sem_read_exit(proc.pid(), engine_.now() + cost + fr.cost);
+      work += fr.cost - fr.lock_wait;
+    } else {
+      fr = fault_handler_->handle(as, va, engine_.now() + cost, c);
+    }
     proc.record_fault(engine_.now() + cost, fr.kind, fr.cost);
     cost += fr.cost;
     if (fr.err == Errno::kOk && fr.used == PageSize::k4K && !is_hpmmap_addr) {

@@ -29,6 +29,7 @@
 #include "linux_mm/fault.hpp"
 #include "linux_mm/hugetlbfs.hpp"
 #include "linux_mm/memory_system.hpp"
+#include "linux_mm/smp.hpp"
 #include "linux_mm/thp.hpp"
 #include "os/process.hpp"
 #include "os/scheduler.hpp"
@@ -54,6 +55,12 @@ struct NodeConfig {
   double hugetlbfs_small_spill = 0.18;
   /// Load the HPMMAP module with this configuration.
   std::optional<core::ModuleConfig> hpmmap{};
+  /// Run an SmpDomain: concurrent faulting cores *execute* mmap_sem,
+  /// PT-shard and zone-lock acquisitions on the virtual clock, with
+  /// per-CPU page-frame caches and batched TLB shootdowns (DESIGN.md
+  /// §14). Absent = the single-core fault path, cycle-identical to
+  /// every pre-SMP run.
+  std::optional<mm::SmpConfig> smp{};
   /// Age the memory state at boot: fill the page cache, pin some slab
   /// memory, and fragment the freelists — the steady state of a machine
   /// that has been up for a while, which is what every real measurement
@@ -89,8 +96,11 @@ class Node {
   /// eligibility (stacks never, §II-C) and THP eligibility.
   enum class Segment : std::uint8_t { kHeapData, kStack, kMisc };
 
-  SysOut sys_mmap(Process& proc, std::uint64_t len, Prot prot, Segment seg);
-  SysOut sys_munmap(Process& proc, Addr addr, std::uint64_t len);
+  /// `core` >= 0 pins the call to that CPU for SMP lock accounting
+  /// (threaded apps share one Process across cores); -1 = proc.core().
+  SysOut sys_mmap(Process& proc, std::uint64_t len, Prot prot, Segment seg,
+                  std::int32_t core = -1);
+  SysOut sys_munmap(Process& proc, Addr addr, std::uint64_t len, std::int32_t core = -1);
   SysOut sys_brk(Process& proc, Addr new_break);
   SysOut sys_mprotect(Process& proc, Addr addr, std::uint64_t len, Prot prot);
   SysOut sys_mlock(Process& proc, Addr addr, std::uint64_t len);
@@ -99,8 +109,9 @@ class Node {
   /// First-touch every page of [range); faults are charged, recorded in
   /// the process stats/trace, and already-mapped spans are skipped at
   /// leaf granularity. Returns consumed cycles. Callers slice large
-  /// ranges so daemons interleave.
-  Cycles touch_range(Process& proc, Range range);
+  /// ranges so daemons interleave. `core` >= 0 overrides proc.core()
+  /// for threaded apps faulting one address space from many CPUs.
+  Cycles touch_range(Process& proc, Range range, std::int32_t core = -1);
 
   /// Wall cycles for a compute burst: `cpu_work` on-core cycles plus
   /// `mem_accesses` memory references with the given locality, dilated
@@ -123,6 +134,7 @@ class Node {
   [[nodiscard]] mm::ThpService* thp() noexcept { return thp_.get(); }
   [[nodiscard]] mm::HugetlbPool* hugetlb() noexcept { return hugetlb_.get(); }
   [[nodiscard]] core::HpmmapModule* hpmmap_module() noexcept { return module_.get(); }
+  [[nodiscard]] mm::SmpDomain* smp() noexcept { return smp_.get(); }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] const NodeConfig& config() const noexcept { return config_; }
   /// Visit every process ever spawned (dead ones included; check
@@ -152,12 +164,13 @@ class Node {
   /// reclaim never sees — the isolation claim of §III-A.
   void maybe_swap(ZoneId zone);
   void remember_anon_page(Process& proc, Addr page);
-  SysOut linux_mmap(Process& proc, std::uint64_t len, Prot prot, Segment seg);
+  SysOut linux_mmap(Process& proc, std::uint64_t len, Prot prot, Segment seg,
+                    std::int32_t core = -1);
   SysOut linux_brk(Process& proc, Addr new_break);
   /// Unmap and free every backed page in [range) of a Linux-managed
   /// process; returns cycles. Coalesces physically contiguous 4K frames
   /// into higher-order frees.
-  Cycles release_linux_range(Process& proc, Range range);
+  Cycles release_linux_range(Process& proc, Range range, std::int32_t core = -1);
   void schedule_kswapd();
   [[nodiscard]] bool is_hpmmap_call(const Process& proc, Cycles& hash_cost) const;
 
@@ -173,6 +186,7 @@ class Node {
   std::unique_ptr<mm::ThpService> thp_;
   std::unique_ptr<mm::HugetlbPool> hugetlb_;
   std::unique_ptr<mm::FaultHandler> fault_handler_;
+  std::unique_ptr<mm::SmpDomain> smp_;
   Scheduler scheduler_;
   Rng rng_;
   std::vector<std::unique_ptr<Process>> processes_;

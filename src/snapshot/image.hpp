@@ -22,6 +22,7 @@
 #include "linux_mm/buddy_allocator.hpp"
 #include "linux_mm/fault.hpp"
 #include "linux_mm/hugetlbfs.hpp"
+#include "linux_mm/smp.hpp"
 #include "linux_mm/thp.hpp"
 #include "linux_mm/vma.hpp"
 #include "core/kitten_allocator.hpp"
@@ -140,6 +141,29 @@ struct HugetlbImage {
   std::vector<HugetlbZonePoolImage> pool;
   std::vector<std::uint64_t> total;
   mm::HugetlbStats stats{};
+};
+
+/// One mm's SMP lock state: the release points every lock holds on the
+/// virtual clock, plus the deferred-shootdown backlog.
+struct SmpMmImage {
+  Pid pid = 0;
+  Cycles writer_free_at = 0;
+  Cycles readers_free_at = 0;
+  std::vector<Cycles> pt_shard_free_at; // size 1 when sharding is off
+  std::uint64_t pending_shootdown_pages = 0;
+};
+
+/// SmpDomain verbatim: zone-lock and per-CPU IPI-backlog release points,
+/// per-mm lock state, every pcp list's frames in LIFO order, and the
+/// aggregate contention counters. A capture taken mid-storm carries
+/// future release stamps; restore must reproduce them exactly or the
+/// resumed run's waits diverge from the uninterrupted run's.
+struct SmpImage {
+  std::vector<Cycles> zone_lock_free_at;
+  std::vector<Cycles> cpu_stall;
+  std::vector<SmpMmImage> mms; // sorted by pid, the live container's order
+  std::vector<std::vector<Addr>> pcp; // [cpu * zones + zone], list order
+  mm::SmpStats stats{};
 };
 
 struct PageTableImage {
@@ -273,6 +297,8 @@ struct NodeImage {
   ModuleImage module;
   bool has_thp = false;
   ThpImage thp;
+  bool has_smp = false;
+  SmpImage smp;
   std::vector<ProcessImage> processes;
   Pid next_pid = 1000;
   std::vector<PidAddr> anon_lru;

@@ -23,7 +23,7 @@ namespace hpmmap::snapshot {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4e535048; // "HPSN"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2; // v2: NodeImage carries SMP-domain state
 
 /// Loaded trace strings live until process exit; std::set node stability
 /// keeps every handed-out c_str() valid as the pool grows.
@@ -486,6 +486,28 @@ void put(Writer& w, const NodeImage& n) {
   if (n.has_thp) {
     put(w, n.thp);
   }
+  w.b(n.has_smp);
+  if (n.has_smp) {
+    w.u64(n.smp.zone_lock_free_at.size());
+    for (Cycles v : n.smp.zone_lock_free_at) w.u64(v);
+    w.u64(n.smp.cpu_stall.size());
+    for (Cycles v : n.smp.cpu_stall) w.u64(v);
+    w.u64(n.smp.mms.size());
+    for (const SmpMmImage& m : n.smp.mms) {
+      w.u32(m.pid);
+      w.u64(m.writer_free_at);
+      w.u64(m.readers_free_at);
+      w.u64(m.pt_shard_free_at.size());
+      for (Cycles v : m.pt_shard_free_at) w.u64(v);
+      w.u64(m.pending_shootdown_pages);
+    }
+    w.u64(n.smp.pcp.size());
+    for (const std::vector<Addr>& list : n.smp.pcp) {
+      w.u64(list.size());
+      for (Addr a : list) w.u64(a);
+    }
+    w.pod(n.smp.stats);
+  }
   w.u32(n.next_pid);
   w.u64(n.anon_lru.size());
   for (const PidAddr& pa : n.anon_lru) put(w, pa);
@@ -549,6 +571,28 @@ NodeImage get_node(Reader& r) {
   n.has_thp = r.b();
   if (n.has_thp) {
     n.thp = get_thp(r);
+  }
+  n.has_smp = r.b();
+  if (n.has_smp) {
+    n.smp.zone_lock_free_at.resize(r.u64());
+    for (Cycles& v : n.smp.zone_lock_free_at) v = r.u64();
+    n.smp.cpu_stall.resize(r.u64());
+    for (Cycles& v : n.smp.cpu_stall) v = r.u64();
+    n.smp.mms.resize(r.u64());
+    for (SmpMmImage& m : n.smp.mms) {
+      m.pid = r.u32();
+      m.writer_free_at = r.u64();
+      m.readers_free_at = r.u64();
+      m.pt_shard_free_at.resize(r.u64());
+      for (Cycles& v : m.pt_shard_free_at) v = r.u64();
+      m.pending_shootdown_pages = r.u64();
+    }
+    n.smp.pcp.resize(r.u64());
+    for (std::vector<Addr>& list : n.smp.pcp) {
+      list.resize(r.u64());
+      for (Addr& a : list) a = r.u64();
+    }
+    r.pod(n.smp.stats);
   }
   n.next_pid = r.u32();
   n.anon_lru.resize(r.u64());

@@ -28,6 +28,7 @@
 #include "linux_mm/memory_system.hpp"
 #include "linux_mm/page_cache.hpp"
 #include "linux_mm/page_table.hpp"
+#include "linux_mm/smp.hpp"
 #include "linux_mm/thp.hpp"
 #include "core/kitten_allocator.hpp"
 #include "core/module.hpp"
@@ -125,6 +126,7 @@ struct Access {
       fp.emplace_back(p + ".module", n.module_ ? 1 : 0);
       fp.emplace_back(p + ".hugetlb", n.hugetlb_ ? 1 : 0);
       fp.emplace_back(p + ".thp", n.thp_ ? 1 : 0);
+      fp.emplace_back(p + ".smp_cores", n.smp_ ? n.smp_->config().cores : 0);
       for (ZoneId z = 0; z < n.memory_->zone_count(); ++z) {
         const Range r = n.memory_->buddy(z).range();
         fp.emplace_back(p + ".zone" + std::to_string(z) + ".begin", r.begin);
@@ -494,6 +496,60 @@ struct Access {
     m.stats_ = img.stats;
   }
 
+  // --- capture: SMP domain ---------------------------------------------------
+
+  static SmpImage capture_smp(const mm::SmpDomain& s) {
+    SmpImage img;
+    for (const mm::SimLock& l : s.zone_locks_) {
+      img.zone_lock_free_at.push_back(l.free_at);
+    }
+    img.cpu_stall = s.cpu_stall_;
+    for (const mm::SmpDomain::MmState& m : s.mms_) {
+      SmpMmImage mi;
+      mi.pid = m.pid;
+      mi.writer_free_at = m.mmap_sem.writer_free_at;
+      mi.readers_free_at = m.mmap_sem.readers_free_at;
+      for (const mm::SimLock& l : m.pt_shards) {
+        mi.pt_shard_free_at.push_back(l.free_at);
+      }
+      mi.pending_shootdown_pages = m.pending_shootdown_pages;
+      img.mms.push_back(std::move(mi));
+    }
+    for (const mm::SmpDomain::PcpList& l : s.pcp_) {
+      img.pcp.push_back(l.frames);
+    }
+    img.stats = s.stats_;
+    return img;
+  }
+
+  static void restore_smp(const SmpImage& img, mm::SmpDomain& s) {
+    HPMMAP_ASSERT(s.zone_locks_.size() == img.zone_lock_free_at.size(),
+                  "snapshot: smp zone count mismatch");
+    for (std::size_t z = 0; z < img.zone_lock_free_at.size(); ++z) {
+      s.zone_locks_[z].free_at = img.zone_lock_free_at[z];
+    }
+    HPMMAP_ASSERT(s.cpu_stall_.size() == img.cpu_stall.size(),
+                  "snapshot: smp core count mismatch");
+    s.cpu_stall_ = img.cpu_stall;
+    s.mms_.clear();
+    for (const SmpMmImage& mi : img.mms) {
+      mm::SmpDomain::MmState m;
+      m.pid = mi.pid;
+      m.mmap_sem.writer_free_at = mi.writer_free_at;
+      m.mmap_sem.readers_free_at = mi.readers_free_at;
+      for (const Cycles c : mi.pt_shard_free_at) {
+        m.pt_shards.push_back(mm::SimLock{c});
+      }
+      m.pending_shootdown_pages = mi.pending_shootdown_pages;
+      s.mms_.push_back(std::move(m));
+    }
+    HPMMAP_ASSERT(s.pcp_.size() == img.pcp.size(), "snapshot: smp pcp list count mismatch");
+    for (std::size_t i = 0; i < img.pcp.size(); ++i) {
+      s.pcp_[i].frames = img.pcp[i];
+    }
+    s.stats_ = img.stats;
+  }
+
   // --- capture: os ---------------------------------------------------------
 
   static SchedulerImage capture_scheduler(const os::Scheduler& s) {
@@ -582,6 +638,10 @@ struct Access {
       img.has_thp = true;
       img.thp = capture_thp(*n.thp_);
     }
+    if (n.smp_) {
+      img.has_smp = true;
+      img.smp = capture_smp(*n.smp_);
+    }
     img.next_pid = n.next_pid_;
     for (const auto& [proc, addr] : n.anon_lru_) {
       img.anon_lru.push_back(PidAddr{proc->pid_, addr});
@@ -620,6 +680,10 @@ struct Access {
     HPMMAP_ASSERT(img.has_thp == (n.thp_ != nullptr), "snapshot: thp presence mismatch");
     if (img.has_thp) {
       restore_thp(img.thp, *n.thp_, n);
+    }
+    HPMMAP_ASSERT(img.has_smp == (n.smp_ != nullptr), "snapshot: smp presence mismatch");
+    if (img.has_smp) {
+      restore_smp(img.smp, *n.smp_);
     }
     n.next_pid_ = img.next_pid;
     n.anon_lru_.clear();

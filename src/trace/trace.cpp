@@ -19,11 +19,11 @@ struct Clock {
 // must not stamp (or clobber) another run's clock.
 thread_local Clock g_clock;
 
-constexpr std::array<Category, 11> kAllCategoryList = {
+constexpr std::array<Category, 12> kAllCategoryList = {
     Category::kFault, Category::kBuddy,  Category::kThp,
     Category::kHugetlb, Category::kModule, Category::kSched,
     Category::kNet,   Category::kApp,    Category::kHarness,
-    Category::kVerify, Category::kServer,
+    Category::kVerify, Category::kServer, Category::kLock,
 };
 
 } // namespace

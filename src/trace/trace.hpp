@@ -49,9 +49,10 @@ enum class Category : std::uint32_t {
   kHarness = 1u << 8, // experiment bracketing
   kVerify  = 1u << 9, // invariant audits and fault injection
   kServer  = 1u << 10, // serving: request lifecycle, admission, shedding
+  kLock    = 1u << 11, // SMP lock waits: mmap_sem, PT shards, zone locks, IPIs
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x7ff;
+inline constexpr std::uint32_t kAllCategories = 0xfff;
 
 [[nodiscard]] constexpr std::string_view name(Category c) noexcept {
   switch (c) {
@@ -66,6 +67,7 @@ inline constexpr std::uint32_t kAllCategories = 0x7ff;
     case Category::kHarness: return "harness";
     case Category::kVerify:  return "verify";
     case Category::kServer:  return "server";
+    case Category::kLock:    return "lock";
   }
   return "?";
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <utility>
 
 #include "core/module.hpp"
@@ -10,6 +11,7 @@
 #include "linux_mm/buddy_allocator.hpp"
 #include "linux_mm/hugetlbfs.hpp"
 #include "linux_mm/memory_system.hpp"
+#include "linux_mm/smp.hpp"
 #include "linux_mm/vma.hpp"
 #include "os/node.hpp"
 #include "os/process.hpp"
@@ -190,6 +192,7 @@ AuditReport MmAuditor::run() {
   audit_page_tables(report);
   audit_frames(report);
   audit_hugetlb(report);
+  audit_pcp(report);
   ++trace::metrics().counter("audit.runs");
   trace::metrics().counter("audit.checks") += report.checks;
   trace::metrics().counter("audit.violations") += report.violation_count();
@@ -357,6 +360,13 @@ void MmAuditor::audit_frames(AuditReport& report) {
       });
     }
   }
+  if (const mm::SmpDomain* smp = node_.smp(); smp != nullptr) {
+    smp->for_each_pcp_frame([&](std::uint32_t cpu, ZoneId z, Addr a) {
+      (void)cpu;
+      (void)z;
+      frames.push_back(Interval{a, a + kSmallPageSize, "pcp_cache", 0});
+    });
+  }
   if (const core::HpmmapModule* module = node_.hpmmap_module(); module != nullptr) {
     ++report.checks;
     if (!module->allocator().check_consistency()) {
@@ -460,6 +470,80 @@ void MmAuditor::audit_hugetlb(AuditReport& report) {
     report.add("hugetlb.conservation",
                "pool free " + num(free) + " + mapped " + num(used) + " != reserved " +
                    num(total));
+  }
+}
+
+void MmAuditor::audit_pcp(AuditReport& report) {
+  const mm::SmpDomain* smp = node_.smp();
+  if (smp == nullptr) {
+    return;
+  }
+  mm::MemorySystem& memory = node_.memory();
+  // list -> mem_map direction: every cached frame is an in-range order-0
+  // kPcpCache head, and no frame sits on two CPUs' lists (a frame popped
+  // by two cores at once is the double-alloc waiting to happen).
+  std::map<Addr, std::uint32_t> owner; // frame -> first owning cpu
+  std::vector<std::uint64_t> listed(memory.zone_count(), 0);
+  smp->for_each_pcp_frame([&](std::uint32_t cpu, ZoneId z, Addr a) {
+    ++report.checks;
+    if (z >= memory.zone_count()) {
+      report.add("pcp.out_of_range",
+                 "cpu " + num(cpu) + ": cached frame " + hex(a) + " names zone " + num(z) +
+                     " beyond the machine's " + num(memory.zone_count()));
+      return;
+    }
+    ++listed[z];
+    const mm::BuddyAllocator& buddy = memory.buddy(z);
+    ++report.checks;
+    if (!buddy.range().contains(a)) {
+      report.add("pcp.out_of_range",
+                 "cpu " + num(cpu) + ": cached frame " + hex(a) + " outside zone " + num(z));
+    } else {
+      const hw::MemMap& map = buddy.mem_map();
+      const std::uint32_t frame = map.index_of(a);
+      ++report.checks;
+      if (map.state(frame) != hw::FrameState::kPcpCache || map.order(frame) != 0) {
+        report.add("pcp.memmap_state",
+                   "cpu " + num(cpu) + " zone " + num(z) + ": cached frame " + hex(a) +
+                       " has mem_map state " +
+                       num(static_cast<std::uint64_t>(map.state(frame))) + " order " +
+                       num(map.order(frame)));
+      }
+    }
+    ++report.checks;
+    const auto [it, fresh] = owner.emplace(a, cpu);
+    if (!fresh) {
+      report.add("pcp.duplicate",
+                 "zone " + num(z) + ": frame " + hex(a) + " cached by both cpu " +
+                     num(it->second) + " and cpu " + num(cpu));
+    }
+  });
+  // mem_map -> list direction plus per-zone conservation: the kPcpCache
+  // heads the metadata sweep finds are exactly the frames the lists
+  // carry (an orphan mark hides a frame from every allocator forever; a
+  // count drift means a mark was lost or a frame double-listed).
+  for (ZoneId z = 0; z < memory.zone_count(); ++z) {
+    const hw::MemMap& map = memory.buddy(z).mem_map();
+    std::uint64_t heads = 0;
+    map.for_each_head([&](Addr a, hw::FrameState st, unsigned o) {
+      if (st != hw::FrameState::kPcpCache) {
+        return;
+      }
+      (void)o;
+      ++heads;
+      ++report.checks;
+      if (owner.find(a) == owner.end()) {
+        report.add("pcp.memmap_orphan",
+                   "zone " + num(z) + ": mem_map marks " + hex(a) +
+                       " pcp-cached but no CPU list holds it");
+      }
+    });
+    ++report.checks;
+    if (heads != listed[z]) {
+      report.add("pcp.conservation",
+                 "zone " + num(z) + ": mem_map holds " + num(heads) +
+                     " pcp heads, the CPU lists carry " + num(listed[z]) + " frames");
+    }
   }
 }
 

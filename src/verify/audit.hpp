@@ -29,10 +29,17 @@
 //              analogue of "no TLB entry points at an unmapped frame"
 //              for an analytic TLB) equals a recount over the leaves;
 //   frames     one global sweep: mapped frames, buddy free blocks, page
-//              cache blocks, hugetlb pool pages and Kitten free blocks
-//              are pairwise disjoint — no frame is leaked into two
-//              owners or double-mapped across processes, and every
-//              frame lies inside physical RAM;
+//              cache blocks, hugetlb pool pages, per-CPU pcp frames and
+//              Kitten free blocks are pairwise disjoint — no frame is
+//              leaked into two owners or double-mapped across
+//              processes, and every frame lies inside physical RAM;
+//   pcp        when the node runs an SmpDomain, every frame parked on a
+//              per-CPU page-frame cache is an in-range order-0 head
+//              marked kPcpCache in its zone's mem_map, owned by exactly
+//              one CPU's list (a frame on two lists is the double-free
+//              shape pcp corruption takes), and conservation holds per
+//              zone: the mem_map's kPcpCache heads are exactly the
+//              frames the lists carry;
 //   hugetlb    pool pages are conserved: free + mapped-as-hugetlb
 //              equals the boot reservation; each zone's intrusive pool
 //              stack walks to exactly free_pages() entries, all marked
@@ -107,6 +114,7 @@ class MmAuditor {
   void audit_page_tables(AuditReport& report);
   void audit_frames(AuditReport& report);
   void audit_hugetlb(AuditReport& report);
+  void audit_pcp(AuditReport& report);
 
   os::Node& node_;
 };

@@ -13,6 +13,7 @@
 #include "hw/mem_map.hpp"
 #include "linux_mm/buddy_allocator.hpp"
 #include "linux_mm/page_cache.hpp"
+#include "linux_mm/smp.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
 #include "snapshot/snapshot.hpp"
@@ -355,6 +356,93 @@ TEST(Audit, DetectsHugetlbPoolPageStateDrift) {
   const verify::AuditReport r = auditor.run();
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(has_violation(r, "hugetlb.memmap_state")) << r.summary();
+}
+
+// --- per-CPU page-frame caches ---------------------------------------------
+//
+// An SmpDomain parks order-0 frames on per-CPU lists; the pcp audit
+// family holds them to the same two-direction mem_map agreement as the
+// buddy freelists, plus exactly-one-CPU ownership. Warm the lists the
+// way a real core does: fault a slab (the refill path stocks the list)
+// and munmap half of it (the free path stacks more until the drain
+// watermark).
+
+/// A 2-core SMP node with cpu 0's zone-0 pcp list warmed and non-empty.
+std::unique_ptr<os::Node> warm_smp_node(sim::Engine& engine) {
+  os::NodeConfig cfg = small_config();
+  cfg.thp_enabled = false;
+  mm::SmpConfig smp;
+  smp.cores = 2;
+  cfg.smp = smp;
+  auto node = std::make_unique<os::Node>(engine, cfg);
+  os::Process& p = spawn_app(*node, os::MmPolicy::kLinuxPlain);
+  const auto out = node->sys_mmap(p, 1 * MiB, kProtRW, os::Node::Segment::kHeapData);
+  EXPECT_EQ(out.err, Errno::kOk);
+  (void)node->touch_range(p, Range{out.addr, out.addr + 1 * MiB}, 0);
+  (void)node->sys_munmap(p, out.addr, 512 * KiB);
+  EXPECT_NE(node->smp(), nullptr);
+  EXPECT_GT(node->smp()->pcp_cached_bytes(0), 0u);
+  return node;
+}
+
+TEST(Audit, SmpNodeWithWarmPcpListsIsClean) {
+  sim::Engine engine;
+  const std::unique_ptr<os::Node> node = warm_smp_node(engine);
+  verify::MmAuditor auditor(*node);
+  const verify::AuditReport r = auditor.run();
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Audit, DetectsPcpFrameOnTwoCpuLists) {
+  // The same frame on two CPUs' lists: both cores will hand it out, the
+  // double-alloc shape of pcp corruption. Ownership, conservation and
+  // the global frame sweep must all name it.
+  sim::Engine engine;
+  const std::unique_ptr<os::Node> node = warm_smp_node(engine);
+  node->smp()->corrupt_clone_pcp_frame(0, 1, 0);
+  const verify::AuditReport r = verify::MmAuditor(*node).run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "pcp.duplicate")) << r.summary();
+  EXPECT_TRUE(has_violation(r, "pcp.conservation")) << r.summary();
+  EXPECT_TRUE(has_violation(r, "frame.double_owner")) << r.summary();
+}
+
+TEST(Audit, DetectsPcpMemMapStateDrift) {
+  // A cached frame whose mem_map head was wiped: the list walk must flag
+  // the state mismatch (and the head count drifts with it).
+  sim::Engine engine;
+  const std::unique_ptr<os::Node> node = warm_smp_node(engine);
+  Addr cached = 0;
+  bool got = false;
+  node->smp()->for_each_pcp_frame([&](std::uint32_t, ZoneId z, Addr a) {
+    if (!got && z == 0) {
+      cached = a;
+      got = true;
+    }
+  });
+  ASSERT_TRUE(got);
+  hw::MemMap& map = node->memory().buddy(0).mem_map();
+  map.clear_head(map.index_of(cached));
+  const verify::AuditReport r = verify::MmAuditor(*node).run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "pcp.memmap_state")) << r.summary();
+  EXPECT_TRUE(has_violation(r, "pcp.conservation")) << r.summary();
+}
+
+TEST(Audit, DetectsForgedPcpMark) {
+  // An allocated frame re-marked kPcpCache with no list holding it: the
+  // reverse sweep must catch the orphan — such a frame is invisible to
+  // every allocator forever.
+  sim::Engine engine;
+  const std::unique_ptr<os::Node> node = warm_smp_node(engine);
+  const mm::AllocOutcome frame = node->memory().alloc_pages(0, 0, /*allow_reclaim=*/false);
+  ASSERT_TRUE(frame.ok);
+  hw::MemMap& map = node->memory().buddy(0).mem_map();
+  map.set_head(map.index_of(frame.addr), hw::FrameState::kPcpCache, 0);
+  const verify::AuditReport r = verify::MmAuditor(*node).run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_violation(r, "pcp.memmap_orphan")) << r.summary();
+  EXPECT_TRUE(has_violation(r, "pcp.conservation")) << r.summary();
 }
 
 // --- corruption on a restored image ----------------------------------------

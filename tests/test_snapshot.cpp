@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <deque>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "harness/batch.hpp"
 #include "harness/experiment.hpp"
 #include "introspect/procfs.hpp"
+#include "linux_mm/smp.hpp"
 #include "os/node.hpp"
 #include "sim/engine.hpp"
 #include "snapshot/snapshot.hpp"
@@ -283,6 +285,148 @@ TEST(SnapshotNode, SaveLoadRoundTripsTheImageFile) {
   engine.run_until(engine.now() + 500'000'000);
   engine2.run_until(engine2.now() + 500'000'000);
   EXPECT_EQ(introspect::procfs_dump(node2), introspect::procfs_dump(node));
+}
+
+// --- per-CPU SMP state ------------------------------------------------------
+//
+// An SmpDomain's state is all release stamps and per-CPU frame lists; a
+// capture taken mid-contention (locks held into the future, pcp lists
+// warm, shootdown IPIs deferred) must round-trip exactly, or the resumed
+// run's waits diverge from the uninterrupted run's. Byte-identity of the
+// serialized images is the strongest equality the format offers, so the
+// checks below compare save() output bit for bit.
+
+os::NodeConfig smp_node_config(std::uint64_t seed) {
+  os::NodeConfig cfg;
+  cfg.machine = hw::dell_r415();
+  cfg.machine.ram_bytes = 4 * GiB;
+  cfg.seed = seed;
+  cfg.aged_boot = false;
+  cfg.thp_enabled = false;
+  mm::SmpConfig smp;
+  smp.cores = 4;
+  cfg.smp = smp;
+  return cfg;
+}
+
+/// One round of four-thread churn on a shared process: each core faults
+/// its own quarter of a fresh slab (alloc_small refills the pcp lists),
+/// then the previous round's slab is unmapped (free_small drains the
+/// lists through their watermark, note_unmap leaves deferred shootdown
+/// pages pending). Pure syscalls, no armed events — the same sequence
+/// applies identically to an original and a restored world.
+void smp_churn_round(os::Node& node, os::Process& p, std::vector<Addr>& slabs, int round) {
+  const auto out = node.sys_mmap(p, 4 * MiB, kProtRW, os::Node::Segment::kHeapData,
+                                 round % 4);
+  ASSERT_EQ(out.err, Errno::kOk);
+  for (std::int32_t c = 0; c < 4; ++c) {
+    const Addr begin = out.addr + static_cast<Addr>(c) * MiB;
+    (void)node.touch_range(p, Range{begin, begin + 1 * MiB}, c);
+  }
+  slabs.push_back(out.addr);
+  if (slabs.size() >= 2) {
+    const Addr victim = slabs[slabs.size() - 2];
+    (void)node.sys_munmap(p, victim, 4 * MiB, (round + 1) % 4);
+    slabs.erase(slabs.end() - 2);
+  }
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(SnapshotSmp, MidContentionCaptureRoundTripsByteIdentical) {
+  sim::Engine engine;
+  os::Node node(engine, smp_node_config(41));
+  os::Process& p = node.spawn("smp", os::MmPolicy::kLinuxPlain, 0, 1.0,
+                              mm::AddressSpace::ZonePolicy::kSingle, 0);
+  std::vector<Addr> slabs;
+  for (int round = 0; round < 6; ++round) {
+    smp_churn_round(node, p, slabs, round);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  // The capture must land mid-contention: locks were fought over, frames
+  // are parked per-CPU, and a shootdown batch is still deferred.
+  const mm::SmpDomain& smp = *node.smp();
+  ASSERT_GT(smp.stats().total_lock_wait(), 0u);
+  ASSERT_GT(smp.pcp_cached_bytes(0), 0u);
+
+  const snapshot::WorldImage image = snapshot::capture_world(engine, {&node});
+  const std::string path_a = "/tmp/hpmmap_test_smp_a.img";
+  const std::string path_b = "/tmp/hpmmap_test_smp_b.img";
+  snapshot::save(image, path_a);
+  const snapshot::WorldImage loaded = snapshot::load(path_a);
+
+  sim::Engine engine2;
+  os::Node node2(engine2, smp_node_config(41));
+  snapshot::restore_world(loaded, engine2, {&node2});
+
+  // Re-capturing the restored world serializes to the same bytes: every
+  // release stamp, list entry and counter survived the round trip. (The
+  // audit comes after the save — it bumps telemetry counters that the
+  // snapshot captures.)
+  snapshot::save(snapshot::capture_world(engine2, {&node2}), path_b);
+  EXPECT_EQ(file_bytes(path_a), file_bytes(path_b));
+  const verify::AuditReport report = verify::MmAuditor(node2).run();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  if (!::testing::Test::HasFailure()) {
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+  }
+}
+
+TEST(SnapshotSmp, CaptureCyclesInterleavedWithPcpChurnStayExact) {
+  // Stress walk: capture between every churn round (each round refills
+  // and drains pcp lists and moves the shootdown backlog), restore each
+  // capture into a fresh world, and drive BOTH worlds through the next
+  // round. The restored world must keep producing the original's exact
+  // bytes — proving the captured SMP state actually steers future
+  // behavior rather than merely surviving serialization.
+  sim::Engine engine;
+  os::Node node(engine, smp_node_config(43));
+  os::Process& p = node.spawn("smp", os::MmPolicy::kLinuxPlain, 0, 1.0,
+                              mm::AddressSpace::ZonePolicy::kSingle, 0);
+  std::vector<Addr> slabs;
+  const std::string path_a = "/tmp/hpmmap_test_smp_walk_a.img";
+  const std::string path_b = "/tmp/hpmmap_test_smp_walk_b.img";
+  for (int round = 0; round < 5; ++round) {
+    smp_churn_round(node, p, slabs, round);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+    const snapshot::WorldImage image = snapshot::capture_world(engine, {&node});
+
+    sim::Engine engine2;
+    os::Node node2(engine2, smp_node_config(43));
+    snapshot::restore_world(image, engine2, {&node2});
+    os::Process* p2 = nullptr;
+    node2.for_each_process([&](const os::Process& q) {
+      if (q.pid() == p.pid()) {
+        p2 = const_cast<os::Process*>(&q);
+      }
+    });
+    ASSERT_NE(p2, nullptr);
+
+    // Same next round on both worlds, then compare their captures.
+    std::vector<Addr> slabs2 = slabs;
+    smp_churn_round(node, p, slabs, round + 1);
+    smp_churn_round(node2, *p2, slabs2, round + 1);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+    snapshot::save(snapshot::capture_world(engine, {&node}), path_a);
+    snapshot::save(snapshot::capture_world(engine2, {&node2}), path_b);
+    ASSERT_EQ(file_bytes(path_a), file_bytes(path_b)) << "diverged after round " << round;
+
+    // The walk continues on the original only; restored worlds are
+    // discarded, so the original now leads by one round.
+  }
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
 }
 
 // --- amortized-aging sweep -------------------------------------------------
