@@ -186,7 +186,8 @@ int main(int argc, char** argv) {
                      threshold_for(basename_of(baseline), threshold, overrides), gates,
                      current);
   }
-  std::printf("bench_diff: %s (threshold %.0f%%)\n", pass ? "PASS" : "FAIL",
-              threshold * 100.0);
+  std::printf("bench_diff: %s (default threshold %.4g%%, %zu per-bench override%s)\n",
+              pass ? "PASS" : "FAIL", threshold * 100.0, overrides.size(),
+              overrides.size() == 1 ? "" : "s");
   return pass ? 0 : 1;
 }

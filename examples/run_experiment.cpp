@@ -44,9 +44,13 @@ using namespace hpmmap;
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --experiment E   hpc | server                              (default hpc)\n"
+      "  --experiment E   hpc | server | smp                        (default hpc)\n"
       "                   server: open-loop request/response service with\n"
       "                   tail-latency SLO accounting (see --rate/--shape/--slo)\n"
+      "                   smp: per-core fault-storm on one node (DESIGN.md §14);\n"
+      "                   --cores sets the storm width, --trace records the\n"
+      "                   lock/fault stream mmprof folds into contention stacks\n"
+      "  --smp-variant V  smp: 1999 | today | hpmmap                (default today)\n"
       "  --app NAME       HPCCG | CoMD | miniMD | miniFE | LAMMPS   (default HPCCG)\n"
       "  --manager M      thp | hugetlbfs | hpmmap                  (default hpmmap)\n"
       "  --profile P      none | A | B (single node) | C | D (cluster) (default A)\n"
@@ -80,7 +84,18 @@ using namespace hpmmap;
       "                   with sampling on, telemetry counter tracks are spliced\n"
       "                   into the JSON as Perfetto counters\n"
       "  --trace-cat CATS categories for --trace-out: comma list or 'all'\n"
-      "                   (fault,buddy,thp,hugetlb,module,sched,net,app,harness,verify)\n"
+      "                   (fault,buddy,thp,hugetlb,module,sched,net,app,harness,\n"
+      "                   verify,server,lock)\n"
+      "  --spans          stamp causal span ids (request/actor) on traced events;\n"
+      "                   spans show up as a span:u= arg in the CSV, an args.span\n"
+      "                   field plus flow links in the Perfetto JSON, and feed\n"
+      "                   mmprof's blocked-by attribution. Pure observer: every\n"
+      "                   other output is byte-identical with spans off\n"
+      "  --attr-out FILE  server: record the per-request latency decomposition\n"
+      "                   (queue/slab/fault/lock-class/IPI/miss/compute/stretch),\n"
+      "                   print the attribution report and write the per-request\n"
+      "                   CSV to FILE for mmprof --attr. Buckets sum exactly to\n"
+      "                   each request's measured latency on the virtual clock\n"
       "  --sample-interval N  sample mm telemetry every N virtual cycles\n"
       "                   (0 = off; sampling never perturbs results)\n"
       "  --metrics-out FILE   write sampled telemetry as OpenMetrics text to\n"
@@ -340,8 +355,8 @@ std::vector<serving::SloBudget> parse_slo_spec(const std::string& spec, double c
 /// it is byte-identical for any --jobs value.
 int run_server_mode(const harness::ServerRunConfig& cfg, std::uint32_t trials,
                     unsigned jobs, const std::string& trace_out,
-                    const std::string& metrics_out, bool procfs_dump, bool audit,
-                    PerfSummary& perf) {
+                    const std::string& metrics_out, const std::string& attr_out,
+                    bool procfs_dump, bool audit, PerfSummary& perf) {
   const bool single = !trace_out.empty() || procfs_dump;
   const std::vector<harness::ServerRunResult> runs =
       single ? std::vector<harness::ServerRunResult>{harness::run_server(cfg)}
@@ -399,6 +414,27 @@ int run_server_mode(const harness::ServerRunConfig& cfg, std::uint32_t trials,
   if (!trace_out.empty()) {
     dump_trace(first, trace_out);
   }
+  if (!attr_out.empty()) {
+    // Trial 0's decomposition (later trials differ only by seed); the
+    // CSV round-trips through mmprof --attr.
+    std::printf("%s", profile::render_report(first.attribution, first.clock_hz).c_str());
+    const std::string csv = profile::attr_csv(first.attribution.requests);
+    if (std::FILE* f = std::fopen(attr_out.c_str(), "w")) {
+      std::fputs(csv.c_str(), f);
+      std::fclose(f);
+      std::printf("attribution: %llu request records -> %s\n",
+                  static_cast<unsigned long long>(first.attribution.completed),
+                  attr_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", attr_out.c_str());
+      return 1;
+    }
+    if (first.attribution.residual_errors != 0) {
+      std::fprintf(stderr, "FAIL: %llu requests with a nonzero decomposition residual\n",
+                   static_cast<unsigned long long>(first.attribution.residual_errors));
+      return 1;
+    }
+  }
   std::uint64_t audit_violations = 0;
   for (const harness::ServerRunResult& r : runs) {
     audit_violations += r.audit_violations;
@@ -418,8 +454,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   bool trace = false;
   bool perf_summary = false;
+  bool spans = false;
   std::string trace_out;
   std::string trace_cat = "all";
+  std::string attr_out;
   bool audit = false, audit_on_fire = false;
   std::string inject_spec;
   std::uint64_t sample_interval = 0;
@@ -427,6 +465,7 @@ int main(int argc, char** argv) {
   bool procfs_dump = false;
   std::string snapshot_out, snapshot_in;
   std::string experiment = "hpc";
+  std::string smp_variant = "today";
   double rate = 2000.0;
   std::string shape = "poisson";
   std::uint32_t workers = 4, queue_depth = 64;
@@ -443,6 +482,8 @@ int main(int argc, char** argv) {
       app = next();
     } else if (!std::strcmp(argv[i], "--experiment")) {
       experiment = next();
+    } else if (!std::strcmp(argv[i], "--smp-variant")) {
+      smp_variant = next();
     } else if (!std::strcmp(argv[i], "--rate")) {
       rate = std::atof(next());
     } else if (!std::strcmp(argv[i], "--shape")) {
@@ -483,6 +524,10 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (!std::strcmp(argv[i], "--trace-cat")) {
       trace_cat = next();
+    } else if (!std::strcmp(argv[i], "--spans")) {
+      spans = true;
+    } else if (!std::strcmp(argv[i], "--attr-out")) {
+      attr_out = next();
     } else if (!std::strcmp(argv[i], "--audit")) {
       audit = true;
     } else if (!std::strcmp(argv[i], "--audit-on-fire")) {
@@ -551,8 +596,20 @@ int main(int argc, char** argv) {
     }
     trace_cfg.categories = *mask;
   } else if (trace) {
-    trace_cfg.categories = static_cast<std::uint32_t>(
-        experiment == "server" ? trace::Category::kServer : trace::Category::kFault);
+    trace_cfg.categories =
+        experiment == "server" ? static_cast<std::uint32_t>(trace::Category::kServer)
+        : experiment == "smp"  ? (static_cast<std::uint32_t>(trace::Category::kLock) |
+                                  static_cast<std::uint32_t>(trace::Category::kFault))
+                               : static_cast<std::uint32_t>(trace::Category::kFault);
+  }
+  trace_cfg.spans = spans;
+  if (spans && !trace_cfg.on()) {
+    std::fprintf(stderr, "--spans needs tracing on (--trace or --trace-out)\n");
+    return 1;
+  }
+  if (!attr_out.empty() && experiment != "server") {
+    std::fprintf(stderr, "--attr-out applies to --experiment server only\n");
+    return 1;
   }
 
   if ((!snapshot_out.empty() || !snapshot_in.empty()) &&
@@ -590,14 +647,59 @@ int main(int argc, char** argv) {
     cfg.duration_scale = duration;
     cfg.verify = verify_cfg;
     cfg.introspect = introspect_cfg;
+    cfg.attribution = !attr_out.empty();
     std::printf("server: %s @ %.0f rps, %u workers, %s, profile %s, %u trials\n",
                 shape.c_str(), rate, workers, name(mgr).data(),
                 cfg.commodity.name.c_str(), trials);
-    return run_server_mode(cfg, trials, jobs, trace_out, metrics_out, procfs_dump,
-                           audit, perf);
+    return run_server_mode(cfg, trials, jobs, trace_out, metrics_out, attr_out,
+                           procfs_dump, audit, perf);
+  }
+  if (experiment == "smp") {
+    harness::SmpRunConfig scfg;
+    if (smp_variant == "1999") {
+      scfg.variant = harness::SmpVariant::kLinux1999;
+    } else if (smp_variant == "today") {
+      scfg.variant = harness::SmpVariant::kLinuxToday;
+    } else if (smp_variant == "hpmmap") {
+      scfg.variant = harness::SmpVariant::kHpmmap;
+    } else {
+      std::fprintf(stderr, "unknown --smp-variant '%s' (1999|today|hpmmap)\n",
+                   smp_variant.c_str());
+      return 1;
+    }
+    scfg.cores = cores;
+    scfg.seed = seed;
+    scfg.trace = trace_cfg;
+    scfg.verify = verify_cfg;
+    std::printf("smp storm: %s, %u cores\n", name(scfg.variant).data(), cores);
+    const harness::SmpRunResult r = harness::run_smp(scfg);
+    perf.add_events(r.events_fired);
+    perf.add_faults(r.faults);
+    std::printf("pages: %s in %.4f s virtual = %.3g faults/sec\n",
+                harness::with_commas(r.pages_touched).c_str(), r.seconds, r.faults_per_sec);
+    std::printf("lock wait: mmap_sem %s, pt %s, zone %s, ipi %s cycles\n",
+                harness::with_commas(r.smp.mmap_sem_wait).c_str(),
+                harness::with_commas(r.smp.pt_lock_wait).c_str(),
+                harness::with_commas(r.smp.zone_lock_wait).c_str(),
+                harness::with_commas(r.smp.ipi_stall).c_str());
+    if (!trace_out.empty()) {
+      trace::ExportOptions eopt;
+      eopt.clock_hz = r.clock_hz;
+      eopt.t0 = r.trace_t0;
+      if (!trace::write_chrome_json(trace_out, r.events, eopt) ||
+          !trace::write_csv(trace_out + ".csv", r.events)) {
+        std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+        return 1;
+      }
+      std::printf("trace: %zu events -> %s (+.csv); %llu overwritten in the ring\n",
+                  r.events.size(), trace_out.c_str(),
+                  static_cast<unsigned long long>(r.trace_dropped));
+      std::printf("%s", trace::metrics().report().c_str());
+    }
+    return r.audit_violations == 0 ? 0 : 1;
   }
   if (experiment != "hpc") {
-    std::fprintf(stderr, "unknown experiment '%s' (hpc|server)\n", experiment.c_str());
+    std::fprintf(stderr, "unknown experiment '%s' (hpc|server|smp)\n", experiment.c_str());
     return 1;
   }
   // Validate the app name up front: a typo should print the known list,

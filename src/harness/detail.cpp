@@ -80,6 +80,9 @@ workloads::AppProfile scaled_profile(const std::string& app, double clock_hz,
 }
 
 void begin_tracing(const TraceConfig& cfg, std::uint64_t seed) {
+  // Span stamping is (re)set even when tracing is off so a previous
+  // run's flag never leaks into this run context.
+  trace::enable_spans(cfg.on() && cfg.spans);
   if (!cfg.on()) {
     return;
   }

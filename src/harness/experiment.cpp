@@ -315,6 +315,10 @@ ServerRunResult measure_server(ServerWorld& w) {
   }
   workloads::ServerApp server(engine, node, std::move(service), std::move(schedule),
                               rng.fork("server"));
+  profile::RequestProfiler profiler;
+  if (config.attribution) {
+    server.set_profiler(&profiler);
+  }
 
   const Cycles t0 = engine.now();
   introspect::TelemetrySampler sampler(
@@ -378,6 +382,9 @@ ServerRunResult measure_server(ServerWorld& w) {
     trace::disable_all();
     result.events = trace::recorder().snapshot();
     result.trace_dropped = trace::recorder().dropped();
+  }
+  if (config.attribution) {
+    result.attribution = profiler.take();
   }
   result.telemetry = sampler.take();
   if (config.introspect.procfs_dump) {

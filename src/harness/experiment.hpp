@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "introspect/sampler.hpp"
 #include "linux_mm/fault.hpp"
+#include "profile/attribution.hpp"
 #include "linux_mm/smp.hpp"
 #include "serving/arrival.hpp"
 #include "snapshot/snapshot.hpp"
@@ -49,6 +50,10 @@ struct TraceConfig {
   std::uint32_t categories = 0;
   /// Flight-recorder ring capacity in events (oldest overwritten beyond).
   std::size_t capacity = std::size_t{1} << 20;
+  /// Stamp causal spans (request/actor ids) on emitted events. A pure
+  /// observer: off (the default) keeps every export byte-identical to
+  /// pre-span builds (DESIGN.md §15).
+  bool spans = false;
 
   [[nodiscard]] bool on() const noexcept { return categories != 0; }
 };
@@ -277,6 +282,9 @@ struct ServerRunConfig {
   double warmup_seconds = 1.5;
   VerifyConfig verify{};
   IntrospectConfig introspect{};
+  /// Record the per-request latency decomposition (pure observer; the
+  /// result lands in ServerRunResult::attribution).
+  bool attribution = false;
 };
 
 /// Latency tails in microseconds: streaming P² estimates plus the exact
@@ -322,6 +330,10 @@ struct ServerRunResult {
 
   std::vector<introspect::TimeSeries> telemetry;
   std::string procfs_text;
+
+  /// Per-request latency decomposition (empty unless
+  /// ServerRunConfig::attribution was set).
+  profile::TrialAttribution attribution;
 };
 
 /// Run one serving trial (Dell R415 model). Budgets default to 2 ms and

@@ -177,6 +177,7 @@ bool gated_by_default(std::string_view key) {
 DiffResult diff_bench(const BenchDoc& baseline, const BenchDoc& current, double threshold,
                       const std::vector<std::string>& gate_keys) {
   DiffResult result;
+  result.threshold = threshold;
   const auto is_gated = [&](const std::string& key) {
     if (gate_keys.empty()) {
       return gated_by_default(key);
@@ -243,7 +244,11 @@ std::string format_diff(const DiffResult& result, std::string_view title) {
   for (const std::string& note : result.notes) {
     out += "  note: " + note + "\n";
   }
-  out += result.pass ? "  PASS\n" : "  FAIL\n";
+  // The verdict names the threshold it actually applied so a per-bench
+  // --threshold-for override is visible in the log, not silent.
+  std::snprintf(buf, sizeof(buf), "  %s (threshold %.4g%%)\n", result.pass ? "PASS" : "FAIL",
+                result.threshold * 100.0);
+  out += buf;
   return out;
 }
 

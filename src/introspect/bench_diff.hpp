@@ -47,6 +47,9 @@ struct DiffResult {
   std::vector<MetricDelta> deltas; // shared numeric keys, sorted by key
   std::vector<std::string> notes;  // verdict-affecting observations
   bool pass = true;
+  /// The gate threshold this diff applied — format_diff prints it in the
+  /// verdict line so per-bench --threshold-for overrides are auditable.
+  double threshold = 0.0;
 
   [[nodiscard]] std::size_t regressions() const noexcept {
     std::size_t n = 0;

@@ -1,0 +1,241 @@
+#include "profile/attribution.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+
+namespace hpmmap::profile {
+
+namespace {
+
+struct BucketView {
+  const char* label;
+  std::int64_t RequestRecord::* field;
+};
+
+// Report/CSV order; every decomposition consumer walks this one table
+// so a new bucket shows up everywhere at once.
+constexpr BucketView kBuckets[] = {
+    {"queue", &RequestRecord::queue},
+    {"slab", &RequestRecord::slab},
+    {"fault", &RequestRecord::fault},
+    {"lock.mmap_sem", &RequestRecord::lock_mmap_sem},
+    {"lock.pt", &RequestRecord::lock_pt},
+    {"lock.zone", &RequestRecord::lock_zone},
+    {"ipi_stall", &RequestRecord::ipi_stall},
+    {"miss_disk", &RequestRecord::miss_disk},
+    {"compute", &RequestRecord::compute},
+    {"mem_stretch", &RequestRecord::mem_stretch},
+    {"sched_dilation", &RequestRecord::sched_dilation},
+};
+
+void add_into(RequestRecord& acc, const RequestRecord& r) {
+  for (const BucketView& b : kBuckets) {
+    acc.*(b.field) += r.*(b.field);
+  }
+  acc.latency += r.latency;
+}
+
+} // namespace
+
+void RequestProfiler::on_dispatch(std::uint64_t index, Cycles arrival, std::int64_t queue_wait,
+                                  std::int64_t slab_alloc, std::int64_t touch_cost,
+                                  const LockWaits& locks, std::int64_t dilation) {
+  RequestRecord& r = inflight_[index];
+  r.index = index;
+  r.span = static_cast<std::uint32_t>(index + 1);
+  r.arrival = arrival;
+  r.queue = queue_wait;
+  r.slab = slab_alloc;
+  r.fault = touch_cost - locks.total();
+  r.lock_mmap_sem = locks.mmap_sem;
+  r.lock_pt = locks.pt;
+  r.lock_zone = locks.zone;
+  r.ipi_stall = locks.ipi_stall;
+  r.sched_dilation = dilation;
+}
+
+void RequestProfiler::on_serve(std::uint64_t index, std::int64_t miss_wait, std::int64_t work,
+                               std::int64_t stretch, std::int64_t slab_free,
+                               std::int64_t dilation) {
+  RequestRecord& r = inflight_[index];
+  r.miss_disk = miss_wait;
+  r.compute = work;
+  r.mem_stretch = stretch;
+  r.slab += slab_free;
+  r.sched_dilation += dilation;
+}
+
+void RequestProfiler::on_finish(std::uint64_t index, Cycles latency) {
+  auto it = inflight_.find(index);
+  if (it == inflight_.end()) {
+    return;
+  }
+  RequestRecord r = it->second;
+  inflight_.erase(it);
+  r.latency = latency;
+  if (r.sum() != static_cast<std::int64_t>(latency)) {
+    ++out_.residual_errors;
+  }
+  add_into(out_.totals, r);
+  ++out_.completed;
+  out_.requests.push_back(r);
+}
+
+TrialAttribution RequestProfiler::take() {
+  TrialAttribution t = std::move(out_);
+  out_ = TrialAttribution{};
+  inflight_.clear();
+  return t;
+}
+
+TrialAttribution from_records(std::vector<RequestRecord> records) {
+  TrialAttribution t;
+  t.requests = std::move(records);
+  for (const RequestRecord& r : t.requests) {
+    add_into(t.totals, r);
+    ++t.completed;
+    if (r.sum() != static_cast<std::int64_t>(r.latency)) {
+      ++t.residual_errors;
+    }
+  }
+  return t;
+}
+
+const RequestRecord* percentile_record(const std::vector<RequestRecord>& records, double q) {
+  if (records.empty()) {
+    return nullptr;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Nearest-rank on a latency-sorted view; ties broken by request index
+  // so the answer is deterministic.
+  std::vector<const RequestRecord*> by_lat;
+  by_lat.reserve(records.size());
+  for (const RequestRecord& r : records) {
+    by_lat.push_back(&r);
+  }
+  std::sort(by_lat.begin(), by_lat.end(), [](const RequestRecord* a, const RequestRecord* b) {
+    return a->latency != b->latency ? a->latency < b->latency : a->index < b->index;
+  });
+  std::size_t rank = q <= 0.0 ? 1
+                              : static_cast<std::size_t>(
+                                    std::ceil(q * static_cast<double>(by_lat.size())));
+  rank = std::min(std::max<std::size_t>(rank, 1), by_lat.size());
+  return by_lat[rank - 1];
+}
+
+namespace {
+
+void render_record(std::string& out, const RequestRecord& r, double clock_hz) {
+  char buf[160];
+  const std::int64_t lat = static_cast<std::int64_t>(r.latency);
+  for (const BucketView& b : kBuckets) {
+    const std::int64_t v = r.*(b.field);
+    const double share = lat > 0 ? 100.0 * static_cast<double>(v) / static_cast<double>(lat) : 0.0;
+    std::snprintf(buf, sizeof(buf), "  %-15s %14" PRId64 " cycles  %6.2f%%\n", b.label, v, share);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-15s %14" PRId64 " cycles  (sum %s latency)\n", "total",
+                r.sum(), r.sum() == lat ? "==" : "!=");
+  out += buf;
+  if (clock_hz > 0) {
+    std::snprintf(buf, sizeof(buf), "  latency %.3f us on the virtual clock\n",
+                  static_cast<double>(lat) * 1e6 / clock_hz);
+    out += buf;
+  }
+}
+
+} // namespace
+
+std::string render_report(const TrialAttribution& trial, double clock_hz) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "latency attribution: %" PRIu64 " requests, %" PRIu64
+                                  " residual errors\n",
+                trial.completed, trial.residual_errors);
+  out += buf;
+  if (trial.requests.empty()) {
+    return out;
+  }
+  out += "aggregate (all completed requests):\n";
+  render_record(out, trial.totals, 0.0);
+  for (const double q : {0.50, 0.99}) {
+    const RequestRecord* r = percentile_record(trial.requests, q);
+    if (r == nullptr) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "p%.0f request: index %" PRIu64 " span %u\n", q * 100.0,
+                  r->index, r->span);
+    out += buf;
+    render_record(out, *r, clock_hz);
+  }
+  return out;
+}
+
+std::string attr_csv(const std::vector<RequestRecord>& records) {
+  std::string out = "index,span,arrival,latency";
+  for (const BucketView& b : kBuckets) {
+    out += ',';
+    out += b.label;
+  }
+  out += '\n';
+  char buf[64];
+  for (const RequestRecord& r : records) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ",%u,%" PRIu64 ",%" PRIu64, r.index, r.span,
+                  r.arrival, r.latency);
+    out += buf;
+    for (const BucketView& b : kBuckets) {
+      std::snprintf(buf, sizeof(buf), ",%" PRId64, r.*(b.field));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<RequestRecord> parse_attr_csv(std::string_view text) {
+  std::vector<RequestRecord> out;
+  bool header = true;
+  while (!text.empty()) {
+    const std::size_t nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view{} : text.substr(nl + 1);
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    constexpr std::size_t kFixed = 4;
+    constexpr std::size_t kTotal = kFixed + std::size(kBuckets);
+    std::array<std::int64_t, kTotal> field{};
+    std::size_t n = 0;
+    while (n < kTotal && !line.empty()) {
+      const std::size_t comma = line.find(',');
+      const std::string tok(line.substr(0, comma));
+      field[n++] = std::strtoll(tok.c_str(), nullptr, 10);
+      line = comma == std::string_view::npos ? std::string_view{} : line.substr(comma + 1);
+    }
+    if (n != kTotal) {
+      continue; // malformed row
+    }
+    RequestRecord r;
+    r.index = static_cast<std::uint64_t>(field[0]);
+    r.span = static_cast<std::uint32_t>(field[1]);
+    r.arrival = static_cast<Cycles>(field[2]);
+    r.latency = static_cast<Cycles>(field[3]);
+    std::size_t i = kFixed;
+    for (const BucketView& b : kBuckets) {
+      r.*(b.field) = field[i++];
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+} // namespace hpmmap::profile

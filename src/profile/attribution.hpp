@@ -1,0 +1,120 @@
+// Per-request latency attribution: exact integer decomposition of each
+// served request's end-to-end latency into the places the cycles went.
+//
+// The serving actor runs on a virtual clock and every term of a
+// request's latency is an integer cycle count it charged explicitly
+// (queue wait, slab arena cycles, fault/touch cycles, lock waits read
+// as SmpStats deltas, the page-cache miss penalty, the compute burst,
+// scheduler dilation). The profiler just records those terms per
+// request as they happen — a pure observer: it consumes no randomness,
+// charges no cycles, and profiling on/off leaves every other output
+// byte-identical. Because the engine executes callbacks atomically,
+// the deltas are exact and sum() == latency holds as an integer
+// identity, not an approximation (DESIGN.md §15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hpmmap::profile {
+
+/// Lock-wait cycles suffered inside one synchronous block, read by the
+/// caller as SmpStats deltas (all zero when no SMP domain is attached).
+struct LockWaits {
+  std::int64_t mmap_sem = 0;
+  std::int64_t pt = 0;
+  std::int64_t zone = 0;
+  std::int64_t ipi_stall = 0;
+
+  [[nodiscard]] std::int64_t total() const noexcept {
+    return mmap_sem + pt + zone + ipi_stall;
+  }
+};
+
+/// One request's latency, decomposed. All buckets are virtual-clock
+/// cycles and sum() equals `latency` exactly.
+struct RequestRecord {
+  std::uint64_t index = 0; // schedule index; causal span id = index + 1
+  std::uint32_t span = 0;
+  Cycles arrival = 0;
+  Cycles latency = 0; // finish - arrival, as measured by the actor
+
+  std::int64_t queue = 0;         // arrival -> dispatch
+  std::int64_t slab = 0;          // arena alloc + free cycles
+  std::int64_t fault = 0;         // touch/probe cycles net of lock wait
+  std::int64_t lock_mmap_sem = 0; // mmap_sem read/write wait
+  std::int64_t lock_pt = 0;       // PT shard lock wait
+  std::int64_t lock_zone = 0;     // zone buddy lock wait
+  std::int64_t ipi_stall = 0;     // shootdown IPI stalls (ipi_drain)
+  std::int64_t miss_disk = 0;     // page-cache miss penalty
+  std::int64_t compute = 0;       // nominal on-core work
+  std::int64_t mem_stretch = 0;   // bandwidth/TLB stretch over nominal
+  std::int64_t sched_dilation = 0; // scheduler dilation on kernel phases
+
+  [[nodiscard]] std::int64_t sum() const noexcept {
+    return queue + slab + fault + lock_mmap_sem + lock_pt + lock_zone + ipi_stall + miss_disk +
+           compute + mem_stretch + sched_dilation;
+  }
+};
+
+/// One trial's worth of per-request records plus bucket-wise totals.
+struct TrialAttribution {
+  std::vector<RequestRecord> requests; // completion order
+  RequestRecord totals;                // bucket-wise sums; id fields zero
+  std::uint64_t completed = 0;
+  /// Requests whose buckets failed to sum to the measured latency.
+  /// Always 0 in a correct build; exported so benches can self-gate.
+  std::uint64_t residual_errors = 0;
+};
+
+/// Online accumulator the serving actor feeds as each request moves
+/// through its phases. Pure observer by construction: only integer
+/// reads and stores.
+class RequestProfiler {
+ public:
+  /// Dispatch time: queue wait, slab alloc, fault/touch split by lock
+  /// class, and the scheduler-dilation remainder of the parse phase.
+  void on_dispatch(std::uint64_t index, Cycles arrival, std::int64_t queue_wait,
+                   std::int64_t slab_alloc, std::int64_t touch_cost, const LockWaits& locks,
+                   std::int64_t dilation);
+  /// Serve time: miss penalty, nominal work, bandwidth stretch, slab
+  /// free, and the dilation remainder of the response phase.
+  void on_serve(std::uint64_t index, std::int64_t miss_wait, std::int64_t work,
+                std::int64_t stretch, std::int64_t slab_free, std::int64_t dilation);
+  /// Completion: seals the record against the measured latency.
+  void on_finish(std::uint64_t index, Cycles latency);
+
+  [[nodiscard]] const TrialAttribution& trial() const noexcept { return out_; }
+  /// Move the accumulated trial out (profiler resets to empty).
+  [[nodiscard]] TrialAttribution take();
+
+ private:
+  std::unordered_map<std::uint64_t, RequestRecord> inflight_;
+  TrialAttribution out_;
+};
+
+/// Nearest-rank percentile record by latency (q in [0,1]); nullptr on
+/// an empty set. q = 0.99 answers "which request *is* the p99, and
+/// where did its cycles go".
+[[nodiscard]] const RequestRecord* percentile_record(const std::vector<RequestRecord>& records,
+                                                     double q);
+
+/// Human-readable attribution report: totals, then the exact bucket
+/// decomposition of the p50/p99 request (shares sum to 100%).
+[[nodiscard]] std::string render_report(const TrialAttribution& trial, double clock_hz);
+
+/// CSV round-trip of per-request records (`index,span,arrival,latency,
+/// queue,...` with a header row) so `mmprof` can read a dump offline.
+[[nodiscard]] std::string attr_csv(const std::vector<RequestRecord>& records);
+[[nodiscard]] std::vector<RequestRecord> parse_attr_csv(std::string_view text);
+
+/// Rebuild a trial (totals + residual check) from bare records, e.g.
+/// after parse_attr_csv.
+[[nodiscard]] TrialAttribution from_records(std::vector<RequestRecord> records);
+
+} // namespace hpmmap::profile

@@ -1,0 +1,193 @@
+#include "profile/contention.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace hpmmap::profile {
+
+std::string_view lock_class_name(LockClass c) noexcept {
+  switch (c) {
+    case LockClass::kMmapSem: return "mmap_sem";
+    case LockClass::kPt: return "pt";
+    case LockClass::kZone: return "zone";
+    case LockClass::kIpiDrain: return "ipi_drain";
+    case LockClass::kShootdown: return "shootdown";
+    case LockClass::kCount: break;
+  }
+  return "?";
+}
+
+LockClass classify(std::string_view event_name) noexcept {
+  if (event_name.rfind("lock.mmap_sem", 0) == 0) {
+    return LockClass::kMmapSem;
+  }
+  if (event_name == "lock.pt") {
+    return LockClass::kPt;
+  }
+  if (event_name == "lock.zone") {
+    return LockClass::kZone;
+  }
+  if (event_name == "lock.ipi_drain") {
+    return LockClass::kIpiDrain;
+  }
+  if (event_name == "smp.shootdown") {
+    return LockClass::kShootdown;
+  }
+  return LockClass::kCount;
+}
+
+namespace {
+
+unsigned log2_bucket(std::int64_t wait) noexcept {
+  unsigned k = 0;
+  while (wait > 1) {
+    wait >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+struct Accumulator {
+  ContentionProfile profile;
+  std::map<std::pair<std::uint32_t, LockClass>, BlockedEntry> blocked;
+
+  void add(std::string_view event_name, std::int64_t wait, Pid pid, std::int32_t core,
+           std::uint32_t span) {
+    const LockClass cls = classify(event_name);
+    if (cls == LockClass::kCount || wait <= 0) {
+      return;
+    }
+    LockClassStats& s = profile.classes[static_cast<std::size_t>(cls)];
+    ++s.events;
+    s.total_wait += wait;
+    s.max_wait = std::max(s.max_wait, wait);
+    ++s.hist[std::min<unsigned>(log2_bucket(wait), static_cast<unsigned>(s.hist.size() - 1))];
+
+    BlockedEntry& b = blocked[{span, cls}];
+    b.span = span;
+    b.cls = cls;
+    b.wait += wait;
+    ++b.events;
+
+    char site[32];
+    if (pid != 0) {
+      std::snprintf(site, sizeof(site), "pid%u", static_cast<unsigned>(pid));
+    } else {
+      std::snprintf(site, sizeof(site), "core%d", core);
+    }
+    std::string key;
+    key.reserve(48);
+    key += lock_class_name(cls);
+    key += ';';
+    key += event_name;
+    key += ';';
+    key += site;
+    profile.folded[key] += wait;
+  }
+
+  ContentionProfile finish(std::size_t top_n) {
+    profile.top_blocked.reserve(blocked.size());
+    for (const auto& [key, entry] : blocked) {
+      profile.top_blocked.push_back(entry);
+    }
+    std::sort(profile.top_blocked.begin(), profile.top_blocked.end(),
+              [](const BlockedEntry& a, const BlockedEntry& b) {
+                if (a.wait != b.wait) {
+                  return a.wait > b.wait;
+                }
+                if (a.span != b.span) {
+                  return a.span < b.span;
+                }
+                return static_cast<int>(a.cls) < static_cast<int>(b.cls);
+              });
+    if (profile.top_blocked.size() > top_n) {
+      profile.top_blocked.resize(top_n);
+    }
+    return std::move(profile);
+  }
+};
+
+} // namespace
+
+ContentionProfile fold(const std::vector<trace::Event>& events, std::size_t top_n) {
+  Accumulator acc;
+  for (const trace::Event& e : events) {
+    if (e.cat != trace::Category::kLock || e.phase != trace::Phase::kComplete) {
+      continue;
+    }
+    acc.add(e.name(), static_cast<std::int64_t>(e.dur), e.pid, e.core, e.span);
+  }
+  return acc.finish(top_n);
+}
+
+ContentionProfile fold(const std::vector<trace::CsvEvent>& events, std::size_t top_n) {
+  Accumulator acc;
+  for (const trace::CsvEvent& e : events) {
+    if (e.category != "lock" || e.phase != 'X') {
+      continue;
+    }
+    acc.add(e.name, static_cast<std::int64_t>(e.dur), e.pid, e.core, trace::span_of(e));
+  }
+  return acc.finish(top_n);
+}
+
+std::string folded_stacks(const ContentionProfile& p) {
+  std::string out;
+  char buf[32];
+  for (const auto& [stack, cycles] : p.folded) {
+    out += stack;
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", cycles);
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_contention(const ContentionProfile& p) {
+  std::string out = "lock contention by class:\n";
+  char buf[160];
+  for (std::size_t c = 0; c < p.classes.size(); ++c) {
+    const LockClassStats& s = p.classes[c];
+    if (s.events == 0) {
+      continue;
+    }
+    const std::string_view nm = lock_class_name(static_cast<LockClass>(c));
+    std::snprintf(buf, sizeof(buf),
+                  "  %-10.*s %10" PRIu64 " waits  %14" PRId64 " cycles  max %" PRId64 "\n",
+                  static_cast<int>(nm.size()), nm.data(), s.events, s.total_wait, s.max_wait);
+    out += buf;
+    // log2 histogram, only the populated range.
+    std::size_t lo = s.hist.size();
+    std::size_t hi = 0;
+    for (std::size_t k = 0; k < s.hist.size(); ++k) {
+      if (s.hist[k] != 0) {
+        lo = std::min(lo, k);
+        hi = std::max(hi, k);
+      }
+    }
+    for (std::size_t k = lo; k <= hi && lo < s.hist.size(); ++k) {
+      std::snprintf(buf, sizeof(buf), "    [2^%-2zu..2^%-2zu) %10" PRIu64 "\n", k, k + 1,
+                    s.hist[k]);
+      out += buf;
+    }
+  }
+  if (!p.top_blocked.empty()) {
+    out += "top blocked-by (span x lock class):\n";
+    for (const BlockedEntry& b : p.top_blocked) {
+      const std::string_view nm = lock_class_name(b.cls);
+      if (b.span != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  span %-8u %-10.*s %14" PRId64 " cycles  %8" PRIu64 " waits\n", b.span,
+                      static_cast<int>(nm.size()), nm.data(), b.wait, b.events);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "  (no span)     %-10.*s %14" PRId64 " cycles  %8" PRIu64 " waits\n",
+                      static_cast<int>(nm.size()), nm.data(), b.wait, b.events);
+      }
+      out += buf;
+    }
+  }
+  return out;
+}
+
+} // namespace hpmmap::profile

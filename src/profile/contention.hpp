@@ -1,0 +1,83 @@
+// Lock-contention profiling over the kLock trace stream.
+//
+// SmpDomain emits one kLock complete-event per *suffered* wait (dur =
+// wait cycles, name = the lock: lock.mmap_sem.read, lock.pt, lock.zone,
+// lock.ipi_drain) plus smp.shootdown completes for IPI rounds. With
+// causal spans enabled each event also names the request/actor that ate
+// the wait. This folder turns that stream into:
+//
+//   - per-lock-class wait totals and log2 wait histograms,
+//   - a top-N blocked-by table (which span lost the most cycles to
+//     which lock class),
+//   - folded-stack output (`class;lock;site count`, one line per stack,
+//     count in cycles) directly consumable by flamegraph.pl / speedscope.
+//
+// Works from live trace::Event vectors or from a parsed CSV dump, so
+// `mmprof` can run offline on a --trace-out file.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace hpmmap::profile {
+
+/// Lock classes the contention report aggregates by.
+enum class LockClass : std::uint8_t {
+  kMmapSem = 0,
+  kPt,
+  kZone,
+  kIpiDrain,
+  kShootdown,
+  kCount,
+};
+
+[[nodiscard]] std::string_view lock_class_name(LockClass c) noexcept;
+
+/// Classify a kLock event name; returns kCount for non-lock events.
+[[nodiscard]] LockClass classify(std::string_view event_name) noexcept;
+
+struct LockClassStats {
+  std::uint64_t events = 0;
+  std::int64_t total_wait = 0; // cycles (dur of each wait event)
+  std::int64_t max_wait = 0;
+  /// hist[k] counts waits with floor(log2(wait)) == k (wait >= 1).
+  std::array<std::uint64_t, 40> hist{};
+};
+
+struct BlockedEntry {
+  std::uint32_t span = 0; // 0 = unattributed (spans off or kernel work)
+  LockClass cls = LockClass::kCount;
+  std::int64_t wait = 0;
+  std::uint64_t events = 0;
+};
+
+struct ContentionProfile {
+  std::array<LockClassStats, static_cast<std::size_t>(LockClass::kCount)> classes{};
+  /// (span, class) wait totals, descending by wait then ascending span.
+  std::vector<BlockedEntry> top_blocked;
+  /// `class;lock;site` -> wait cycles. Site is the suffering context:
+  /// `pid<P>` when the event names a process, else `core<C>`.
+  std::map<std::string, std::int64_t> folded;
+};
+
+[[nodiscard]] ContentionProfile fold(const std::vector<trace::Event>& events,
+                                     std::size_t top_n = 10);
+[[nodiscard]] ContentionProfile fold(const std::vector<trace::CsvEvent>& events,
+                                     std::size_t top_n = 10);
+
+/// Folded-stack lines (`class;lock;site count\n`), sorted by stack name
+/// for deterministic output.
+[[nodiscard]] std::string folded_stacks(const ContentionProfile& p);
+
+/// Human-readable contention report: per-class totals + histograms and
+/// the blocked-by table.
+[[nodiscard]] std::string render_contention(const ContentionProfile& p);
+
+} // namespace hpmmap::profile

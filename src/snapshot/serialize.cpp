@@ -23,7 +23,7 @@ namespace hpmmap::snapshot {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4e535048; // "HPSN"
-constexpr std::uint32_t kVersion = 2; // v2: NodeImage carries SMP-domain state
+constexpr std::uint32_t kVersion = 3; // v3: trace::Event carries a causal span id
 
 /// Loaded trace strings live until process exit; std::set node stability
 /// keeps every handed-out c_str() valid as the pool grows.
@@ -655,6 +655,7 @@ void put(Writer& w, const trace::Event& e) {
   w.u8(static_cast<std::uint8_t>(e.phase));
   w.u32(e.pid);
   w.i32(e.core);
+  w.u32(e.span);
   w.u8(e.arg_count);
   for (const trace::Arg& a : e.args) {
     w.str(a.name != nullptr ? std::string(a.name) : std::string());
@@ -684,6 +685,7 @@ trace::Event get_event(Reader& r) {
   e.phase = static_cast<trace::Phase>(r.u8());
   e.pid = r.u32();
   e.core = r.i32();
+  e.span = r.u32();
   e.arg_count = r.u8();
   for (trace::Arg& a : e.args) {
     a.name = intern(r.str());

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 
 namespace hpmmap::trace {
 
@@ -62,19 +63,23 @@ std::string chrome_json(const std::vector<Event>& events, const ExportOptions& o
   out += "[\n";
   bool first = true;
   char buf[128];
+  // Spans already flow-started, so each span's first event gets ph "s"
+  // and later ones ph "t" (Perfetto draws the connecting arrows).
+  std::set<std::uint32_t> flows_started;
   for (const Event& e : events) {
     if (!first) {
       out += ",\n";
     }
     first = false;
     const Cycles rel = e.ts >= opts.t0 ? e.ts - opts.t0 : 0;
+    const double ts_us = static_cast<double>(rel) * us_per_cycle;
     out += "{\"name\":\"";
     json_escape(out, e.name());
     out += "\",\"cat\":\"";
     json_escape(out, name(e.cat));
     std::snprintf(buf, sizeof(buf), "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":%u,\"tid\":%d",
-                  static_cast<char>(e.phase), static_cast<double>(rel) * us_per_cycle,
-                  static_cast<unsigned>(e.pid), e.core >= 0 ? e.core : -1);
+                  static_cast<char>(e.phase), ts_us, static_cast<unsigned>(e.pid),
+                  e.core >= 0 ? e.core : -1);
     out += buf;
     if (e.phase == Phase::kComplete) {
       std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", static_cast<double>(e.dur) * us_per_cycle);
@@ -90,7 +95,24 @@ std::string chrome_json(const std::vector<Event>& events, const ExportOptions& o
       }
       append_json_arg(out, e.args[i]);
     }
+    if (e.span != 0) {
+      if (e.arg_count != 0) {
+        out += ',';
+      }
+      std::snprintf(buf, sizeof(buf), "\"span\":%u", e.span);
+      out += buf;
+    }
     out += "}}";
+    if (e.span != 0) {
+      // Companion flow record linking this event into its span's chain.
+      const bool start = flows_started.insert(e.span).second;
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"name\":\"span\",\"cat\":\"span\",\"ph\":\"%c\",\"id\":%u,"
+                    "\"ts\":%.3f,\"pid\":%u,\"tid\":%d}",
+                    start ? 's' : 't', e.span, ts_us, static_cast<unsigned>(e.pid),
+                    e.core >= 0 ? e.core : -1);
+      out += buf;
+    }
   }
   out += "\n]\n";
   return out;
@@ -157,6 +179,13 @@ std::string csv(const std::vector<Event>& events) {
           args += ":s=";
           break;
       }
+    }
+    if (e.span != 0) {
+      if (!args.empty()) {
+        args += '|';
+      }
+      std::snprintf(buf, sizeof(buf), "span:u=%u", e.span);
+      args += buf;
     }
     append_csv_row(out, e.ts, e.dur, static_cast<char>(e.phase), name(e.cat), e.name(), e.pid,
                    e.core, args);
@@ -249,6 +278,52 @@ std::vector<CsvEvent> parse_csv(std::string_view text) {
       e.args.push_back(std::move(a));
     }
     out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::uint32_t span_of(const CsvEvent& e) {
+  for (const CsvEvent::Arg& a : e.args) {
+    if (a.kind == 'u' && a.name == "span") {
+      return static_cast<std::uint32_t>(std::strtoul(a.value.c_str(), nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+std::string describe(const Event& e) {
+  std::string out;
+  char buf[96];
+  out += e.name();
+  std::snprintf(buf, sizeof(buf), " cat=%.*s ts=%" PRIu64 " dur=%" PRIu64 " pid=%u core=%d",
+                static_cast<int>(name(e.cat).size()), name(e.cat).data(), e.ts, e.dur,
+                static_cast<unsigned>(e.pid), e.core);
+  out += buf;
+  if (e.span != 0) {
+    std::snprintf(buf, sizeof(buf), " span=%u", e.span);
+    out += buf;
+  }
+  for (std::uint8_t i = 0; i < e.arg_count; ++i) {
+    const Arg& a = e.args[i];
+    out += ' ';
+    out += a.name != nullptr ? a.name : "?";
+    switch (a.kind) {
+      case Arg::Kind::kU64:
+        std::snprintf(buf, sizeof(buf), "=%" PRIu64, a.value.u64);
+        out += buf;
+        break;
+      case Arg::Kind::kF64:
+        std::snprintf(buf, sizeof(buf), "=%.17g", a.value.f64);
+        out += buf;
+        break;
+      case Arg::Kind::kStr:
+        out += '=';
+        out += a.value.str != nullptr ? a.value.str : "";
+        break;
+      case Arg::Kind::kNone:
+        out += "=?";
+        break;
+    }
   }
   return out;
 }

@@ -24,6 +24,12 @@ struct ExportOptions {
 /// ts (µs) / ph / name / cat / pid / tid / args. tid is the core so
 /// Perfetto lays events out on per-core tracks; core -1 events land on
 /// a synthetic track per pid.
+///
+/// Events carrying a causal span (span != 0) additionally get a `span`
+/// arg plus Perfetto flow records (`ph:"s"` on the span's first event,
+/// `ph:"t"` steps after) with id = span, so a request's path across
+/// engine actors renders as connected arrows. Span-free events emit
+/// exactly the pre-span byte stream.
 [[nodiscard]] std::string chrome_json(const std::vector<Event>& events,
                                       const ExportOptions& opts = {});
 
@@ -32,7 +38,9 @@ bool write_chrome_json(const std::string& path, const std::vector<Event>& events
                        const ExportOptions& opts = {});
 
 /// CSV with header `ts_cycles,dur_cycles,phase,category,name,pid,core,args`.
-/// Args serialize as `name:u=123|name:f=1.5|name:s=text`.
+/// Args serialize as `name:u=123|name:f=1.5|name:s=text`. A nonzero
+/// causal span rides as a trailing `span:u=N` arg token (absent when
+/// span == 0, so spans-off output is byte-identical to pre-span builds).
 [[nodiscard]] std::string csv(const std::vector<Event>& events);
 
 bool write_csv(const std::string& path, const std::vector<Event>& events);
@@ -60,5 +68,14 @@ struct CsvEvent {
 
 /// Re-serialize parsed events; `csv(parse_csv(csv(ev)))` is a fixpoint.
 [[nodiscard]] std::string csv(const std::vector<CsvEvent>& events);
+
+/// Causal span of a parsed event (the `span:u=N` arg token); 0 if none.
+[[nodiscard]] std::uint32_t span_of(const CsvEvent& e);
+
+/// One-line human rendering of an event for diagnostics and anomaly
+/// dumps: `name cat=... ts=... dur=... pid=... core=... [span=N] args...`.
+/// Includes the causal span when present so flight-recorder dumps can
+/// name the victim request, not just the raw tracepoint.
+[[nodiscard]] std::string describe(const Event& e);
 
 } // namespace hpmmap::trace

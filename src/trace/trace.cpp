@@ -6,6 +6,8 @@ namespace hpmmap::trace {
 
 namespace detail {
 thread_local std::uint32_t g_enabled_mask = 0;
+thread_local std::uint32_t g_current_span = 0;
+thread_local bool g_spans_enabled = false;
 } // namespace detail
 
 namespace {
@@ -104,6 +106,15 @@ void enable(std::uint32_t mask) noexcept { detail::g_enabled_mask = mask; }
 void disable_all() noexcept { detail::g_enabled_mask = 0; }
 std::uint32_t enabled_mask() noexcept { return detail::g_enabled_mask; }
 
+void enable_spans(bool on) noexcept {
+  detail::g_spans_enabled = on;
+  if (!on) {
+    detail::g_current_span = 0;
+  }
+}
+bool spans_on() noexcept { return detail::g_spans_enabled; }
+std::uint32_t current_span() noexcept { return detail::g_current_span; }
+
 namespace {
 thread_local FlightRecorder* g_recorder_override = nullptr;
 } // namespace
@@ -133,6 +144,12 @@ void emit(const Event& e) {
   if (!on(e.cat)) {
     return;
   }
+  if (e.span == 0 && detail::g_current_span != 0) {
+    Event stamped = e;
+    stamped.span = detail::g_current_span;
+    recorder().push(stamped);
+    return;
+  }
   recorder().push(e);
 }
 
@@ -148,6 +165,7 @@ Event make(Category cat, const char* event_name, Cycles ts, Cycles dur, Phase ph
   e.phase = phase;
   e.pid = pid;
   e.core = core;
+  e.span = detail::g_current_span;
   e.arg_count = static_cast<std::uint8_t>(std::min(args.size(), Event::kMaxArgs));
   std::copy_n(args.begin(), e.arg_count, e.args.begin());
   return e;

@@ -129,6 +129,11 @@ struct Event {
   Phase phase = Phase::kInstant;
   Pid pid = 0;            // owning process, 0 = kernel/daemon context
   std::int32_t core = -1; // per-core track; -1 = unpinned/unknown
+  /// Causal span: id of the request/actor on whose behalf this event
+  /// happened, stamped ambiently by emit() from the active SpanScope.
+  /// 0 = no span (exporters omit the field, keeping spans-off output
+  /// byte-identical to pre-span builds).
+  std::uint32_t span = 0;
   std::uint8_t arg_count = 0;
   std::array<Arg, kMaxArgs> args{};
 
@@ -179,6 +184,12 @@ namespace detail {
 /// each run binds the recorder/metrics/clock of the thread it runs on
 /// (see DESIGN.md §8). Single-threaded use is unchanged.
 extern thread_local std::uint32_t g_enabled_mask;
+/// Span tracking, same per-run thread_local discipline. g_current_span
+/// is the id stamped on every emitted event while a SpanScope is live;
+/// g_spans_enabled gates stamping so span tracing off means every event
+/// carries span 0 and exporter output is byte-identical.
+extern thread_local std::uint32_t g_current_span;
+extern thread_local bool g_spans_enabled;
 } // namespace detail
 
 /// The tracepoint guard: one load + AND. Callers wrap argument
@@ -197,6 +208,35 @@ extern thread_local std::uint32_t g_enabled_mask;
 void enable(std::uint32_t mask) noexcept;
 void disable_all() noexcept;
 [[nodiscard]] std::uint32_t enabled_mask() noexcept;
+
+/// Enable/disable causal span stamping for this run context. Off (the
+/// default) every event carries span 0, which exporters render exactly
+/// as before spans existed — the pure-observer contract (DESIGN.md §15).
+void enable_spans(bool on) noexcept;
+[[nodiscard]] bool spans_on() noexcept;
+/// The span emit() would stamp right now (0 = none active).
+[[nodiscard]] std::uint32_t current_span() noexcept;
+
+/// RAII causal-span context. The serving layer opens one per request
+/// callback (span = request index + 1), SmpStorm one per fault actor, so
+/// every tracepoint fired underneath — fault handler, SmpDomain lock
+/// waits, pcp refills, shootdown IPI rounds — is attributed to the
+/// request/actor that suffered it. Nests: the inner scope wins, the
+/// outer is restored on destruction. A no-op while spans are disabled.
+class SpanScope {
+ public:
+  explicit SpanScope(std::uint32_t span) noexcept : prev_(detail::g_current_span) {
+    if (detail::g_spans_enabled) {
+      detail::g_current_span = span;
+    }
+  }
+  ~SpanScope() { detail::g_current_span = prev_; }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  std::uint32_t prev_;
+};
 
 /// This thread's flight recorder (one per run context; the harness
 /// brackets each run, so a worker thread's recorder holds exactly the

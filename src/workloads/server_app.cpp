@@ -59,6 +59,18 @@ Cycles ServerApp::dilated(const Worker& w, Cycles kernel_cycles) const {
   return static_cast<Cycles>(static_cast<double>(kernel_cycles) * d);
 }
 
+profile::LockWaits ServerApp::lock_waits_now() const noexcept {
+  profile::LockWaits lw;
+  if (const mm::SmpDomain* smp = node_.smp()) {
+    const mm::SmpStats& s = smp->stats();
+    lw.mmap_sem = static_cast<std::int64_t>(s.mmap_sem_wait);
+    lw.pt = static_cast<std::int64_t>(s.pt_lock_wait);
+    lw.zone = static_cast<std::int64_t>(s.zone_lock_wait);
+    lw.ipi_stall = static_cast<std::int64_t>(s.ipi_stall);
+  }
+  return lw;
+}
+
 std::size_t ServerApp::zipf_object(std::uint64_t key) const {
   const double u =
       static_cast<double>(key >> 11) * 0x1.0p-53; // top 53 bits -> uniform [0,1)
@@ -201,10 +213,15 @@ void ServerApp::dispatch(std::size_t w) {
     }
 
     // Phase 1: request parse/build — allocation churn through the slab
-    // arena plus session-state touches.
+    // arena plus session-state touches. The SpanScope stamps every
+    // tracepoint fired underneath (slab mmaps, faults, lock waits)
+    // with this request's causal span.
     ++in_flight_;
+    trace::SpanScope span(static_cast<std::uint32_t>(req.index + 1));
     const serving::ScheduledRequest& sr = schedule_[req.index];
     const std::uint64_t bytes = request_bytes(sr.size_quantile);
+    const profile::LockWaits locks_before = profiler_ != nullptr ? lock_waits_now()
+                                                                 : profile::LockWaits{};
     serving::SlabArena::Alloc buf = wk.slab->allocate(bytes);
     Cycles cost = buf.cost;
     const std::uint64_t pages = wk.session_table.size() / kSmallPageSize;
@@ -213,7 +230,21 @@ void ServerApp::dispatch(std::size_t w) {
       const Addr va = wk.session_table.begin + (h % pages) * kSmallPageSize;
       cost += node_.touch_range(*wk.proc, Range{va, va + kSmallPageSize});
     }
-    engine_.schedule(dilated(wk, cost), [this, w, req, bytes, buf] {
+    const Cycles delay = dilated(wk, cost);
+    if (profiler_ != nullptr) {
+      const profile::LockWaits after = lock_waits_now();
+      profile::LockWaits delta;
+      delta.mmap_sem = after.mmap_sem - locks_before.mmap_sem;
+      delta.pt = after.pt - locks_before.pt;
+      delta.zone = after.zone - locks_before.zone;
+      delta.ipi_stall = after.ipi_stall - locks_before.ipi_stall;
+      profiler_->on_dispatch(req.index, req.arrival,
+                             static_cast<std::int64_t>(engine_.now() - req.arrival),
+                             static_cast<std::int64_t>(buf.cost),
+                             static_cast<std::int64_t>(cost - buf.cost), delta,
+                             static_cast<std::int64_t>(delay) - static_cast<std::int64_t>(cost));
+    }
+    engine_.schedule(delay, [this, w, req, bytes, buf] {
       serve_phase(w, req, bytes, buf.addr, buf.large);
     });
     return;
@@ -251,6 +282,7 @@ void ServerApp::serve_phase(std::size_t w, QueuedRequest req, std::uint64_t buf_
   // Phase 2: serve the object. Residency decides hit vs miss; the
   // compute burst pays TLB and bandwidth costs under the worker's
   // current mapping mix.
+  trace::SpanScope span(static_cast<std::uint32_t>(req.index + 1));
   const std::size_t obj = zipf_object(sr.object_key);
   Cycles wait = 0;
   if (object_resident(obj)) {
@@ -269,17 +301,29 @@ void ServerApp::serve_phase(std::size_t w, QueuedRequest req, std::uint64_t buf_
     kernel_cost += wk.slab->free(buf_addr, buf_bytes);
   }
   (void)buf_large;
-  engine_.schedule(wait + compute + dilated(wk, kernel_cost),
-                   [this, w, req] { finish_request(w, req); });
+  const Cycles kernel_delay = dilated(wk, kernel_cost);
+  if (profiler_ != nullptr) {
+    profiler_->on_serve(req.index, static_cast<std::int64_t>(wait),
+                        static_cast<std::int64_t>(work),
+                        static_cast<std::int64_t>(compute) - static_cast<std::int64_t>(work),
+                        static_cast<std::int64_t>(kernel_cost),
+                        static_cast<std::int64_t>(kernel_delay) -
+                            static_cast<std::int64_t>(kernel_cost));
+  }
+  engine_.schedule(wait + compute + kernel_delay, [this, w, req] { finish_request(w, req); });
 }
 
 void ServerApp::finish_request(std::size_t w, QueuedRequest req) {
   Worker& wk = workers_[w];
+  trace::SpanScope span(static_cast<std::uint32_t>(req.index + 1));
   const Cycles lat = engine_.now() - req.arrival;
   ++stats_.completed;
   --in_flight_;
   slo_.on_complete(lat);
   latency_.add(node_.seconds(lat) * 1e6); // microseconds
+  if (profiler_ != nullptr) {
+    profiler_->on_finish(req.index, lat);
+  }
   if (trace::on(trace::Category::kServer)) {
     trace::complete(trace::Category::kServer, "req", req.arrival, lat, wk.proc->pid(),
                     wk.proc->core(), {trace::Arg::u64("req", req.index)});

@@ -31,6 +31,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "os/node.hpp"
+#include "profile/attribution.hpp"
 #include "serving/arrival.hpp"
 #include "serving/slab.hpp"
 #include "serving/slo.hpp"
@@ -125,6 +126,11 @@ class ServerApp {
     return static_cast<double>(stats_.completed);
   }
 
+  /// Attach a latency-attribution profiler (nullptr detaches). A pure
+  /// observer: the actor feeds it the integer cycle terms it already
+  /// charges, so attaching one changes no simulated outcome.
+  void set_profiler(profile::RequestProfiler* p) noexcept { profiler_ = p; }
+
  private:
   struct Worker {
     os::Process* proc = nullptr;
@@ -145,6 +151,9 @@ class ServerApp {
   void on_workers_ready();
   void pump_arrivals();
   void dispatch(std::size_t w);
+  /// Lock-wait counters right now (zeros without an SMP domain), read
+  /// as deltas around synchronous blocks for per-request attribution.
+  [[nodiscard]] profile::LockWaits lock_waits_now() const noexcept;
   void serve_phase(std::size_t w, QueuedRequest req, std::uint64_t buf_bytes, Addr buf_addr,
                    bool buf_large);
   void finish_request(std::size_t w, QueuedRequest req);
@@ -174,6 +183,7 @@ class ServerApp {
   serving::SloAccountant slo_;
   serving::LatencyRecorder latency_;
   std::function<void()> on_complete_;
+  profile::RequestProfiler* profiler_ = nullptr;
   bool started_ = false;
   bool completed_ = false;
 };

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace hpmmap::workloads {
 
@@ -51,6 +52,9 @@ void SmpStorm::begin_round(std::size_t i) {
     finish_worker(i);
     return;
   }
+  // Each storm worker is a causal actor: the lock waits and shootdowns
+  // its fault path suffers are attributed to span = worker index + 1.
+  trace::SpanScope span(static_cast<std::uint32_t>(i + 1));
   const os::Node::SysOut out =
       node_.sys_mmap(*w.proc, config_.slab_bytes, kProtRW, os::Node::Segment::kHeapData, w.core);
   HPMMAP_ASSERT(out.err == Errno::kOk, "storm slab mmap failed");
@@ -61,6 +65,7 @@ void SmpStorm::begin_round(std::size_t i) {
 
 void SmpStorm::touch_step(std::size_t i) {
   Worker& w = workers_[i];
+  trace::SpanScope span(static_cast<std::uint32_t>(i + 1));
   const Addr slab_end = w.slab + config_.slab_bytes;
   const Addr end =
       std::min<Addr>(slab_end, w.pos + config_.touch_slice_pages * kSmallPageSize);
@@ -78,6 +83,7 @@ void SmpStorm::touch_step(std::size_t i) {
 
 void SmpStorm::end_round(std::size_t i) {
   Worker& w = workers_[i];
+  trace::SpanScope span(static_cast<std::uint32_t>(i + 1));
   const os::Node::SysOut out = node_.sys_munmap(*w.proc, w.slab, config_.slab_bytes, w.core);
   HPMMAP_ASSERT(out.err == Errno::kOk, "storm slab munmap failed");
   ++w.round;

@@ -23,6 +23,7 @@
 #include "os/node.hpp"
 #include "sim/engine.hpp"
 #include "snapshot/snapshot.hpp"
+#include "trace/export.hpp"
 #include "trace/trace.hpp"
 #include "verify/audit.hpp"
 
@@ -429,6 +430,58 @@ TEST(SnapshotSmp, CaptureCyclesInterleavedWithPcpChurnStayExact) {
   std::remove(path_b.c_str());
 }
 
+// --- causal spans ----------------------------------------------------------
+
+// Snapshot format v3: the flight-recorder image carries each event's
+// causal span, so a capture taken mid-request restores with attribution
+// intact (a span-free ring still loads byte-identically to v2 content).
+TEST(SnapshotTrace, SpanCarryingEventsRoundTripThroughSaveLoad) {
+  trace::recorder().set_capacity(1024);
+  trace::enable(static_cast<std::uint32_t>(trace::Category::kHarness));
+  trace::enable_spans(true);
+  {
+    trace::SpanScope outer(41);
+    trace::instant(trace::Category::kHarness, "span.outer", 7, 2,
+                   {trace::Arg::u64("k", 1)});
+    {
+      trace::SpanScope inner(42);
+      trace::complete(trace::Category::kHarness, "span.inner", 100, 50, 7, 2,
+                      {trace::Arg::str("who", "inner")});
+    }
+  }
+  trace::instant(trace::Category::kHarness, "span.none", 7, 2);
+  trace::enable_spans(false);
+  trace::disable_all();
+
+  sim::Engine engine;
+  os::Node node(engine, node_config(5, /*aged=*/false));
+  const snapshot::WorldImage image = snapshot::capture_world(engine, {&node});
+  const std::string path = "/tmp/hpmmap_test_span_snapshot.img";
+  snapshot::save(image, path);
+  const snapshot::WorldImage loaded = snapshot::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.trace.ring.size(), image.trace.ring.size());
+  std::uint32_t outer_span = 0, inner_span = 0, none_span = 99;
+  for (std::size_t i = 0; i < loaded.trace.ring.size(); ++i) {
+    const trace::Event& got = loaded.trace.ring[i];
+    const trace::Event& want = image.trace.ring[i];
+    EXPECT_EQ(got.span, want.span) << trace::describe(want);
+    EXPECT_EQ(got.ts, want.ts);
+    EXPECT_EQ(got.name(), want.name());
+    if (got.name() == "span.outer") {
+      outer_span = got.span;
+    } else if (got.name() == "span.inner") {
+      inner_span = got.span;
+    } else if (got.name() == "span.none") {
+      none_span = got.span;
+    }
+  }
+  EXPECT_EQ(outer_span, 41u);
+  EXPECT_EQ(inner_span, 42u); // the nested scope won while it was live
+  EXPECT_EQ(none_span, 0u);   // emitted outside any scope
+}
+
 // --- amortized-aging sweep -------------------------------------------------
 
 TEST(SnapshotSweep, SnapshottedTrialsMatchPlainBatchBitForBit) {
@@ -555,14 +608,18 @@ TEST(SnapshotTimeTravel, SingleSteppingFromRestoreReproducesTheAnomalyEvent) {
       const trace::Event& e = replay[i];
       if (e.ts == want.ts && e.name() == want.name() && e.pid == want.pid) {
         expect_args_equal(e, want, i);
+        // Causal context must replay too: the restored world re-emits
+        // the event under the same span (or span-free, like here).
+        EXPECT_EQ(e.span, want.span) << trace::describe(e);
         replayed = true;
       }
     }
   }
   trace::disable_all();
-  EXPECT_TRUE(replayed) << "anomaly " << want.name() << " at ts " << want.ts
-                        << " not re-emitted after " << steps << " steps from ts "
-                        << from->now;
+  // describe() renders the span id when the anomaly carries one, so the
+  // dump names the victim request/actor, not just the raw tracepoint.
+  EXPECT_TRUE(replayed) << "anomaly not re-emitted after " << steps << " steps from ts "
+                        << from->now << ": " << trace::describe(want);
   EXPECT_GT(steps, 0u);
 }
 
